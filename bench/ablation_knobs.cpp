@@ -1,0 +1,169 @@
+// Ablation benches for the design choices DESIGN.md calls out: each knob's
+// isolated contribution to the headline 10GbE numbers.
+#include "bench/common.hpp"
+
+namespace {
+
+using xgbe::core::TuningProfile;
+using xgbe::hw::presets::pe2650;
+
+// MMRBC sweep at jumbo frames: the burst-amortization curve behind the
+// paper's 512 -> 4096 step.
+void Ablation_MmrbcSweep(benchmark::State& state) {
+  const auto mmrbc = static_cast<std::uint32_t>(state.range(0));
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    TuningProfile t = TuningProfile::with_big_windows(9000);
+    t.mmrbc = mmrbc;
+    r = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+}
+
+// Interrupt-coalescing sweep: throughput/CPU vs latency trade (§3.3.2).
+void Ablation_CoalescingSweep(benchmark::State& state) {
+  const auto usecs = static_cast<std::int64_t>(state.range(0));
+  xgbe::tools::NttcpResult thr;
+  xgbe::tools::NetpipeResult lat;
+  for (auto _ : state) {
+    TuningProfile t = TuningProfile::lan_tuned(9000);
+    t.intr_delay = xgbe::sim::usec(usecs);
+    thr = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+    lat = xgbe::bench::netpipe_pair(pe2650(), t, 1, false);
+  }
+  state.counters["Gb/s"] = thr.throughput_gbps();
+  state.counters["latency_us"] = lat.latency_us;
+  state.counters["cpu_rx"] = thr.receiver_load;
+}
+
+// NAPI vs the old receive API (§3.3.2 discussion).
+void Ablation_NapiVsOldApi(benchmark::State& state) {
+  const bool napi = state.range(0) != 0;
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    TuningProfile t = TuningProfile::lan_tuned(1500);
+    t.rx_api = napi ? xgbe::os::RxApi::kNapi : xgbe::os::RxApi::kOldApi;
+    r = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["cpu_rx"] = r.receiver_load;
+}
+
+// Receive checksum offload (§2: the adapter computes TCP checksums).
+void Ablation_ChecksumOffload(benchmark::State& state) {
+  const bool offload = state.range(0) != 0;
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    TuningProfile t = TuningProfile::lan_tuned(9000);
+    t.csum_offload = offload;
+    r = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["cpu_rx"] = r.receiver_load;
+}
+
+// TCP segmentation offload ("Large Send", §3.3.2).
+void Ablation_Tso(benchmark::State& state) {
+  const bool tso = state.range(0) != 0;
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    TuningProfile t = TuningProfile::lan_tuned(9000);
+    t.tso = tso;
+    r = xgbe::bench::nttcp_pair(pe2650(), t, 16344);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["cpu_tx"] = r.sender_load;
+}
+
+// SWS-avoidance MSS rounding of the advertised window (§3.5.1): disabling
+// the rounding (a hypothetical "fractional MSS increments" kernel, one of
+// the paper's proposed fixes) recovers throughput at the dip.
+void Ablation_SwsRounding(benchmark::State& state) {
+  const bool round = state.range(0) != 0;
+  double gbps = 0.0;
+  for (auto _ : state) {
+    xgbe::core::Testbed tb;
+    const auto tuning = TuningProfile::with_uniprocessor(9000);
+    auto& a = tb.add_host("a", pe2650(), tuning);
+    auto& b = tb.add_host("b", pe2650(), tuning);
+    tb.connect(a, b);
+    auto ca = a.endpoint_config();
+    auto cb = b.endpoint_config();
+    cb.sws_round_window = round;
+    auto conn = tb.open_connection(a, b, ca, cb);
+    xgbe::tools::NttcpOptions opt;
+    opt.payload = 8948;  // the dip payload
+    opt.count = xgbe::bench::kNttcpCount;
+    gbps = xgbe::tools::run_nttcp(tb, conn, a, b, opt).throughput_gbps();
+  }
+  state.counters["Gb/s"] = gbps;
+}
+
+// Timestamp option cost at jumbo MSS (§3.4: ~10% on the E7505 systems).
+void Ablation_Timestamps(benchmark::State& state) {
+  const bool ts = state.range(0) != 0;
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    TuningProfile t = TuningProfile::stock(9000);
+    t.timestamps = ts;
+    r = xgbe::bench::nttcp_pair(xgbe::hw::presets::intel_e7505(), t, 8948);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+}
+
+}  // namespace
+
+BENCHMARK(Ablation_MmrbcSweep)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->ArgNames({"mmrbc"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Ablation_CoalescingSweep)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(50)
+    ->ArgNames({"rx_usecs"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Ablation_NapiVsOldApi)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"napi"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Ablation_ChecksumOffload)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"offload"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Ablation_Tso)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"tso"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Ablation_SwsRounding)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"round"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Ablation_Timestamps)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"timestamps"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

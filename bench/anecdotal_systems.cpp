@@ -1,0 +1,88 @@
+// Section 3.4: anecdotal results on the faster systems.
+//
+// Paper reference: the Intel E7505 machines (dual 2.66 GHz, 533 MHz FSB)
+// reached 4.64 Gb/s essentially out of the box — with TCP timestamps
+// disabled (enabling them cost ~10%) — and ~2 us lower latency (12 us
+// end-to-end). A quad 1.0 GHz Itanium-II aggregated inbound flows to
+// 7.2 Gb/s. STREAM puts the PE4600's memory bandwidth ~50% above the
+// PE2650's, yet its network throughput does not improve — memory bandwidth
+// is not the bottleneck.
+#include "bench/common.hpp"
+
+namespace {
+
+using xgbe::core::TuningProfile;
+using xgbe::hw::presets::intel_e7505;
+using xgbe::hw::presets::itanium2_quad;
+using xgbe::hw::presets::pe2650;
+using xgbe::hw::presets::pe4600;
+
+void Anecdotal_E7505OutOfBox(benchmark::State& state) {
+  const bool timestamps = state.range(0) != 0;
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    TuningProfile t = TuningProfile::stock(9000);
+    t.timestamps = timestamps;
+    r = xgbe::bench::nttcp_pair(intel_e7505(), t, 8000);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["cpu_rx"] = r.receiver_load;
+}
+
+void Anecdotal_E7505Latency(benchmark::State& state) {
+  xgbe::tools::NetpipeResult r;
+  for (auto _ : state) {
+    r = xgbe::bench::netpipe_pair(intel_e7505(),
+                                  TuningProfile::lan_tuned(9000), 1, false);
+  }
+  state.counters["latency_us"] = r.latency_us;
+}
+
+void Anecdotal_ItaniumAggregation(benchmark::State& state) {
+  double gbps = 0.0;
+  for (auto _ : state) {
+    gbps = xgbe::bench::multiflow_gbps(itanium2_quad(), 12, /*to_head=*/true,
+                                       9000);
+  }
+  state.counters["Gb/s"] = gbps;
+}
+
+// PE4600 vs PE2650: ~50% more memory bandwidth, no network win (§3.5.2).
+void Anecdotal_Pe4600MemoryBandwidth(benchmark::State& state) {
+  const bool use_4600 = state.range(0) != 0;
+  xgbe::tools::NttcpResult r;
+  double stream_gbps = 0.0;
+  for (auto _ : state) {
+    const auto sys = use_4600 ? pe4600() : pe2650();
+    r = xgbe::bench::nttcp_pair(sys, TuningProfile::lan_tuned(9000), 8000);
+    xgbe::core::Testbed tb;
+    auto& h = tb.add_host("h", sys, TuningProfile::stock(1500));
+    stream_gbps = xgbe::tools::run_stream(tb, h).copy_gbps();
+  }
+  state.counters["net_Gb/s"] = r.throughput_gbps();
+  state.counters["stream_Gb/s"] = stream_gbps;
+}
+
+}  // namespace
+
+BENCHMARK(Anecdotal_E7505OutOfBox)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"timestamps"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Anecdotal_E7505Latency)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK(Anecdotal_ItaniumAggregation)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Anecdotal_Pe4600MemoryBandwidth)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"pe4600"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Calibration probe (developer tool, not a paper bench): prints the key
+// scenario numbers so model constants can be tuned against the paper.
+#include <cstdio>
+
+#include "core/testbed.hpp"
+#include "tools/netpipe.hpp"
+#include "tools/nttcp.hpp"
+#include "tools/pktgen.hpp"
+#include "tools/stream.hpp"
+
+using namespace xgbe;
+
+namespace {
+
+tools::NttcpResult nttcp_once(const core::TuningProfile& tuning,
+                              std::uint32_t payload, std::uint32_t count,
+                              const hw::SystemSpec& sys) {
+  core::Testbed tb;
+  auto& a = tb.add_host("tx", sys, tuning);
+  auto& b = tb.add_host("rx", sys, tuning);
+  tb.connect(a, b);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = payload;
+  opt.count = count;
+  return tools::run_nttcp(tb, conn, a, b, opt);
+}
+
+void sweep(const char* label, const core::TuningProfile& tuning,
+           const hw::SystemSpec& sys) {
+  std::printf("--- %s (%s) ---\n", label, tuning.label.c_str());
+  for (std::uint32_t payload :
+       {1024u, 4096u, 7000u, 7436u, 8000u, 8948u, 9000u, 12000u, 16344u}) {
+    auto r = nttcp_once(tuning, payload, 3000, sys);
+    std::printf("  payload %6u: %6.2f Gb/s  load tx=%.2f rx=%.2f retx=%llu\n",
+                payload, r.throughput_gbps(), r.sender_load, r.receiver_load,
+                static_cast<unsigned long long>(r.retransmits));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto pe2650 = hw::presets::pe2650();
+
+  sweep("fig3 stock 1500", core::TuningProfile::stock(1500), pe2650);
+  sweep("fig3 stock 9000", core::TuningProfile::stock(9000), pe2650);
+  sweep("fig4 +pci 9000", core::TuningProfile::with_pci_burst(9000), pe2650);
+  sweep("fig4 +up 9000", core::TuningProfile::with_uniprocessor(9000),
+        pe2650);
+  sweep("fig4 256k 1500", core::TuningProfile::with_big_windows(1500),
+        pe2650);
+  sweep("fig4 256k 9000", core::TuningProfile::with_big_windows(9000),
+        pe2650);
+  sweep("fig5 8160", core::TuningProfile::lan_tuned(8160), pe2650);
+  sweep("fig5 16000", core::TuningProfile::lan_tuned(16000), pe2650);
+
+  // Latency.
+  for (bool coalesce : {true, false}) {
+    core::Testbed tb;
+    auto tuning = core::TuningProfile::lan_tuned(9000);
+    if (!coalesce) tuning.intr_delay = 0;
+    auto& a = tb.add_host("a", pe2650, tuning);
+    auto& b = tb.add_host("b", pe2650, tuning);
+    tb.connect(a, b);
+    auto cfg = tools::netpipe_config(a.endpoint_config());
+    auto conn = tb.open_connection(a, b, cfg, cfg);
+    tools::NetpipeOptions opt;
+    for (std::uint32_t p : {1u, 256u, 1024u}) {
+      opt.payload = p;
+      auto r = tools::run_netpipe(tb, conn, opt);
+      std::printf("latency coalesce=%d payload=%4u: %.1f us\n", coalesce, p,
+                  r.latency_us);
+    }
+  }
+
+  // pktgen ceiling.
+  {
+    core::Testbed tb;
+    auto tuning = core::TuningProfile::lan_tuned(9000);
+    auto& a = tb.add_host("a", pe2650, tuning);
+    auto& b = tb.add_host("b", pe2650, tuning);
+    tb.connect(a, b);
+    tools::PktgenOptions opt;
+    auto r = tools::run_pktgen(tb, a, b, opt);
+    std::printf("pktgen: %.2f Gb/s wire, %.0f pkt/s, load=%.2f\n",
+                r.throughput_gbps(), r.packets_per_sec, r.sender_load);
+  }
+
+  // STREAM.
+  {
+    core::Testbed tb;
+    auto& a = tb.add_host("a", pe2650, core::TuningProfile::stock(1500));
+    auto r = tools::run_stream(tb, a);
+    std::printf("stream copy: %.2f Gb/s\n", r.copy_gbps());
+  }
+  return 0;
+}

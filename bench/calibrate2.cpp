@@ -1,0 +1,136 @@
+// Calibration probe #2: WAN, multi-flow, and anecdotal systems.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "link/wan.hpp"
+#include "tools/iperf.hpp"
+#include "tools/nttcp.hpp"
+
+using namespace xgbe;
+
+namespace {
+
+void wan_run(std::uint32_t buffer, const char* label) {
+  core::Testbed tb;
+  auto tuning = core::TuningProfile::wan(buffer);
+  auto& a = tb.add_host("sunnyvale", hw::presets::wan_endpoint(), tuning);
+  auto& b = tb.add_host("geneva", hw::presets::wan_endpoint(), tuning);
+  auto circuits = tb.build_wan_path(
+      a, b,
+      {link::wan::oc192_pos(link::wan::kSunnyvaleChicagoKm, 32 * 1024 * 1024),
+       link::wan::oc48_pos(link::wan::kChicagoGenevaKm, 32 * 1024 * 1024)},
+      link::wan::router_spec());
+  auto cfg = tools::iperf_config(a.endpoint_config());
+  cfg.read_chunk = 1 << 20;
+  auto conn = tb.open_connection(a, b, cfg, cfg);
+  tools::IperfOptions opt;
+  opt.write_size = 256 * 1024;
+  opt.warmup = sim::sec(12);
+  opt.duration = sim::sec(10);
+  auto r = tools::run_iperf(tb, conn, a, b, opt);
+  std::uint64_t cdrops = 0, rdrops = 0;
+  for (auto* c : circuits) cdrops += c->drops_queue();
+  std::printf(
+      "WAN %s: %.3f Gb/s, srtt=%.1f ms, cwnd=%u, retx=%llu, circuit "
+      "drops=%llu rcvdrops=%llu\n",
+      label, r.throughput_gbps(), sim::to_microseconds(conn.client->srtt()) / 1e3,
+      conn.client->cwnd_segments(),
+      (unsigned long long)conn.client->stats().retransmits,
+      (unsigned long long)cdrops, (unsigned long long)rdrops);
+}
+
+void host_pair(const hw::SystemSpec& sys, const core::TuningProfile& t,
+               std::uint32_t payload, const char* label) {
+  core::Testbed tb;
+  auto& a = tb.add_host("tx", sys, t);
+  auto& b = tb.add_host("rx", sys, t);
+  tb.connect(a, b);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = payload;
+  opt.count = 3000;
+  auto r = tools::run_nttcp(tb, conn, a, b, opt);
+  std::printf("%s @%u: %.2f Gb/s load tx=%.2f rx=%.2f\n", label, payload,
+              r.throughput_gbps(), r.sender_load, r.receiver_load);
+}
+
+// N GbE clients -> switch -> one 10GbE host (and reverse).
+void multiflow(const hw::SystemSpec& head_sys, int nclients, bool to_head,
+               std::uint32_t mtu, const char* label) {
+  core::Testbed tb;
+  auto head_tuning = core::TuningProfile::with_big_windows(mtu);
+  auto& head = tb.add_host("head", head_sys, head_tuning);
+  auto& sw = tb.add_switch();
+  tb.connect_to_switch(head, sw);
+  core::TuningProfile client_tuning = core::TuningProfile::with_big_windows(mtu);
+  std::vector<core::Host*> clients;
+  link::LinkSpec gbe;
+  gbe.rate_bps = 1e9;
+  for (int i = 0; i < nclients; ++i) {
+    auto& c = tb.add_host("client" + std::to_string(i),
+                          hw::presets::gbe_client(), client_tuning,
+                          nic::intel_e1000());
+    tb.connect_to_switch(c, sw, gbe);
+    clients.push_back(&c);
+  }
+  std::vector<core::Testbed::Connection> conns;
+  for (auto* c : clients) {
+    auto cc = tools::iperf_config(c->endpoint_config());
+    auto hc = tools::iperf_config(head.endpoint_config());
+    conns.push_back(to_head ? tb.open_connection(*c, head, cc, hc)
+                            : tb.open_connection(head, *c, hc, cc));
+  }
+  for (auto& conn : conns) tb.run_until_established(conn);
+  // Drive all flows: writers on each connection.
+  struct Flow {
+    std::uint64_t consumed = 0;
+  };
+  auto flows = std::make_shared<std::vector<Flow>>(conns.size());
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    conns[i].server->on_consumed = [flows, i](std::uint64_t b) {
+      (*flows)[i].consumed += b;
+    };
+    auto writer = std::make_shared<std::function<void()>>();
+    auto* client = conns[i].client;
+    *writer = [writer, client]() {
+      client->app_send(65536, [writer]() { (*writer)(); });
+    };
+    (*writer)();
+  }
+  tb.run_for(sim::msec(30));  // warmup
+  std::uint64_t base = 0;
+  for (auto& f : *flows) base += f.consumed;
+  const sim::SimTime t0 = tb.now();
+  tb.run_for(sim::msec(150));
+  std::uint64_t total = 0;
+  for (auto& f : *flows) total += f.consumed;
+  const double gbps = static_cast<double>(total - base) * 8.0 /
+                      sim::to_seconds(tb.now() - t0) / 1e9;
+  std::printf("%s: %d clients %s: %.2f Gb/s aggregate\n", label, nclients,
+              to_head ? "->head" : "<-head", gbps);
+  for (auto& conn : conns) conn.server->on_consumed = nullptr;
+}
+
+}  // namespace
+
+int main() {
+  // WAN: buffers ~= BDP (2.4 Gb/s * 180 ms / 8 = 54 MB; x4/3 for truesize).
+  wan_run(80u * 1024 * 1024, "bdp-buffers");
+  wan_run(256u * 1024 * 1024, "oversized-buffers");
+
+  host_pair(hw::presets::intel_e7505(),
+            core::TuningProfile::stock(9000), 8948, "E7505 stock 9000");
+  {
+    auto t = core::TuningProfile::stock(9000);
+    t.timestamps = false;
+    host_pair(hw::presets::intel_e7505(), t, 8960, "E7505 stock 9000 no-ts");
+    host_pair(hw::presets::intel_e7505(), t, 8000, "E7505 stock no-ts");
+  }
+  multiflow(hw::presets::itanium2_quad(), 12, true, 9000, "Itanium-II");
+  multiflow(hw::presets::pe2650(), 8, true, 9000, "PE2650 rx-path");
+  multiflow(hw::presets::pe2650(), 8, false, 9000, "PE2650 tx-path");
+  return 0;
+}

@@ -1,0 +1,202 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper; these
+// helpers build the standard testbeds (Fig 2 topologies, the Fig 9 WAN
+// path) and run the measurement tools with bench-friendly durations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "link/wan.hpp"
+#include "tools/iperf.hpp"
+#include "tools/netpipe.hpp"
+#include "tools/nttcp.hpp"
+#include "tools/pktgen.hpp"
+#include "tools/stream.hpp"
+
+namespace xgbe::bench {
+
+/// The payload sweep used by the Fig 3-5 curves (NTTCP "packet sizes").
+inline std::vector<std::int64_t> payload_sweep() {
+  return {128,  512,  1024,  2048,  4096,  6144,  7436,
+          8000, 8948, 10240, 12288, 14336, 16344};
+}
+
+/// Writes per NTTCP run. The paper uses 32768; 2000 reaches steady state in
+/// a fraction of the wall-clock time with <2% difference in the mean.
+inline constexpr std::uint32_t kNttcpCount = 2000;
+
+/// Back-to-back NTTCP between two identical hosts (Fig 2a).
+inline tools::NttcpResult nttcp_pair(const hw::SystemSpec& sys,
+                                     const core::TuningProfile& tuning,
+                                     std::uint32_t payload,
+                                     std::uint32_t count = kNttcpCount) {
+  core::Testbed tb;
+  auto& a = tb.add_host("tx", sys, tuning);
+  auto& b = tb.add_host("rx", sys, tuning);
+  tb.connect(a, b);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = payload;
+  opt.count = count;
+  return tools::run_nttcp(tb, conn, a, b, opt);
+}
+
+/// NetPipe latency, back-to-back or through the FastIron switch (Fig 2b).
+inline tools::NetpipeResult netpipe_pair(const hw::SystemSpec& sys,
+                                         const core::TuningProfile& tuning,
+                                         std::uint32_t payload,
+                                         bool through_switch) {
+  core::Testbed tb;
+  auto& a = tb.add_host("a", sys, tuning);
+  auto& b = tb.add_host("b", sys, tuning);
+  if (through_switch) {
+    auto& sw = tb.add_switch();
+    tb.connect_to_switch(a, sw);
+    tb.connect_to_switch(b, sw);
+  } else {
+    tb.connect(a, b);
+  }
+  auto cfg = tools::netpipe_config(a.endpoint_config());
+  auto conn = tb.open_connection(a, b, cfg, cfg);
+  tools::NetpipeOptions opt;
+  opt.payload = payload;
+  opt.iterations = 60;
+  return tools::run_netpipe(tb, conn, opt);
+}
+
+/// Aggregate iperf-style throughput of several flows for a fixed window.
+/// The connections must already exist in `tb`.
+inline double drive_flows_gbps(core::Testbed& tb,
+                               std::vector<core::Testbed::Connection>& conns,
+                               sim::SimTime warmup = sim::msec(30),
+                               sim::SimTime window = sim::msec(150)) {
+  for (auto& conn : conns) {
+    if (!tb.run_until_established(conn)) return 0.0;
+  }
+  auto consumed = std::make_shared<std::uint64_t>(0);
+  for (auto& conn : conns) {
+    conn.server->on_consumed = [consumed](std::uint64_t b) { *consumed += b; };
+    auto writer = std::make_shared<std::function<void()>>();
+    auto* client = conn.client;
+    *writer = [writer, client]() {
+      client->app_send(65536, [writer]() { (*writer)(); });
+    };
+    (*writer)();
+  }
+  tb.run_for(warmup);
+  const std::uint64_t base = *consumed;
+  const sim::SimTime t0 = tb.now();
+  tb.run_for(window);
+  const double gbps = static_cast<double>(*consumed - base) * 8.0 /
+                      sim::to_seconds(tb.now() - t0) / 1e9;
+  for (auto& conn : conns) conn.server->on_consumed = nullptr;
+  return gbps;
+}
+
+/// N GbE clients fanned through the FastIron into (or out of) a 10GbE head
+/// node (Fig 2c). Returns the aggregate application throughput.
+inline double multiflow_gbps(const hw::SystemSpec& head_sys, int nclients,
+                             bool to_head, std::uint32_t mtu) {
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::with_big_windows(mtu);
+  auto& head = tb.add_host("head", head_sys, tuning);
+  auto& sw = tb.add_switch();
+  tb.connect_to_switch(head, sw);
+  link::LinkSpec gbe;
+  gbe.rate_bps = 1e9;
+  std::vector<core::Testbed::Connection> conns;
+  for (int i = 0; i < nclients; ++i) {
+    auto& c = tb.add_host("client" + std::to_string(i),
+                          hw::presets::gbe_client(), tuning,
+                          nic::intel_e1000());
+    tb.connect_to_switch(c, sw, gbe);
+    auto cc = tools::iperf_config(c.endpoint_config());
+    auto hc = tools::iperf_config(head.endpoint_config());
+    conns.push_back(to_head ? tb.open_connection(c, head, cc, hc)
+                            : tb.open_connection(head, c, hc, cc));
+  }
+  return drive_flows_gbps(tb, conns);
+}
+
+/// The Fig 9 WAN testbed: Sunnyvale host -> OC-192 -> Chicago -> OC-48 ->
+/// Geneva host. Returns the iperf result and exposes the connection for
+/// stats inspection.
+struct WanRun {
+  tools::IperfResult result;
+  std::uint64_t retransmits = 0;
+  std::uint64_t circuit_drops = 0;
+  double rtt_ms = 0.0;
+};
+
+inline WanRun wan_run(std::uint32_t buffer_bytes,
+                      sim::SimTime warmup = sim::sec(8),
+                      sim::SimTime duration = sim::sec(4),
+                      int streams = 1) {
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::wan(buffer_bytes);
+  auto& a = tb.add_host("sunnyvale", hw::presets::wan_endpoint(), tuning);
+  auto& b = tb.add_host("geneva", hw::presets::wan_endpoint(), tuning);
+  // Circuit line cards get a 64 MB output queue (under the routers' port
+  // buffers) so congestion drops land on a counted queue.
+  auto circuits = tb.build_wan_path(
+      a, b,
+      {link::wan::oc192_pos(link::wan::kSunnyvaleChicagoKm, 64u << 20),
+       link::wan::oc48_pos(link::wan::kChicagoGenevaKm, 64u << 20)},
+      link::wan::router_spec());
+  auto cfg = tools::iperf_config(a.endpoint_config());
+  cfg.read_chunk = 1 << 20;
+  auto conn = tb.open_connection(a, b, cfg, cfg);
+  // Additional parallel streams (the multi-stream LSR variant).
+  std::vector<core::Testbed::Connection> extra;
+  auto consumed_extra = std::make_shared<std::uint64_t>(0);
+  for (int i = 1; i < streams; ++i) {
+    extra.push_back(tb.open_connection(a, b, cfg, cfg));
+  }
+  for (auto& e : extra) {
+    tb.run_until_established(e);
+    e.server->on_consumed = [consumed_extra](std::uint64_t bytes) {
+      *consumed_extra += bytes;
+    };
+    auto writer = std::make_shared<std::function<void()>>();
+    auto* client = e.client;
+    *writer = [writer, client]() {
+      client->app_send(262144, [writer]() { (*writer)(); });
+    };
+    (*writer)();
+  }
+  tools::IperfOptions opt;
+  opt.write_size = 256 * 1024;
+  opt.warmup = warmup;
+  opt.duration = duration;
+  // Snapshot the extra streams' byte counts when the measurement window
+  // opens (run_iperf's warmup boundary) so all streams share the window.
+  auto extra_base = std::make_shared<std::uint64_t>(0);
+  tb.simulator().schedule(warmup, [consumed_extra, extra_base]() {
+    *extra_base = *consumed_extra;
+  });
+  WanRun run;
+  run.result = tools::run_iperf(tb, conn, a, b, opt);
+  if (streams > 1 && run.result.completed) {
+    const double secs = sim::to_seconds(duration);
+    run.result.throughput_bps +=
+        static_cast<double>(*consumed_extra - *extra_base) * 8.0 / secs;
+  }
+  run.retransmits = conn.client->stats().retransmits;
+  for (auto& e : extra) {
+    run.retransmits += e.client->stats().retransmits;
+    e.server->on_consumed = nullptr;
+  }
+  run.rtt_ms = sim::to_microseconds(conn.client->srtt()) / 1e3;
+  for (auto* c : circuits) run.circuit_drops += c->drops_queue();
+  return run;
+}
+
+}  // namespace xgbe::bench

@@ -1,0 +1,34 @@
+// Figure 3: Throughput of stock TCP, 1500- vs 9000-byte MTU.
+//
+// Paper reference: peaks at ~1.8 Gb/s (1500 MTU, CPU load ~0.9) and
+// ~2.7 Gb/s (9000 MTU, CPU load ~0.4), with a marked throughput dip for
+// payloads between 7436 and 8948 bytes on the jumbo curve.
+//
+// Each benchmark row is one NTTCP sweep point: MTU x application payload.
+#include "bench/common.hpp"
+
+namespace {
+
+void Fig3_StockTcp(benchmark::State& state) {
+  const auto mtu = static_cast<std::uint32_t>(state.range(0));
+  const auto payload = static_cast<std::uint32_t>(state.range(1));
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    r = xgbe::bench::nttcp_pair(xgbe::hw::presets::pe2650(),
+                                xgbe::core::TuningProfile::stock(mtu),
+                                payload);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["cpu_tx"] = r.sender_load;
+  state.counters["cpu_rx"] = r.receiver_load;
+}
+
+}  // namespace
+
+BENCHMARK(Fig3_StockTcp)
+    ->ArgsProduct({{1500, 9000}, xgbe::bench::payload_sweep()})
+    ->ArgNames({"mtu", "payload"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

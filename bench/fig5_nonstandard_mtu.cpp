@@ -1,0 +1,45 @@
+// Figure 5: cumulative optimizations with non-standard MTUs (8160, 16000),
+// with the theoretical reference lines for GbE, Myrinet, and QsNet.
+//
+// Paper reference: 4.11 Gb/s peak at 8160-byte MTU (the whole frame fits an
+// 8 KB kmalloc block); 16000-byte MTU peaks at ~4.09 Gb/s with a clearly
+// higher average across payload sizes.
+#include "analysis/interconnects.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+void Fig5_NonStandardMtu(benchmark::State& state) {
+  const auto mtu = static_cast<std::uint32_t>(state.range(0));
+  const auto payload = static_cast<std::uint32_t>(state.range(1));
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    r = xgbe::bench::nttcp_pair(xgbe::hw::presets::pe2650(),
+                                xgbe::core::TuningProfile::lan_tuned(mtu),
+                                payload);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["cpu_tx"] = r.sender_load;
+  state.counters["cpu_rx"] = r.receiver_load;
+}
+
+// The horizontal reference lines of Fig 5 (hardware limits).
+void Fig5_ReferenceLines(benchmark::State& state) {
+  for (auto _ : state) {
+  }
+  state.counters["GbE_theoretical"] = 1.0;
+  state.counters["Myrinet_theoretical"] = 2.0;
+  state.counters["QsNet_theoretical"] = 3.2;
+}
+
+}  // namespace
+
+BENCHMARK(Fig5_NonStandardMtu)
+    ->ArgsProduct({{8160, 9000, 16000}, xgbe::bench::payload_sweep()})
+    ->ArgNames({"mtu", "payload"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Fig5_ReferenceLines)->Iterations(1);
+
+BENCHMARK_MAIN();

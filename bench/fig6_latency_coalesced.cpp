@@ -1,0 +1,33 @@
+// Figure 6: end-to-end latency vs payload size with the default 5 us
+// interrupt-coalescing delay, back-to-back and through the switch.
+//
+// Paper reference: 19 us back-to-back and 25 us through the FastIron 1500
+// at one byte, rising ~20% (to 23 / 28 us) by 1024 bytes, in a stepwise
+// fashion.
+#include "bench/common.hpp"
+
+namespace {
+
+void Fig6_LatencyCoalesced(benchmark::State& state) {
+  const bool through_switch = state.range(0) != 0;
+  const auto payload = static_cast<std::uint32_t>(state.range(1));
+  xgbe::tools::NetpipeResult r;
+  for (auto _ : state) {
+    r = xgbe::bench::netpipe_pair(
+        xgbe::hw::presets::pe2650(),
+        xgbe::core::TuningProfile::lan_tuned(9000), payload, through_switch);
+  }
+  state.counters["latency_us"] = r.latency_us;
+  state.counters["rtt_us"] = r.rtt_us;
+}
+
+}  // namespace
+
+BENCHMARK(Fig6_LatencyCoalesced)
+    ->ArgsProduct({{0, 1},
+                   {1, 64, 128, 192, 256, 384, 512, 640, 768, 896, 1024}})
+    ->ArgNames({"switch", "payload"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Section 3.5.3 / §5: breaking the bottlenecks.
+//
+// Paper reference: the authors argue against full TCP offload engines and
+// for (a) a header-parsing engine that places payloads directly into user
+// memory (aLAST / RDMA-over-IP / RDDP) and (b) adapters attached to the
+// memory controller hub (Intel CSA), projecting that an OS-bypass protocol
+// over 10GbE "would result in throughput approaching 8 Gb/s, end-to-end
+// latencies below 10 us, and a CPU load approaching zero" (§5).
+//
+// Neither feature existed on the 2003 adapter; this bench runs the modeled
+// versions against the tuned baseline.
+#include "bench/common.hpp"
+
+namespace {
+
+xgbe::core::TuningProfile variant(int index) {
+  using xgbe::core::TuningProfile;
+  TuningProfile t = TuningProfile::lan_tuned(9000);
+  switch (index) {
+    case 0:
+      break;  // tuned 2003 baseline
+    case 1:
+      t.header_splitting = true;  // RDDP/aLAST only
+      break;
+    case 2:
+      t.adapter_on_mch = true;  // CSA only
+      break;
+    default:
+      t = TuningProfile::future_offload(9000);  // both + no coalescing
+      break;
+  }
+  return t;
+}
+
+const char* kVariantNames[] = {"baseline-2003", "rddp", "csa", "rddp+csa"};
+
+void Future_Throughput(benchmark::State& state) {
+  const auto t = variant(static_cast<int>(state.range(0)));
+  xgbe::tools::NttcpResult r;
+  for (auto _ : state) {
+    r = xgbe::bench::nttcp_pair(xgbe::hw::presets::pe2650(), t, 8948);
+  }
+  state.SetLabel(kVariantNames[state.range(0)]);
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["cpu_tx"] = r.sender_load;
+  state.counters["cpu_rx"] = r.receiver_load;
+}
+
+void Future_Latency(benchmark::State& state) {
+  const auto t = variant(static_cast<int>(state.range(0)));
+  xgbe::tools::NetpipeResult r;
+  for (auto _ : state) {
+    r = xgbe::bench::netpipe_pair(xgbe::hw::presets::pe2650(), t, 1, false);
+  }
+  state.SetLabel(kVariantNames[state.range(0)]);
+  state.counters["latency_us"] = r.latency_us;
+}
+
+}  // namespace
+
+BENCHMARK(Future_Throughput)
+    ->DenseRange(0, 3)
+    ->ArgNames({"variant"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Future_Latency)
+    ->DenseRange(0, 3)
+    ->ArgNames({"variant"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

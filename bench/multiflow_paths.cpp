@@ -1,0 +1,90 @@
+// Section 3.5.2: multi-flow tests through the FastIron switch.
+//
+// Paper reference: aggregating GbE clients into (receive path) or out of
+// (transmit path) a single 10GbE host isolates each path's capacity; the
+// authors found the two "of statistically equal performance", and that
+// multiplexing flows across TWO adapters on independent buses changed
+// nothing — ruling out the PCI-X bus and the adapter as the bottleneck and
+// pointing at the host's ability to move data.
+#include "bench/common.hpp"
+
+namespace {
+
+void MultiFlow_ReceivePath(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  double gbps = 0.0;
+  for (auto _ : state) {
+    gbps = xgbe::bench::multiflow_gbps(xgbe::hw::presets::pe2650(), clients,
+                                       /*to_head=*/true, 9000);
+  }
+  state.counters["Gb/s"] = gbps;
+}
+
+void MultiFlow_TransmitPath(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  double gbps = 0.0;
+  for (auto _ : state) {
+    gbps = xgbe::bench::multiflow_gbps(xgbe::hw::presets::pe2650(), clients,
+                                       /*to_head=*/false, 9000);
+  }
+  state.counters["Gb/s"] = gbps;
+}
+
+// Two 10GbE senders into one receiver host with one or two adapters (each
+// adapter has its own dedicated PCI-X segment).
+void MultiFlow_DualAdapter(benchmark::State& state) {
+  const bool two_adapters = state.range(0) != 0;
+  double gbps = 0.0;
+  for (auto _ : state) {
+    xgbe::core::Testbed tb;
+    const auto tuning = xgbe::core::TuningProfile::lan_tuned(9000);
+    auto& rx = tb.add_host("rx", xgbe::hw::presets::pe2650(), tuning);
+    std::size_t second = 0;
+    if (two_adapters) second = rx.add_adapter(xgbe::nic::intel_pro10gbe());
+    auto& tx1 = tb.add_host("tx1", xgbe::hw::presets::pe2650(), tuning);
+    auto& tx2 = tb.add_host("tx2", xgbe::hw::presets::pe2650(), tuning);
+    if (two_adapters) {
+      tb.connect(tx1, rx, xgbe::link::LinkSpec{}, 0, 0);
+      tb.connect(tx2, rx, xgbe::link::LinkSpec{}, 0, second);
+    } else {
+      auto& sw = tb.add_switch();
+      tb.connect_to_switch(rx, sw);
+      tb.connect_to_switch(tx1, sw);
+      tb.connect_to_switch(tx2, sw);
+    }
+    std::vector<xgbe::core::Testbed::Connection> conns;
+    const auto cc = xgbe::tools::iperf_config(tx1.endpoint_config());
+    conns.push_back(tb.open_connection(tx1, rx, cc, rx.endpoint_config()));
+    conns.push_back(tb.open_connection(tx2, rx, cc, rx.endpoint_config(), 0,
+                                       two_adapters ? second : 0));
+    gbps = xgbe::bench::drive_flows_gbps(tb, conns);
+  }
+  state.counters["Gb/s"] = gbps;
+}
+
+}  // namespace
+
+BENCHMARK(MultiFlow_ReceivePath)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"clients"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(MultiFlow_TransmitPath)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"clients"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(MultiFlow_DualAdapter)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"two_adapters"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

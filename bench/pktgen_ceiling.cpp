@@ -1,0 +1,66 @@
+// Section 3.5.2: the Linux packet-generator ceiling.
+//
+// Paper reference: pktgen (kernel-loop UDP, single-copy, bypassing the
+// TCP/IP stack) moves ~5.5 Gb/s at 8160-byte packets (~88,400 packets/s) on
+// the PE2650, with CPU load staying low; tuned TCP achieves ~75% of that,
+// which is "in line with what we should expect were the memory bandwidth
+// not a bottleneck".
+#include "bench/common.hpp"
+
+namespace {
+
+void Pktgen_Ceiling(benchmark::State& state) {
+  const auto ip_packet = static_cast<std::uint32_t>(state.range(0));
+  xgbe::tools::PktgenResult r;
+  for (auto _ : state) {
+    xgbe::core::Testbed tb;
+    const auto tuning = xgbe::core::TuningProfile::lan_tuned(9000);
+    auto& a = tb.add_host("a", xgbe::hw::presets::pe2650(), tuning);
+    auto& b = tb.add_host("b", xgbe::hw::presets::pe2650(), tuning);
+    tb.connect(a, b);
+    xgbe::tools::PktgenOptions opt;
+    opt.payload = ip_packet - 28;  // IP + UDP headers
+    r = xgbe::tools::run_pktgen(tb, a, b, opt);
+  }
+  state.counters["Gb/s"] = r.throughput_gbps();
+  state.counters["pkt/s"] = r.packets_per_sec;
+  state.counters["cpu"] = r.sender_load;
+}
+
+// TCP as a fraction of the pktgen ceiling (the paper's ~75% observation).
+void Pktgen_TcpFraction(benchmark::State& state) {
+  double fraction = 0.0;
+  for (auto _ : state) {
+    xgbe::core::Testbed tb;
+    const auto tuning = xgbe::core::TuningProfile::lan_tuned(8160);
+    auto& a = tb.add_host("a", xgbe::hw::presets::pe2650(), tuning);
+    auto& b = tb.add_host("b", xgbe::hw::presets::pe2650(), tuning);
+    tb.connect(a, b);
+    xgbe::tools::PktgenOptions opt;
+    auto pg = xgbe::tools::run_pktgen(tb, a, b, opt);
+    auto tcp = xgbe::bench::nttcp_pair(
+        xgbe::hw::presets::pe2650(),
+        xgbe::core::TuningProfile::lan_tuned(8160), 8000);
+    fraction = pg.throughput_bps > 0
+                   ? tcp.throughput_bps / pg.payload_bps
+                   : 0.0;
+    state.counters["pktgen_Gb/s"] = pg.payload_bps / 1e9;
+    state.counters["tcp_Gb/s"] = tcp.throughput_gbps();
+  }
+  state.counters["tcp_fraction"] = fraction;
+}
+
+}  // namespace
+
+BENCHMARK(Pktgen_Ceiling)
+    ->Arg(1500)
+    ->Arg(8160)
+    ->Arg(9000)
+    ->Arg(16000)
+    ->ArgNames({"ip_packet"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(Pktgen_TcpFraction)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Replays the paper's §3.3 optimization ladder rung by rung, printing what
+// each knob buys at both MTUs — the narrative of Figures 3-5 as a program.
+//
+//   rung 0: stock TCP (SMP kernel, MMRBC 512, default windows)
+//   rung 1: + PCI-X burst size 512 -> 4096 (setpci)
+//   rung 2: + uniprocessor kernel
+//   rung 3: + 256 KB socket buffers (sysctl tcp_rmem/tcp_wmem)
+//   then  : non-standard MTUs 8160 and 16000
+#include <cstdio>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "tools/nttcp.hpp"
+
+namespace {
+
+xgbe::tools::NttcpResult run(const xgbe::core::TuningProfile& tuning,
+                             std::uint32_t payload) {
+  using namespace xgbe;
+  core::Testbed tb;
+  auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning);
+  tb.connect(a, b);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = payload;
+  opt.count = 2000;
+  return tools::run_nttcp(tb, conn, a, b, opt);
+}
+
+// Peak over a small payload sweep, as the paper reports per configuration.
+double peak_gbps(const xgbe::core::TuningProfile& tuning) {
+  double best = 0.0;
+  for (std::uint32_t payload : {4096u, 7000u, 8000u, 8948u, 12288u, 16344u}) {
+    best = std::max(best, run(tuning, payload).throughput_gbps());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using xgbe::core::TuningProfile;
+
+  std::printf("%-42s %10s %10s\n", "configuration", "1500 MTU", "9000 MTU");
+  double prev9000 = 0.0;
+  for (const auto& make :
+       {&TuningProfile::stock, &TuningProfile::with_pci_burst,
+        &TuningProfile::with_uniprocessor, &TuningProfile::with_big_windows}) {
+    const auto t9000 = make(9000);
+    const double g1500 = peak_gbps(make(1500));
+    const double g9000 = peak_gbps(t9000);
+    std::printf("%-42s %7.2f Gb/s %7.2f Gb/s", t9000.label.c_str(), g1500,
+                g9000);
+    if (prev9000 > 0.0) {
+      std::printf("   (%+.0f%% on jumbo)", (g9000 / prev9000 - 1.0) * 100.0);
+    }
+    std::printf("\n");
+    prev9000 = g9000;
+  }
+
+  std::printf("\nNon-standard MTUs on the fully tuned profile (Fig 5):\n");
+  for (std::uint32_t mtu : {8160u, 9000u, 16000u}) {
+    std::printf("  MTU %5u: peak %.2f Gb/s\n", mtu,
+                peak_gbps(TuningProfile::lan_tuned(mtu)));
+  }
+  std::printf(
+      "\nThe 8160-byte MTU fits an entire frame in one 8 KB kernel block;\n"
+      "9000-byte frames waste ~7 KB of a 16 KB block per packet (§3.3).\n");
+  return 0;
+}

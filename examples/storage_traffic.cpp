@@ -1,0 +1,69 @@
+// Storage-area-network traffic (the "network-attached storage" motivation
+// of the paper's abstract): NFS/iSCSI-style request/response — small read
+// requests answered with large data blocks — over tuned 10GbE, measured
+// with the netperf TCP_RR machinery at asymmetric sizes.
+#include <cstdio>
+
+#include "core/testbed.hpp"
+#include "tools/netperf.hpp"
+#include "tools/netpipe.hpp"
+
+namespace {
+
+struct StorageResult {
+  double iops = 0.0;
+  double gbps = 0.0;
+  double latency_us = 0.0;
+};
+
+StorageResult run(const xgbe::core::TuningProfile& tuning,
+                  std::uint32_t block_bytes) {
+  using namespace xgbe;
+  core::Testbed tb;
+  auto& initiator = tb.add_host("initiator", hw::presets::pe2650(), tuning);
+  auto& target = tb.add_host("target", hw::presets::pe2650(), tuning);
+  // Through the FastIron, as a SAN would be (Fig 2b).
+  auto& sw = tb.add_switch();
+  tb.connect_to_switch(initiator, sw);
+  tb.connect_to_switch(target, sw);
+
+  auto cfg = tools::netpipe_config(initiator.endpoint_config());
+  auto conn = tb.open_connection(initiator, target, cfg, cfg);
+
+  tools::NetperfRrOptions opt;
+  opt.request_size = 512;  // READ command
+  opt.response_size = block_bytes;
+  opt.transactions = 400;
+  opt.warmup_transactions = 40;
+  const auto rr = tools::run_netperf_rr(tb, conn, opt);
+
+  StorageResult out;
+  if (rr.completed) {
+    out.iops = rr.transactions_per_sec;
+    out.gbps = rr.transactions_per_sec * block_bytes * 8.0 / 1e9;
+    out.latency_us = rr.mean_latency_us;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Synchronous block reads over 10GbE through the switch\n");
+  std::printf("(512-byte READ command, block-sized response)\n\n");
+  std::printf("%10s %16s %14s %14s\n", "block", "config", "IOPS",
+              "throughput");
+  for (std::uint32_t block : {4096u, 16384u, 65536u, 131072u}) {
+    const auto stock = run(xgbe::core::TuningProfile::stock(1500), block);
+    const auto tuned = run(xgbe::core::TuningProfile::lan_tuned(8160), block);
+    std::printf("%8u B %16s %12.0f/s %11.2f Gb/s\n", block, "stock-1500",
+                stock.iops, stock.gbps);
+    std::printf("%10s %16s %12.0f/s %11.2f Gb/s  (%.0f us/op)\n", "",
+                "tuned-8160", tuned.iops, tuned.gbps, tuned.latency_us);
+  }
+  std::printf(
+      "\nSmall blocks are latency-bound (tuning buys little); large blocks\n"
+      "are bandwidth-bound and inherit the full §3.3 tuning gains — the\n"
+      "paper's case that one commodity fabric can serve LAN, SAN, and WAN.\n");
+  return 0;
+}

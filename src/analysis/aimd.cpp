@@ -1,0 +1,55 @@
+#include "analysis/aimd.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xgbe::analysis {
+
+double window_segments(double bandwidth_bps, double rtt_s,
+                       std::uint32_t mss_bytes) {
+  return bandwidth_bps * rtt_s / 8.0 / static_cast<double>(mss_bytes);
+}
+
+double recovery_time_s(double bandwidth_bps, double rtt_s,
+                       std::uint32_t mss_bytes) {
+  // The window drops by W/2 segments and regrows one segment per RTT.
+  return window_segments(bandwidth_bps, rtt_s, mss_bytes) / 2.0 * rtt_s;
+}
+
+double deficit_bytes(double bandwidth_bps, double rtt_s,
+                     std::uint32_t mss_bytes) {
+  // Triangle: deficit rate starts at B/2 and closes linearly over T.
+  const double t = recovery_time_s(bandwidth_bps, rtt_s, mss_bytes);
+  return bandwidth_bps / 2.0 * t / 2.0 / 8.0;
+}
+
+std::vector<AimdScenario> table1_scenarios() {
+  // RTTs: LAN as measured in §3.3.2 (19 us one-way through the stack);
+  // Geneva-Chicago ~120 ms and Geneva-Sunnyvale ~180 ms as in §4.
+  return {
+      {"LAN", 10e9, 0.04e-3, 1460},
+      {"Geneva - Chicago", 10e9, 120e-3, 1460},
+      {"Geneva - Chicago", 10e9, 120e-3, 8960},
+      {"Geneva - Sunnyvale", 10e9, 180e-3, 1460},
+      {"Geneva - Sunnyvale", 10e9, 180e-3, 8960},
+  };
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f min", seconds / 60.0);
+  } else {
+    const int hours = static_cast<int>(seconds / 3600.0);
+    const int mins =
+        static_cast<int>(std::lround((seconds - hours * 3600.0) / 60.0));
+    std::snprintf(buf, sizeof(buf), "%d hr %d min", hours, mins);
+  }
+  return buf;
+}
+
+}  // namespace xgbe::analysis

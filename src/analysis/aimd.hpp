@@ -1,0 +1,42 @@
+// AIMD single-loss recovery model (paper §4.2, Table 1).
+//
+// After one congestion signal TCP halves its congestion window and then
+// grows it additively by one MSS per RTT. With the window at the
+// bandwidth-delay product when the loss hits, returning to the original
+// rate takes (W/2) RTTs where W is the window in segments — hours on a
+// transatlantic 10 Gb/s path with 1500-byte frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xgbe::analysis {
+
+struct AimdScenario {
+  std::string path;
+  double bandwidth_bps;
+  double rtt_s;
+  std::uint32_t mss_bytes;
+};
+
+/// Window (in segments) that fills the path: BDP / MSS.
+double window_segments(double bandwidth_bps, double rtt_s,
+                       std::uint32_t mss_bytes);
+
+/// Time to return to the pre-loss rate after a single loss, seconds.
+double recovery_time_s(double bandwidth_bps, double rtt_s,
+                       std::uint32_t mss_bytes);
+
+/// Payload bytes NOT transferred relative to the loss-free rate during the
+/// recovery (the area of the AIMD "sawtooth" notch).
+double deficit_bytes(double bandwidth_bps, double rtt_s,
+                     std::uint32_t mss_bytes);
+
+/// The five rows of Table 1.
+std::vector<AimdScenario> table1_scenarios();
+
+/// Formats seconds as the paper does ("1 hr 42 min", "17 min", "7 ms").
+std::string format_duration(double seconds);
+
+}  // namespace xgbe::analysis

@@ -1,0 +1,27 @@
+// Bandwidth-delay product and buffer-sizing helpers (§3.3 and §4.1).
+#pragma once
+
+#include <cstdint>
+
+namespace xgbe::analysis {
+
+/// Bandwidth-delay product in bytes.
+constexpr double bdp_bytes(double bandwidth_bps, double rtt_s) {
+  return bandwidth_bps * rtt_s / 8.0;
+}
+
+/// Socket buffer that advertises ~one BDP after Linux's 1/4 overhead share
+/// (tcp_adv_win_scale = 2): buffer = BDP * 4/3.
+constexpr std::uint32_t rcvbuf_for_bdp(double bandwidth_bps, double rtt_s) {
+  return static_cast<std::uint32_t>(bdp_bytes(bandwidth_bps, rtt_s) * 4.0 /
+                                    3.0);
+}
+
+/// The paper's LAN arithmetic: at 10 Gb/s and 19 us one-way latency the
+/// ideal window is ~48 KB — "well below the default window setting of
+/// 64 KB" (§3.3.1).
+constexpr double lan_ideal_window_bytes() {
+  return bdp_bytes(10e9, 2 * 19e-6);
+}
+
+}  // namespace xgbe::analysis

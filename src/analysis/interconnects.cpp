@@ -1,0 +1,26 @@
+#include "analysis/interconnects.hpp"
+
+namespace xgbe::analysis {
+
+std::vector<InterconnectEntry> published_interconnects() {
+  return {
+      // name, api, sustained Gb/s, latency us, theoretical Gb/s, code change
+      {"Gigabit Ethernet", "TCP/IP", 0.95, 32.0, 1.0, false},
+      {"Myrinet", "GM", 1.984, 6.5, 2.0, true},
+      {"Myrinet", "TCP/IP", 1.853, 30.0, 2.0, false},
+      {"QsNet", "Elan3", 2.456, 4.9, 3.2, true},
+      {"QsNet", "TCP/IP", 2.240, 30.0, 3.2, false},
+  };
+}
+
+double bandwidth_advantage(double ours_gbps, double theirs_gbps) {
+  if (theirs_gbps <= 0.0) return 0.0;
+  return (ours_gbps - theirs_gbps) / theirs_gbps * 100.0;
+}
+
+double latency_advantage(double ours_us, double theirs_us) {
+  if (ours_us <= 0.0) return 0.0;
+  return (theirs_us - ours_us) / ours_us * 100.0;
+}
+
+}  // namespace xgbe::analysis

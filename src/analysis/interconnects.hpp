@@ -1,0 +1,32 @@
+// Interconnect comparison data (paper §3.5.4 and Fig 5 reference lines).
+//
+// Published numbers for the contemporaries the paper compares against:
+// Gigabit Ethernet, Myrinet (GM API and TCP/IP emulation), and Quadrics
+// QsNet (Elan3 API and TCP/IP). Used by the interconnect_comparison bench
+// to put the simulator's 10GbE results in context.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xgbe::analysis {
+
+struct InterconnectEntry {
+  std::string name;
+  std::string api;
+  double bandwidth_gbps;     // sustained unidirectional
+  double latency_us;         // small-message one-way
+  double theoretical_gbps;   // hardware limit
+  bool requires_code_change; // non-sockets API
+};
+
+/// Published comparison set from §3.5.4 (Myricom and Quadrics numbers as
+/// cited by the paper; GbE from the authors' experience with e1000/Tigon3).
+std::vector<InterconnectEntry> published_interconnects();
+
+/// Ratio helpers used in the paper's summary sentences.
+double bandwidth_advantage(double ours_gbps, double theirs_gbps);
+double latency_advantage(double ours_us, double theirs_us);
+
+}  // namespace xgbe::analysis

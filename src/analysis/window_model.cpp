@@ -1,0 +1,34 @@
+#include "analysis/window_model.hpp"
+
+namespace xgbe::analysis {
+
+WindowAlignment align_window(std::uint32_t ideal_window,
+                             std::uint32_t receiver_mss,
+                             std::uint32_t sender_mss) {
+  WindowAlignment w{};
+  w.ideal_window = ideal_window;
+  w.receiver_window =
+      receiver_mss ? (ideal_window / receiver_mss) * receiver_mss
+                   : ideal_window;
+  w.sender_window = sender_mss
+                        ? (w.receiver_window / sender_mss) * sender_mss
+                        : w.receiver_window;
+  w.receiver_efficiency =
+      ideal_window ? static_cast<double>(w.receiver_window) / ideal_window
+                   : 0.0;
+  w.end_to_end_efficiency =
+      ideal_window ? static_cast<double>(w.sender_window) / ideal_window
+                   : 0.0;
+  return w;
+}
+
+std::uint32_t scale_quantize(std::uint32_t window, std::uint8_t shift) {
+  return (window >> shift) << shift;
+}
+
+double segments_per_window(std::uint32_t ideal_window, std::uint32_t mss) {
+  if (mss == 0) return 0.0;
+  return static_cast<double>(ideal_window) / static_cast<double>(mss);
+}
+
+}  // namespace xgbe::analysis

@@ -1,0 +1,38 @@
+// MSS-aligned window utilization model (paper §3.5.1, Fig 8).
+//
+// Both ends of a Linux 2.4 connection keep their windows MSS-aligned: the
+// receiver rounds the advertised window down to a multiple of its MSS
+// estimate, and the sender's congestion window is counted in whole
+// segments. The usable window is therefore floor(W/MSS)*MSS at each stage,
+// and the compounding loss can approach 50% when the MSS is large relative
+// to the ideal window.
+#pragma once
+
+#include <cstdint>
+
+namespace xgbe::analysis {
+
+struct WindowAlignment {
+  std::uint32_t ideal_window;      // theoretical / available bytes
+  std::uint32_t receiver_window;   // after receiver-side MSS rounding
+  std::uint32_t sender_window;     // after sender-side MSS rounding
+  double receiver_efficiency;      // receiver_window / ideal_window
+  double end_to_end_efficiency;    // sender_window / ideal_window
+};
+
+/// Applies both roundings: the receiver rounds with `receiver_mss` (its
+/// estimate of the sender's MSS), then the sender rounds the advertised
+/// value with its own `sender_mss` (the two can differ — the paper's
+/// 8948-vs-8960 example, §3.5.1).
+WindowAlignment align_window(std::uint32_t ideal_window,
+                             std::uint32_t receiver_mss,
+                             std::uint32_t sender_mss);
+
+/// Extra inaccuracy from window scaling: the advertised value is quantized
+/// to multiples of 2^shift.
+std::uint32_t scale_quantize(std::uint32_t window, std::uint8_t shift);
+
+/// Segments that fit an ideal window (the paper's "5.5 packets per window").
+double segments_per_window(std::uint32_t ideal_window, std::uint32_t mss);
+
+}  // namespace xgbe::analysis

@@ -1,0 +1,85 @@
+#include "core/host.hpp"
+
+namespace xgbe::core {
+
+Host::Host(sim::Simulator& simulator, const hw::SystemSpec& system,
+           const TuningProfile& tuning, const nic::AdapterSpec& adapter,
+           net::NodeId node, std::string name)
+    : sim_(simulator),
+      name_(std::move(name)),
+      node_(node),
+      system_(system),
+      tuning_(tuning) {
+  os::KernelConfig kc;
+  kc.mode = tuning.kernel;
+  kc.rx_api = tuning.rx_api;
+  kc.rcvbuf_bytes = tuning.rcvbuf;
+  kc.sndbuf_bytes = tuning.sndbuf;
+  kc.txqueuelen = tuning.txqueuelen;
+  kc.header_splitting = tuning.header_splitting;
+  kernel_ = std::make_unique<os::Kernel>(simulator, system_, kc);
+  add_adapter(adapter);
+}
+
+std::size_t Host::add_adapter(const nic::AdapterSpec& spec) {
+  nic::AdapterSpec s = spec;
+  s.intr_delay = tuning_.intr_delay;
+  s.csum_offload = spec.csum_offload && tuning_.csum_offload;
+  s.on_mch = s.on_mch || tuning_.adapter_on_mch;
+  s.rx_corruption_rate = tuning_.rx_corruption_rate;
+  const std::uint32_t mmrbc =
+      tuning_.mmrbc != 0 ? tuning_.mmrbc : system_.default_mmrbc;
+  const std::size_t index = adapters_.size();
+  adapters_.push_back(std::make_unique<nic::Adapter>(
+      sim_, s, system_.pcix, system_.memory, mmrbc, kernel_->membus(),
+      name_ + "/eth" + std::to_string(index)));
+  nic::Adapter* raw = adapters_.back().get();
+  raw->set_rx_handler([this, raw](std::vector<net::Packet> batch) {
+    kernel_->rx_interrupt(std::move(batch), raw->spec().csum_offload,
+                          [this](const net::Packet& pkt) { demux(pkt); });
+  });
+  return index;
+}
+
+tcp::EndpointConfig Host::endpoint_config() const {
+  tcp::EndpointConfig c;
+  c.mtu = tuning_.mtu;
+  c.timestamps = tuning_.timestamps;
+  c.rcvbuf = tuning_.rcvbuf;
+  c.sndbuf = tuning_.sndbuf;
+  c.tso = tuning_.tso;
+  return c;
+}
+
+tcp::Endpoint& Host::create_endpoint(const tcp::EndpointConfig& config,
+                                     net::FlowId flow, net::NodeId remote,
+                                     std::size_t adapter_index) {
+  tcp::Endpoint::Hooks hooks;
+  hooks.kernel = kernel_.get();
+  hooks.local_node = node_;
+  hooks.remote_node = remote;
+  hooks.flow = flow;
+  nic::Adapter* out = adapters_.at(adapter_index).get();
+  hooks.emit = [this, out](const net::Packet& pkt) {
+    kernel_->segment_tx(pkt, [out, pkt]() { out->transmit(pkt); });
+  };
+  auto [it, inserted] = endpoints_.emplace(
+      flow, std::make_unique<tcp::Endpoint>(sim_, config, std::move(hooks)));
+  return *it->second;
+}
+
+void Host::raw_transmit(const net::Packet& pkt, std::size_t adapter_index) {
+  adapters_.at(adapter_index)->transmit(pkt);
+}
+
+void Host::demux(const net::Packet& pkt) {
+  if (packet_tap) packet_tap(pkt);
+  if (pkt.protocol == net::Protocol::kTcp) {
+    const auto it = endpoints_.find(pkt.flow);
+    if (it != endpoints_.end()) it->second->on_packet(pkt);
+    return;
+  }
+  if (raw_sink) raw_sink(pkt);
+}
+
+}  // namespace xgbe::core

@@ -1,0 +1,82 @@
+// Simulated host: hardware + kernel + adapters + TCP endpoints, assembled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tuning.hpp"
+#include "hw/system.hpp"
+#include "net/packet.hpp"
+#include "nic/adapter.hpp"
+#include "os/kernel.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/endpoint.hpp"
+
+namespace xgbe::core {
+
+/// One machine in the testbed. Owns the kernel model (CPUs + memory bus),
+/// one or more adapters (each with its own dedicated PCI-X segment, as in
+/// the paper's testbed), and any TCP endpoints living on the host.
+class Host {
+ public:
+  Host(sim::Simulator& simulator, const hw::SystemSpec& system,
+       const TuningProfile& tuning, const nic::AdapterSpec& adapter,
+       net::NodeId node, std::string name);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const { return name_; }
+  net::NodeId node() const { return node_; }
+  const hw::SystemSpec& system() const { return system_; }
+  const TuningProfile& tuning() const { return tuning_; }
+
+  os::Kernel& kernel() { return *kernel_; }
+  nic::Adapter& adapter(std::size_t i = 0) { return *adapters_.at(i); }
+  std::size_t adapter_count() const { return adapters_.size(); }
+
+  /// Adds another adapter on its own PCI-X bus (the paper's dual-adapter
+  /// test, §3.5.2). Returns the adapter index.
+  std::size_t add_adapter(const nic::AdapterSpec& spec);
+
+  /// Default endpoint configuration derived from the tuning profile.
+  tcp::EndpointConfig endpoint_config() const;
+
+  /// Creates a TCP endpoint bound to the given adapter; the host demuxes
+  /// inbound segments for `flow` to it.
+  tcp::Endpoint& create_endpoint(const tcp::EndpointConfig& config,
+                                 net::FlowId flow, net::NodeId remote,
+                                 std::size_t adapter_index = 0);
+
+  /// Raw transmit used by pktgen: bypasses the TCP/IP stack entirely.
+  void raw_transmit(const net::Packet& pkt, std::size_t adapter_index = 0);
+
+  /// Sink for non-TCP traffic (pktgen receiver side).
+  std::function<void(const net::Packet&)> raw_sink;
+
+  /// Observation tap invoked for every packet after kernel receive
+  /// processing, before endpoint dispatch (MAGNET attaches here).
+  std::function<void(const net::Packet&)> packet_tap;
+
+  /// CPU load approximation over the current measurement window.
+  double cpu_load() const { return kernel_->cpu_load(); }
+  void mark_load_window() { kernel_->mark_load_window(); }
+
+ private:
+  void demux(const net::Packet& pkt);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  net::NodeId node_;
+  hw::SystemSpec system_;
+  TuningProfile tuning_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::vector<std::unique_ptr<nic::Adapter>> adapters_;
+  std::unordered_map<net::FlowId, std::unique_ptr<tcp::Endpoint>> endpoints_;
+};
+
+}  // namespace xgbe::core

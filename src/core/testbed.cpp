@@ -1,0 +1,101 @@
+#include "core/testbed.hpp"
+
+namespace xgbe::core {
+
+Host& Testbed::add_host(const std::string& name,
+                        const hw::SystemSpec& system,
+                        const TuningProfile& tuning,
+                        const nic::AdapterSpec& adapter) {
+  hosts_.push_back(std::make_unique<Host>(sim_, system, tuning, adapter,
+                                          next_node(), name));
+  return *hosts_.back();
+}
+
+link::Link& Testbed::connect(Host& a, Host& b, const link::LinkSpec& spec,
+                             std::size_t a_adapter, std::size_t b_adapter) {
+  links_.push_back(std::make_unique<link::Link>(
+      sim_, spec, a.name() + "<->" + b.name()));
+  link::Link* wire = links_.back().get();
+  a.adapter(a_adapter).connect(wire, /*side_a=*/true);
+  b.adapter(b_adapter).connect(wire, /*side_a=*/false);
+  return *wire;
+}
+
+link::EthernetSwitch& Testbed::add_switch(const link::SwitchSpec& spec) {
+  switches_.push_back(std::make_unique<link::EthernetSwitch>(
+      sim_, spec, "switch" + std::to_string(switches_.size())));
+  return *switches_.back();
+}
+
+link::Link& Testbed::connect_to_switch(Host& host, link::EthernetSwitch& sw,
+                                       const link::LinkSpec& spec,
+                                       std::size_t adapter_index) {
+  links_.push_back(std::make_unique<link::Link>(
+      sim_, spec, host.name() + "<->switch"));
+  link::Link* wire = links_.back().get();
+  host.adapter(adapter_index).connect(wire, /*side_a=*/true);
+  const int port = sw.add_port(wire, /*side_a=*/false);
+  sw.learn(host.node(), port);
+  return *wire;
+}
+
+std::vector<link::Link*> Testbed::build_wan_path(
+    Host& a, Host& b, const std::vector<link::LinkSpec>& circuits,
+    const link::SwitchSpec& router) {
+  // n circuits need n+1 routers; hosts hang off the edge routers with
+  // short 10GbE links.
+  const std::size_t nrouters = circuits.size() + 1;
+  std::vector<link::EthernetSwitch*> routers;
+  routers.reserve(nrouters);
+  for (std::size_t i = 0; i < nrouters; ++i) {
+    routers.push_back(&add_switch(router));
+  }
+
+  // Host access links.
+  link::LinkSpec access;  // default 10GbE LAN spec
+  connect_to_switch(a, *routers.front(), access);
+  connect_to_switch(b, *routers.back(), access);
+
+  std::vector<link::Link*> circuit_links;
+  circuit_links.reserve(circuits.size());
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    links_.push_back(std::make_unique<link::Link>(
+        sim_, circuits[i], "circuit" + std::to_string(i)));
+    link::Link* wire = links_.back().get();
+    const int lo_port = routers[i]->add_port(wire, /*side_a=*/true);
+    const int hi_port = routers[i + 1]->add_port(wire, /*side_a=*/false);
+    // Teach every router the direction of each host.
+    routers[i]->learn(b.node(), lo_port);
+    routers[i + 1]->learn(a.node(), hi_port);
+    circuit_links.push_back(wire);
+  }
+  return circuit_links;
+}
+
+Testbed::Connection Testbed::open_connection(
+    Host& from, Host& to, const tcp::EndpointConfig& client_config,
+    const tcp::EndpointConfig& server_config, std::size_t from_adapter,
+    std::size_t to_adapter) {
+  Connection conn;
+  conn.flow = flow_counter_++;
+  conn.client = &from.create_endpoint(client_config, conn.flow, to.node(),
+                                      from_adapter);
+  conn.server = &to.create_endpoint(server_config, conn.flow, from.node(),
+                                    to_adapter);
+  conn.server->listen();
+  conn.client->connect();
+  return conn;
+}
+
+bool Testbed::run_until_established(const Connection& conn,
+                                    sim::SimTime timeout) {
+  const sim::SimTime deadline = sim_.now() + timeout;
+  while (sim_.now() < deadline &&
+         !(conn.client->established() && conn.server->established())) {
+    const sim::SimTime step = sim::usec(100);
+    sim_.run_until(std::min(deadline, sim_.now() + step));
+  }
+  return conn.client->established() && conn.server->established();
+}
+
+}  // namespace xgbe::core

@@ -1,0 +1,85 @@
+// Testbed: builds topologies of hosts, switches, and WAN paths, and opens
+// TCP connections across them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/host.hpp"
+#include "core/tuning.hpp"
+#include "hw/presets.hpp"
+#include "link/link.hpp"
+#include "link/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace xgbe::core {
+
+class Testbed {
+ public:
+  Testbed() = default;
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::SimTime now() const { return sim_.now(); }
+
+  /// Creates a host with one adapter. Default adapter: Intel PRO/10GbE.
+  Host& add_host(const std::string& name, const hw::SystemSpec& system,
+                 const TuningProfile& tuning,
+                 const nic::AdapterSpec& adapter = nic::intel_pro10gbe());
+
+  /// Back-to-back crossover fiber between two hosts (Fig 2a).
+  link::Link& connect(Host& a, Host& b,
+                      const link::LinkSpec& spec = link::LinkSpec{},
+                      std::size_t a_adapter = 0, std::size_t b_adapter = 0);
+
+  /// Adds a switch (Fig 2b/2c: the Foundry FastIron 1500 by default).
+  link::EthernetSwitch& add_switch(
+      const link::SwitchSpec& spec = link::SwitchSpec{});
+
+  /// Wires a host adapter to a switch port and teaches the switch the
+  /// host's address.
+  link::Link& connect_to_switch(Host& host, link::EthernetSwitch& sw,
+                                const link::LinkSpec& spec = link::LinkSpec{},
+                                std::size_t adapter_index = 0);
+
+  /// Builds a WAN path between two hosts: host links into edge routers and
+  /// a chain of circuits between routers (§4.1, Fig 9). Returns the
+  /// circuit links (for drop/queue statistics).
+  std::vector<link::Link*> build_wan_path(
+      Host& a, Host& b, const std::vector<link::LinkSpec>& circuits,
+      const link::SwitchSpec& router);
+
+  /// A client-server endpoint pair.
+  struct Connection {
+    tcp::Endpoint* client = nullptr;  // active opener / typical sender
+    tcp::Endpoint* server = nullptr;  // passive opener / typical receiver
+    net::FlowId flow = 0;
+  };
+
+  /// Creates endpoints on both hosts and starts the three-way handshake.
+  Connection open_connection(Host& from, Host& to,
+                             const tcp::EndpointConfig& client_config,
+                             const tcp::EndpointConfig& server_config,
+                             std::size_t from_adapter = 0,
+                             std::size_t to_adapter = 0);
+
+  /// Runs the simulation until the connection is established (or timeout).
+  /// Returns true on success.
+  bool run_until_established(const Connection& conn,
+                             sim::SimTime timeout = sim::sec(5));
+
+  void run_for(sim::SimTime duration) { sim_.run_until(sim_.now() + duration); }
+  void run() { sim_.run(); }
+
+  net::NodeId next_node() { return node_counter_++; }
+
+ private:
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<link::Link>> links_;
+  std::vector<std::unique_ptr<link::EthernetSwitch>> switches_;
+  net::NodeId node_counter_ = 1;
+  net::FlowId flow_counter_ = 1;
+};
+
+}  // namespace xgbe::core

@@ -1,0 +1,67 @@
+#include "core/tuning.hpp"
+
+namespace xgbe::core {
+
+TuningProfile TuningProfile::stock(std::uint32_t mtu_bytes) {
+  TuningProfile t;
+  t.label = "stock," + std::to_string(mtu_bytes) + "MTU,SMP,512PCI";
+  t.mtu = mtu_bytes;
+  return t;
+}
+
+TuningProfile TuningProfile::with_pci_burst(std::uint32_t mtu_bytes) {
+  TuningProfile t = stock(mtu_bytes);
+  t.label = std::to_string(mtu_bytes) + "MTU,SMP,4096PCI";
+  t.mmrbc = 4096;
+  return t;
+}
+
+TuningProfile TuningProfile::with_uniprocessor(std::uint32_t mtu_bytes) {
+  TuningProfile t = with_pci_burst(mtu_bytes);
+  t.label = std::to_string(mtu_bytes) + "MTU,UP,4096PCI";
+  t.kernel = os::KernelMode::kUniprocessor;
+  return t;
+}
+
+TuningProfile TuningProfile::with_big_windows(std::uint32_t mtu_bytes) {
+  TuningProfile t = with_uniprocessor(mtu_bytes);
+  t.label = std::to_string(mtu_bytes) + "MTU,UP,4096PCI,256kbuf";
+  t.rcvbuf = 256 * 1024;
+  t.sndbuf = 256 * 1024;
+  return t;
+}
+
+TuningProfile TuningProfile::lan_tuned(std::uint32_t mtu_bytes) {
+  return with_big_windows(mtu_bytes);
+}
+
+TuningProfile TuningProfile::wan(std::uint32_t buffer_bytes) {
+  TuningProfile t;
+  t.label = "wan,9000MTU,bdp-buffers";
+  t.mtu = net::kMtuJumbo;
+  t.mmrbc = 4096;
+  t.kernel = os::KernelMode::kUniprocessor;
+  t.rcvbuf = buffer_bytes;
+  // The send buffer holds the retransmit queue charged in truesize (a
+  // jumbo frame occupies a 16 KB block for ~9 KB of payload), so it must
+  // be roughly twice the target window to keep the pipe full.
+  t.sndbuf = buffer_bytes * 2;
+  t.txqueuelen = 10000;  // /sbin/ifconfig eth1 txqueuelen 10000 (§4.1)
+  return t;
+}
+
+TuningProfile TuningProfile::future_offload(std::uint32_t mtu_bytes) {
+  TuningProfile t = lan_tuned(mtu_bytes);
+  t.label = std::to_string(mtu_bytes) + "MTU,rddp+csa";
+  t.header_splitting = true;
+  t.adapter_on_mch = true;
+  t.intr_delay = 0;
+  return t;
+}
+
+std::vector<TuningProfile> TuningProfile::ladder(std::uint32_t mtu_bytes) {
+  return {stock(mtu_bytes), with_pci_burst(mtu_bytes),
+          with_uniprocessor(mtu_bytes), with_big_windows(mtu_bytes)};
+}
+
+}  // namespace xgbe::core

@@ -1,0 +1,45 @@
+// Memory subsystem model.
+//
+// The shared memory bus is one of the three serialized resources on a host's
+// data path (with the CPUs and the PCI-X bus). Capacity is expressed as a
+// raw traversal bandwidth: a CPU copy costs two traversals (read + write), a
+// DMA transfer one. The paper's "triple copy" receive path — DMA into kernel
+// memory, then copy_to_user read + write — therefore costs three traversals
+// per byte, and the host's ~5.5 Gb/s data-movement ceiling falls out of the
+// arithmetic rather than being hard-coded.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace xgbe::hw {
+
+struct MemorySpec {
+  /// Raw single-traversal bandwidth in bytes/second. STREAM "copy" reports
+  /// roughly half this (it performs a read and a write per byte).
+  double traversal_bytes_per_sec = 2.15e9;
+
+  /// Bandwidth a STREAM-style copy benchmark would report, bytes/second.
+  double stream_copy_bytes_per_sec() const {
+    return traversal_bytes_per_sec / 2.0;
+  }
+};
+
+/// Time the memory bus is occupied by `traversals` passes over `bytes`.
+inline sim::SimTime bus_time(const MemorySpec& spec, std::uint64_t bytes,
+                             int traversals) {
+  const double seconds = static_cast<double>(bytes) *
+                         static_cast<double>(traversals) /
+                         spec.traversal_bytes_per_sec;
+  return sim::from_seconds(seconds);
+}
+
+/// CPU time spent executing a memcpy of `bytes` (the CPU is occupied for the
+/// read+write duration; it cannot retire other work meanwhile).
+inline sim::SimTime cpu_copy_time(const MemorySpec& spec,
+                                  std::uint64_t bytes) {
+  return bus_time(spec, bytes, 2);
+}
+
+}  // namespace xgbe::hw

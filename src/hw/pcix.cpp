@@ -1,0 +1,25 @@
+#include "hw/pcix.hpp"
+
+namespace xgbe::hw {
+
+sim::SimTime dma_read_service_time(const PcixSpec& spec, std::uint32_t bytes,
+                                   std::uint32_t mmrbc) {
+  const sim::SimTime data = sim::transfer_time(bytes, spec.rate_bps());
+  const auto bursts = static_cast<sim::SimTime>(burst_count(bytes, mmrbc));
+  return data + bursts * spec.burst_overhead + spec.descriptor_overhead;
+}
+
+sim::SimTime dma_write_service_time(const PcixSpec& spec,
+                                    std::uint32_t bytes) {
+  return sim::transfer_time(bytes, spec.rate_bps()) + spec.write_overhead;
+}
+
+double effective_read_rate_bps(const PcixSpec& spec,
+                               std::uint32_t frame_bytes,
+                               std::uint32_t mmrbc) {
+  if (frame_bytes == 0) return 0.0;
+  const sim::SimTime t = dma_read_service_time(spec, frame_bytes, mmrbc);
+  return static_cast<double>(frame_bytes) * 8.0 / sim::to_seconds(t);
+}
+
+}  // namespace xgbe::hw

@@ -1,0 +1,106 @@
+#include "hw/presets.hpp"
+
+namespace xgbe::hw::presets {
+
+SystemSpec pe2650() {
+  SystemSpec s;
+  s.name = "Dell PowerEdge 2650";
+  s.chipset = "ServerWorks GC-LE";
+  s.cpu_count = 2;
+  s.cpu_ghz = 2.2;
+  s.fsb_mhz = 400.0;
+  // STREAM copy on these boxes lands near 1.07 GB/s; the paper infers the
+  // GC-HE of the PE4600 is "nearly 50% better" at 12.8 Gb/s (1.6 GB/s).
+  s.memory.traversal_bytes_per_sec = 2.15e9;
+  s.pcix.clock_mhz = 133.0;
+  s.pcix.width_bits = 64;
+  // The GC-LE PCI-X bridge pays a high per-transaction cost; this constant
+  // reproduces the stock (MMRBC 512) jumbo-frame ceiling of ~2.7 Gb/s.
+  s.pcix.burst_overhead = sim::nsec(900);
+  s.pcix.descriptor_overhead = sim::nsec(1800);
+  s.pcix.write_overhead = sim::nsec(400);
+  s.default_mmrbc = 512;
+  return s;
+}
+
+SystemSpec pe4600() {
+  SystemSpec s;
+  s.name = "Dell PowerEdge 4600";
+  s.chipset = "ServerWorks GC-HE";
+  s.cpu_count = 2;
+  s.cpu_ghz = 2.4;
+  s.fsb_mhz = 400.0;
+  s.memory.traversal_bytes_per_sec = 3.2e9;  // STREAM ~12.8 Gb/s copy
+  s.pcix.clock_mhz = 100.0;
+  s.pcix.width_bits = 64;
+  s.pcix.burst_overhead = sim::nsec(850);
+  s.pcix.descriptor_overhead = sim::nsec(1700);
+  s.pcix.write_overhead = sim::nsec(400);
+  s.default_mmrbc = 512;
+  return s;
+}
+
+SystemSpec intel_e7505() {
+  SystemSpec s;
+  s.name = "Intel E7505 (dual 2.66 GHz)";
+  s.chipset = "Intel E7505";
+  s.cpu_count = 2;
+  s.cpu_ghz = 2.66;
+  s.fsb_mhz = 533.0;
+  // STREAM "within a few percent" of the PE2650 (§3.5.2); the faster FSB,
+  // not memory bandwidth, explains the out-of-box throughput gap.
+  s.memory.traversal_bytes_per_sec = 2.3e9;
+  s.pcix.clock_mhz = 100.0;
+  s.pcix.width_bits = 64;
+  s.pcix.burst_overhead = sim::nsec(450);
+  s.pcix.descriptor_overhead = sim::nsec(900);
+  s.pcix.write_overhead = sim::nsec(300);
+  s.default_mmrbc = 4096;  // E7505 BIOS defaults to large bursts
+  return s;
+}
+
+SystemSpec itanium2_quad() {
+  SystemSpec s;
+  s.name = "Itanium-II quad 1.0 GHz";
+  s.chipset = "HP zx1";
+  s.cpu_count = 4;
+  // Itanium-II retires kernel path work comparably to a much
+  // higher-clocked Xeon; use an effective scalar clock.
+  s.cpu_ghz = 2.6;
+  s.fsb_mhz = 400.0;
+  s.memory.traversal_bytes_per_sec = 6.4e9;
+  s.pcix.clock_mhz = 133.0;
+  s.pcix.width_bits = 64;
+  s.pcix.burst_overhead = sim::nsec(350);
+  s.pcix.descriptor_overhead = sim::nsec(800);
+  s.pcix.write_overhead = sim::nsec(250);
+  s.default_mmrbc = 4096;
+  return s;
+}
+
+SystemSpec wan_endpoint() {
+  SystemSpec s = pe2650();
+  s.name = "WAN endpoint (dual 2.4 GHz Xeon)";
+  s.cpu_ghz = 2.4;
+  s.default_mmrbc = 4096;
+  return s;
+}
+
+SystemSpec gbe_client() {
+  SystemSpec s;
+  s.name = "GbE client";
+  s.chipset = "Intel e1000-class";
+  s.cpu_count = 1;
+  s.cpu_ghz = 2.0;
+  s.fsb_mhz = 400.0;
+  s.memory.traversal_bytes_per_sec = 2.0e9;
+  s.pcix.clock_mhz = 66.0;
+  s.pcix.width_bits = 64;
+  s.pcix.burst_overhead = sim::nsec(500);
+  s.pcix.descriptor_overhead = sim::nsec(1000);
+  s.pcix.write_overhead = sim::nsec(400);
+  s.default_mmrbc = 512;
+  return s;
+}
+
+}  // namespace xgbe::hw::presets

@@ -1,0 +1,32 @@
+// System presets for every host platform the paper measures.
+#pragma once
+
+#include "hw/system.hpp"
+
+namespace xgbe::hw::presets {
+
+/// Dell PowerEdge 2650: dual 2.2 GHz Xeon, 400 MHz FSB, ServerWorks GC-LE,
+/// dedicated 133 MHz PCI-X. The paper's main LAN/SAN testbed.
+SystemSpec pe2650();
+
+/// Dell PowerEdge 4600: dual 2.4 GHz Xeon, 400 MHz FSB, ServerWorks GC-HE
+/// (higher memory bandwidth: STREAM reported 12.8 Gb/s), 100 MHz PCI-X.
+SystemSpec pe4600();
+
+/// Intel-provided E7505 system: dual 2.66 GHz Xeon, 533 MHz FSB, 100 MHz
+/// PCI-X. Reached 4.64 Gb/s essentially out of the box (§3.4).
+SystemSpec intel_e7505();
+
+/// Quad 1.0 GHz Itanium-II (HP zx1 class chipset), 133 MHz PCI-X. Reached
+/// 7.2 Gb/s with aggregated inbound flows (§3.4).
+SystemSpec itanium2_quad();
+
+/// WAN endpoint used for the Internet2 Land Speed Record: dual 2.4 GHz Xeon,
+/// 2 GB memory, dedicated 133 MHz PCI-X (§4.1).
+SystemSpec wan_endpoint();
+
+/// Commodity GbE client used as a fan-in/fan-out peer in the multi-flow
+/// switch tests; the GbE NIC, not the host, is its bottleneck.
+SystemSpec gbe_client();
+
+}  // namespace xgbe::hw::presets

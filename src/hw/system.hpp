@@ -1,0 +1,37 @@
+// Host system description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/memory.hpp"
+#include "hw/pcix.hpp"
+
+namespace xgbe::hw {
+
+/// Static description of a host platform: CPUs, front-side bus, chipset
+/// memory bandwidth, and the PCI-X segment the 10GbE adapter sits on.
+/// Kernel path costs in the OS model scale with cpu and FSB speed relative
+/// to the reference 2.2 GHz / 400 MHz Dell PE2650.
+struct SystemSpec {
+  std::string name = "generic";
+  std::string chipset = "generic";
+  int cpu_count = 2;
+  double cpu_ghz = 2.2;
+  double fsb_mhz = 400.0;
+  MemorySpec memory;
+  PcixSpec pcix;
+  /// Power-on MMRBC value (BIOS default); tuning may override it.
+  std::uint32_t default_mmrbc = 512;
+
+  /// Scale factor for CPU-bound kernel path costs (1.0 on the PE2650).
+  double cpu_scale() const { return 2.2 / cpu_ghz; }
+
+  /// Scale factor for FSB-latency-bound costs such as uncached device
+  /// register access and descriptor cache misses (1.0 on the PE2650).
+  /// The paper (§5) singles out FSB speed as the strongest predictor of
+  /// out-of-box throughput.
+  double fsb_scale() const { return 400.0 / fsb_mhz; }
+};
+
+}  // namespace xgbe::hw

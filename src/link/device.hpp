@@ -1,0 +1,17 @@
+// Attachment point interface for anything that terminates a link.
+#pragma once
+
+#include "net/packet.hpp"
+
+namespace xgbe::link {
+
+/// A device that can receive fully-arrived frames (adapter, switch port,
+/// WAN hop). Store-and-forward semantics: deliver() fires only when the
+/// last bit has arrived.
+class NetDevice {
+ public:
+  virtual ~NetDevice() = default;
+  virtual void deliver(const net::Packet& pkt) = 0;
+};
+
+}  // namespace xgbe::link

@@ -1,0 +1,86 @@
+#include "link/link.hpp"
+
+#include <cassert>
+
+#include "net/headers.hpp"
+
+namespace xgbe::link {
+
+Link::Link(sim::Simulator& simulator, const LinkSpec& spec, std::string name)
+    : sim_(simulator),
+      spec_(spec),
+      name_(std::move(name)),
+      ab_(simulator, name_ + "/ab"),
+      ba_(simulator, name_ + "/ba"),
+      rng_(spec.loss_seed) {}
+
+std::uint32_t Link::occupancy_bytes(const net::Packet& pkt) const {
+  if (spec_.framing == Framing::kEthernet) return pkt.wire_bytes();
+  // POS: the IP packet is re-framed in PPP/HDLC; strip the Ethernet header
+  // and CRC, add the POS overhead.
+  const std::uint32_t eth_overhead =
+      net::kEthHeaderBytes + net::kEthCrcBytes;
+  const std::uint32_t ip_bytes = pkt.frame_bytes > eth_overhead
+                                     ? pkt.frame_bytes - eth_overhead
+                                     : pkt.frame_bytes;
+  return ip_bytes + kPosFrameOverheadBytes;
+}
+
+double Link::effective_rate_bps() const {
+  return spec_.framing == Framing::kPos
+             ? spec_.rate_bps * spec_.sonet_efficiency
+             : spec_.rate_bps;
+}
+
+sim::SimTime Link::serialization_time(const net::Packet& pkt) const {
+  return sim::transfer_time(occupancy_bytes(pkt), effective_rate_bps());
+}
+
+std::uint32_t Link::backlog(const NetDevice* from) const {
+  return from == a_ ? ab_.backlog_bytes : ba_.backlog_bytes;
+}
+
+void Link::transmit(const NetDevice* from, const net::Packet& pkt,
+                    std::function<void()> tx_done) {
+  assert(from == a_ || from == b_);
+  const bool forward = (from == a_);
+  Direction& dir = forward ? ab_ : ba_;
+  NetDevice* sink = forward ? b_ : a_;
+
+  if (spec_.queue_limit_bytes != 0 &&
+      dir.backlog_bytes + pkt.frame_bytes > spec_.queue_limit_bytes) {
+    ++drops_queue_;
+    if (tx_done) sim_.schedule(0, std::move(tx_done));
+    return;
+  }
+
+  if (tap) tap(pkt, forward);
+  dir.backlog_bytes += pkt.frame_bytes;
+  const sim::SimTime ser = serialization_time(pkt);
+  const sim::SimTime done_at = dir.pipe.submit(
+      ser, [this, &dir, bytes = pkt.frame_bytes,
+            tx_done = std::move(tx_done)]() {
+        dir.backlog_bytes =
+            dir.backlog_bytes > bytes ? dir.backlog_bytes - bytes : 0;
+        if (tx_done) tx_done();
+      });
+
+  if (forced_drops_ > 0 && pkt.payload_bytes > 0) {
+    --forced_drops_;
+    ++drops_forced_;
+    return;
+  }
+  const bool lost = spec_.loss_rate > 0.0 && rng_.chance(spec_.loss_rate);
+  if (lost) {
+    ++drops_random_;
+    return;
+  }
+  if (sink != nullptr) {
+    ++frames_;
+    bytes_ += pkt.frame_bytes;
+    sim_.schedule_at(done_at + spec_.propagation,
+                     [sink, pkt]() { sink->deliver(pkt); });
+  }
+}
+
+}  // namespace xgbe::link

@@ -1,0 +1,116 @@
+// Full-duplex point-to-point link (LAN fiber or WAN POS circuit).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "link/device.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace xgbe::link {
+
+enum class Framing : std::uint8_t {
+  kEthernet,  // preamble + IFG + min-frame padding on the wire
+  kPos        // packet-over-SONET: Ethernet framing replaced by PPP/HDLC
+};
+
+struct LinkSpec {
+  double rate_bps = 10e9;  // 10GbE by default
+  sim::SimTime propagation = sim::nsec(450);  // ~90 m of fiber
+  Framing framing = Framing::kEthernet;
+  /// For POS: payload fraction of the line rate left after SONET section/
+  /// line/path overhead (87/90 columns minus path overhead ≈ 0.9596).
+  double sonet_efficiency = 0.9596;
+  /// Transmit-queue capacity per direction, bytes. 0 = unbounded (a host
+  /// NIC never overruns its own wire; router circuits set a real limit).
+  std::uint32_t queue_limit_bytes = 0;
+  /// Independent random frame-loss probability (bit errors etc.).
+  double loss_rate = 0.0;
+  std::uint64_t loss_seed = 0x5eedULL;
+};
+
+/// POS per-frame overhead: PPP/HDLC flag+address+control+protocol+FCS.
+inline constexpr std::uint32_t kPosFrameOverheadBytes = 9;
+
+/// Two independent serialization pipes (full duplex — 10GbE has no
+/// half-duplex mode) with propagation delay, optional queue limit (tail
+/// drop), and optional random loss.
+class Link {
+ public:
+  Link(sim::Simulator& simulator, const LinkSpec& spec, std::string name);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Attaches endpoint devices. Either side may be set independently so
+  /// switches can wire ports incrementally.
+  void attach_a(NetDevice* a) { a_ = a; }
+  void attach_b(NetDevice* b) { b_ = b; }
+  NetDevice* a() const { return a_; }
+  NetDevice* b() const { return b_; }
+
+  /// Serializes `pkt` from side `from` toward the other side; the callback
+  /// (optional) fires when serialization completes (transmitter freed),
+  /// whether or not the frame was dropped.
+  void transmit(const NetDevice* from, const net::Packet& pkt,
+                std::function<void()> tx_done = nullptr);
+
+  const LinkSpec& spec() const { return spec_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t frames_delivered() const { return frames_; }
+  std::uint64_t bytes_delivered() const { return bytes_; }
+  std::uint64_t drops_queue() const { return drops_queue_; }
+  std::uint64_t drops_random() const { return drops_random_; }
+
+  /// Forces the next `n` data-carrying frames (payload > 0) to be lost.
+  /// Used by the loss-recovery experiments (Table 1 validation) to inject
+  /// a precisely-timed single loss.
+  void inject_drops(int n) { forced_drops_ += n; }
+
+  std::uint64_t drops_forced() const { return drops_forced_; }
+
+  /// Bytes occupying the wire for one frame under this link's framing.
+  std::uint32_t occupancy_bytes(const net::Packet& pkt) const;
+
+  /// Serialization time of one frame on this link.
+  sim::SimTime serialization_time(const net::Packet& pkt) const;
+
+  /// Effective data rate (bits/s available to frames).
+  double effective_rate_bps() const;
+
+  /// Backlog queued for transmission from the given side, bytes.
+  std::uint32_t backlog(const NetDevice* from) const;
+
+  /// Wire tap: invoked for every frame as it begins serialization (before
+  /// any loss), with the direction. tcpdump-style captures attach here.
+  std::function<void(const net::Packet&, bool from_side_a)> tap;
+
+ private:
+  struct Direction {
+    Direction(sim::Simulator& simulator, const std::string& n)
+        : pipe(simulator, n) {}
+    sim::Resource pipe;
+    std::uint32_t backlog_bytes = 0;
+  };
+
+  sim::Simulator& sim_;
+  LinkSpec spec_;
+  std::string name_;
+  NetDevice* a_ = nullptr;
+  NetDevice* b_ = nullptr;
+  Direction ab_;
+  Direction ba_;
+  sim::Rng rng_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_queue_ = 0;
+  std::uint64_t drops_random_ = 0;
+  int forced_drops_ = 0;
+  std::uint64_t drops_forced_ = 0;
+};
+
+}  // namespace xgbe::link

@@ -1,0 +1,86 @@
+#include "link/switch.hpp"
+
+namespace xgbe::link {
+
+/// One switch port: receives frames from its link and forwards them into
+/// the fabric; egress frames queue here until the link transmitter frees.
+class EthernetSwitch::Port : public NetDevice {
+ public:
+  Port(EthernetSwitch& parent, int index, Link* wire, bool side_a)
+      : parent_(parent), index_(index), wire_(wire), side_a_(side_a) {
+    if (side_a_) {
+      wire_->attach_a(this);
+    } else {
+      wire_->attach_b(this);
+    }
+  }
+
+  void deliver(const net::Packet& pkt) override {
+    parent_.on_frame(index_, pkt);
+  }
+
+  void send(const net::Packet& pkt) {
+    queued_ += pkt.frame_bytes;
+    wire_->transmit(this, pkt, [this, bytes = pkt.frame_bytes]() {
+      queued_ = queued_ > bytes ? queued_ - bytes : 0;
+    });
+  }
+
+  std::uint32_t queued() const { return queued_; }
+
+ private:
+  EthernetSwitch& parent_;
+  int index_;
+  Link* wire_;
+  bool side_a_;
+  std::uint32_t queued_ = 0;
+};
+
+EthernetSwitch::EthernetSwitch(sim::Simulator& simulator,
+                               const SwitchSpec& spec, std::string name)
+    : sim_(simulator),
+      spec_(spec),
+      name_(std::move(name)),
+      backplane_(simulator, name_ + "/backplane") {}
+
+EthernetSwitch::~EthernetSwitch() = default;
+
+int EthernetSwitch::add_port(Link* wire, bool side_a) {
+  const int index = static_cast<int>(ports_.size());
+  ports_.push_back(std::make_unique<Port>(*this, index, wire, side_a));
+  return index;
+}
+
+void EthernetSwitch::learn(net::NodeId node, int port) { fdb_[node] = port; }
+
+std::uint32_t EthernetSwitch::queued_bytes(int port) const {
+  return ports_.at(static_cast<std::size_t>(port))->queued();
+}
+
+void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
+  const auto it = fdb_.find(pkt.dst);
+  if (it == fdb_.end()) {
+    ++dropped_no_route_;
+    return;
+  }
+  const int egress = it->second;
+  // The fabric moves the frame to the egress queue; model its bandwidth as
+  // a shared serialized resource plus fixed pipeline latency.
+  const sim::SimTime fabric_time =
+      sim::transfer_time(pkt.frame_bytes, spec_.backplane_bps);
+  backplane_.submit(fabric_time);
+  sim_.schedule(spec_.fabric_latency + fabric_time,
+                [this, egress, pkt]() { egress_frame(egress, pkt); });
+}
+
+void EthernetSwitch::egress_frame(int port, const net::Packet& pkt) {
+  Port& out = *ports_.at(static_cast<std::size_t>(port));
+  if (out.queued() + pkt.frame_bytes > spec_.port_buffer_bytes) {
+    ++dropped_queue_full_;  // tail drop
+    return;
+  }
+  ++forwarded_;
+  out.send(pkt);
+}
+
+}  // namespace xgbe::link

@@ -1,0 +1,38 @@
+#include "link/wan.hpp"
+
+namespace xgbe::link::wan {
+
+sim::SimTime propagation_for_km(double km) {
+  return static_cast<sim::SimTime>(km * kFiberPsPerKm);
+}
+
+LinkSpec oc192_pos(double km, std::uint32_t queue_limit_bytes) {
+  LinkSpec s;
+  s.rate_bps = kOc192LineRateBps;
+  s.framing = Framing::kPos;
+  s.propagation = propagation_for_km(km);
+  s.queue_limit_bytes = queue_limit_bytes;
+  return s;
+}
+
+LinkSpec oc48_pos(double km, std::uint32_t queue_limit_bytes) {
+  LinkSpec s;
+  s.rate_bps = kOc48LineRateBps;
+  s.framing = Framing::kPos;
+  s.propagation = propagation_for_km(km);
+  s.queue_limit_bytes = queue_limit_bytes;
+  return s;
+}
+
+SwitchSpec router_spec(std::uint32_t buffer_bytes) {
+  SwitchSpec s;
+  s.fabric_latency = sim::usec(25);
+  s.backplane_bps = 640e9;
+  // Carrier routers of the GSR 12406 / T640 era carried hundreds of
+  // milliseconds of buffering per OC-48/OC-192 port; anything much smaller
+  // tail-drops slow-start bursts long before the flow window fills.
+  s.port_buffer_bytes = buffer_bytes;
+  return s;
+}
+
+}  // namespace xgbe::link::wan

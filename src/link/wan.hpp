@@ -1,0 +1,38 @@
+// WAN circuit presets for the Internet2 Land Speed Record path (§4.1):
+// Sunnyvale --(Level3 OC-192 POS)--> StarLight/Chicago --(LHCnet OC-48
+// POS)--> Geneva. Routers along the path are modeled with the
+// EthernetSwitch class configured with router-grade latency and buffers.
+#pragma once
+
+#include "link/link.hpp"
+#include "link/switch.hpp"
+
+namespace xgbe::link::wan {
+
+/// SONET line rates.
+inline constexpr double kOc48LineRateBps = 2.48832e9;
+inline constexpr double kOc192LineRateBps = 9.95328e9;
+
+/// Fiber propagation, picoseconds per kilometre (~4.9 µs/km in glass).
+inline constexpr double kFiberPsPerKm = 4.9e6;
+
+/// Route mileage. The great-circle Sunnyvale–Geneva distance is ~9,400 km;
+/// the record route measured 10,037 km and saw ~180 ms RTT, implying extra
+/// routed mileage — the segment lengths below reproduce the measured RTT.
+inline constexpr double kSunnyvaleChicagoKm = 5600.0;
+inline constexpr double kChicagoGenevaKm = 12300.0;
+
+sim::SimTime propagation_for_km(double km);
+
+/// OC-192 POS circuit (Sunnyvale–Chicago leg).
+LinkSpec oc192_pos(double km, std::uint32_t queue_limit_bytes = 0);
+
+/// OC-48 POS circuit (transatlantic LHCnet leg — the path bottleneck).
+LinkSpec oc48_pos(double km, std::uint32_t queue_limit_bytes = 0);
+
+/// Router configuration (GSR 12406 / Juniper T640 / 76xx class): store and
+/// forward with deeper buffers and higher pipeline latency than a LAN
+/// switch.
+SwitchSpec router_spec(std::uint32_t buffer_bytes = 96 * 1024 * 1024);
+
+}  // namespace xgbe::link::wan

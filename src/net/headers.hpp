@@ -1,0 +1,82 @@
+// Protocol header and framing size model.
+//
+// The simulator never carries payload bytes — only sizes — so the header
+// model is the authoritative source of every overhead constant: Ethernet
+// framing, IP/TCP/UDP headers, TCP options, and the MTU/MSS arithmetic the
+// paper's analysis (§3.5.1) revolves around.
+#pragma once
+
+#include <cstdint>
+
+namespace xgbe::net {
+
+// Ethernet framing (10GbE is full-duplex only; no collisions to model).
+inline constexpr std::uint32_t kEthHeaderBytes = 14;    // dst+src+ethertype
+inline constexpr std::uint32_t kEthCrcBytes = 4;        // FCS
+inline constexpr std::uint32_t kEthPreambleBytes = 8;   // preamble + SFD
+inline constexpr std::uint32_t kEthIfgBytes = 12;       // inter-frame gap
+inline constexpr std::uint32_t kEthMinFrameBytes = 64;  // hdr+payload+crc
+
+// Overhead bytes per frame beyond (eth header + payload + CRC) that still
+// occupy the wire: preamble and inter-frame gap.
+inline constexpr std::uint32_t kEthWireGapBytes =
+    kEthPreambleBytes + kEthIfgBytes;
+
+inline constexpr std::uint32_t kIpHeaderBytes = 20;   // IPv4, no options
+inline constexpr std::uint32_t kTcpHeaderBytes = 20;  // base TCP header
+inline constexpr std::uint32_t kUdpHeaderBytes = 8;
+
+// TCP timestamp option occupies 10 bytes padded to 12 on every segment when
+// negotiated (RFC 1323 appendix A alignment).
+inline constexpr std::uint32_t kTcpTimestampOptionBytes = 12;
+
+// Standard MTU values from the paper.
+inline constexpr std::uint32_t kMtuStandard = 1500;
+inline constexpr std::uint32_t kMtuJumbo = 9000;
+inline constexpr std::uint32_t kMtu8160 = 8160;   // fits an 8 KB kmalloc block
+inline constexpr std::uint32_t kMtu16000 = 16000; // adapter maximum
+
+/// MSS implied by an MTU with no TCP options ("Loosely speaking,
+/// MSS = MTU - packet headers").
+constexpr std::uint32_t mss_for_mtu(std::uint32_t mtu) {
+  return mtu - kIpHeaderBytes - kTcpHeaderBytes;
+}
+
+/// Per-segment payload capacity once per-segment options are deducted.
+constexpr std::uint32_t payload_per_segment(std::uint32_t mtu,
+                                            bool timestamps) {
+  return mss_for_mtu(mtu) - (timestamps ? kTcpTimestampOptionBytes : 0);
+}
+
+/// Full frame size on the wire (excluding preamble/IFG) for a TCP segment
+/// carrying `payload` bytes.
+constexpr std::uint32_t tcp_frame_bytes(std::uint32_t payload,
+                                        bool timestamps) {
+  return kEthHeaderBytes + kIpHeaderBytes + kTcpHeaderBytes +
+         (timestamps ? kTcpTimestampOptionBytes : 0) + payload + kEthCrcBytes;
+}
+
+/// Full frame size on the wire for a UDP datagram carrying `payload` bytes.
+constexpr std::uint32_t udp_frame_bytes(std::uint32_t payload) {
+  return kEthHeaderBytes + kIpHeaderBytes + kUdpHeaderBytes + payload +
+         kEthCrcBytes;
+}
+
+/// Bytes a frame occupies on the wire including preamble and IFG; enforces
+/// the Ethernet minimum frame size.
+constexpr std::uint32_t wire_occupancy_bytes(std::uint32_t frame_bytes) {
+  const std::uint32_t f =
+      frame_bytes < kEthMinFrameBytes ? kEthMinFrameBytes : frame_bytes;
+  return f + kEthWireGapBytes;
+}
+
+/// Payload efficiency of a TCP stream at a given MTU: payload bits delivered
+/// per bit of wire time.
+constexpr double tcp_wire_efficiency(std::uint32_t mtu, bool timestamps) {
+  const std::uint32_t payload = payload_per_segment(mtu, timestamps);
+  const std::uint32_t wire =
+      wire_occupancy_bytes(tcp_frame_bytes(payload, timestamps));
+  return static_cast<double>(payload) / static_cast<double>(wire);
+}
+
+}  // namespace xgbe::net

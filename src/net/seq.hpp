@@ -1,0 +1,31 @@
+// TCP sequence-number arithmetic (mod 2^32, RFC 793 comparison rules).
+#pragma once
+
+#include <cstdint>
+
+namespace xgbe::net {
+
+using Seq = std::uint32_t;
+
+/// a < b in sequence space.
+constexpr bool seq_lt(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_le(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(Seq a, Seq b) { return seq_lt(b, a); }
+constexpr bool seq_ge(Seq a, Seq b) { return seq_le(b, a); }
+
+/// Distance from a to b (b - a) interpreted as a forward span.
+constexpr std::uint32_t seq_span(Seq a, Seq b) { return b - a; }
+
+constexpr Seq seq_max(Seq a, Seq b) { return seq_ge(a, b) ? a : b; }
+constexpr Seq seq_min(Seq a, Seq b) { return seq_le(a, b) ? a : b; }
+
+/// True if x lies in the half-open interval [lo, hi) in sequence space.
+constexpr bool seq_in(Seq x, Seq lo, Seq hi) {
+  return seq_le(lo, x) && seq_lt(x, hi);
+}
+
+}  // namespace xgbe::net

@@ -1,0 +1,166 @@
+#include "nic/adapter.hpp"
+
+#include "hw/memory.hpp"
+#include "net/headers.hpp"
+
+namespace xgbe::nic {
+
+AdapterSpec intel_pro10gbe() { return AdapterSpec{}; }
+
+AdapterSpec intel_e1000() {
+  AdapterSpec s;
+  s.model = "Intel PRO/1000 (e1000)";
+  s.line_rate_bps = 1e9;
+  s.max_mtu = 9000;  // jumbo-capable GbE (Intel e1000 / Tigon3 class)
+  s.tx_ring = 256;
+  s.rx_ring = 256;
+  s.intr_delay = sim::usec(20);
+  s.max_coalesce = 32;
+  s.tx_fifo_bytes = 64 * 1024;
+  return s;
+}
+
+Adapter::Adapter(sim::Simulator& simulator, const AdapterSpec& spec,
+                 const hw::PcixSpec& bus, const hw::MemorySpec& mem,
+                 std::uint32_t mmrbc, sim::Resource& membus, std::string name)
+    : sim_(simulator),
+      spec_(spec),
+      bus_spec_(bus),
+      mem_spec_(mem),
+      mmrbc_(mmrbc),
+      pci_(simulator, name + "/pcix"),
+      membus_(membus),
+      corruption_rng_(spec.corruption_seed) {}
+
+void Adapter::connect(link::Link* wire, bool side_a) {
+  wire_ = wire;
+  side_a_ = side_a;
+  if (side_a) {
+    wire->attach_a(this);
+  } else {
+    wire->attach_b(this);
+  }
+}
+
+void Adapter::set_mmrbc(std::uint32_t mmrbc) {
+  if (hw::is_valid_mmrbc(mmrbc)) mmrbc_ = mmrbc;
+}
+
+void Adapter::transmit(net::Packet pkt) {
+  if (pkt.trace.enabled) pkt.trace.t_nic = sim_.now();
+  tx_queue_.push_back(std::move(pkt));
+  if (!tx_dma_active_) dma_next_tx();
+}
+
+void Adapter::dma_next_tx() {
+  if (tx_queue_.empty()) {
+    tx_dma_active_ = false;
+    return;
+  }
+  // Stall DMA while the on-board FIFO is full (wire slower than the bus).
+  if (tx_fifo_used_ + tx_queue_.front().frame_bytes > spec_.tx_fifo_bytes) {
+    tx_dma_active_ = false;
+    return;
+  }
+  tx_dma_active_ = true;
+  net::Packet pkt = tx_queue_.front();
+  tx_queue_.pop_front();
+
+  const sim::SimTime bus_time =
+      spec_.on_mch
+          ? hw::bus_time(mem_spec_, pkt.frame_bytes, 1) + sim::nsec(150)
+          : hw::dma_read_service_time(bus_spec_, pkt.frame_bytes, mmrbc_);
+  // The DMA read traverses host memory once; account the contention.
+  membus_.submit(hw::bus_time(mem_spec_, pkt.frame_bytes, 1));
+  pci_.submit(bus_time, [this, pkt]() mutable {
+    if (pkt.trace.enabled) pkt.trace.t_dma_done = sim_.now();
+    tx_fifo_used_ += pkt.frame_bytes;
+    emit_wire_frames(pkt);
+    dma_next_tx();
+  });
+}
+
+void Adapter::emit_wire_frames(const net::Packet& pkt) {
+  if (wire_ == nullptr) return;
+  auto send_one = [this](const net::Packet& frame) {
+    ++tx_frames_;
+    wire_->transmit(this, frame, [this, bytes = frame.frame_bytes]() {
+      tx_fifo_used_ = tx_fifo_used_ > bytes ? tx_fifo_used_ - bytes : 0;
+      if (!tx_dma_active_) dma_next_tx();
+    });
+  };
+
+  if (pkt.tcp.tso_mss == 0 || pkt.payload_bytes <= pkt.tcp.tso_mss) {
+    send_one(pkt);
+    return;
+  }
+  // TSO: re-segment the super-segment into wire frames; headers are
+  // replicated per frame by the adapter.
+  std::uint32_t offset = 0;
+  while (offset < pkt.payload_bytes) {
+    const std::uint32_t chunk =
+        std::min(pkt.tcp.tso_mss, pkt.payload_bytes - offset);
+    net::Packet frame = pkt;
+    frame.tcp.tso_mss = 0;
+    frame.tcp.seq = pkt.tcp.seq + offset;
+    frame.payload_bytes = chunk;
+    frame.frame_bytes = net::tcp_frame_bytes(chunk, pkt.tcp.timestamps);
+    frame.tcp.push = pkt.tcp.push && (offset + chunk == pkt.payload_bytes);
+    send_one(frame);
+    offset += chunk;
+  }
+}
+
+void Adapter::deliver(const net::Packet& arrived) {
+  if (rx_ring_used_ >= spec_.rx_ring) {
+    ++rx_dropped_ring_;
+    return;
+  }
+  ++rx_ring_used_;
+  net::Packet pkt = arrived;
+  if (pkt.trace.enabled) pkt.trace.t_rx_arrive = sim_.now();
+  const sim::SimTime bus_time =
+      spec_.on_mch
+          ? hw::bus_time(mem_spec_, pkt.frame_bytes, 1) + sim::nsec(100)
+          : hw::dma_write_service_time(bus_spec_, pkt.frame_bytes);
+  // The DMA write traverses host memory once.
+  membus_.submit(hw::bus_time(mem_spec_, pkt.frame_bytes, 1));
+  pci_.submit(bus_time, [this, pkt]() mutable {
+    if (pkt.trace.enabled) pkt.trace.t_rx_dma = sim_.now();
+    if (spec_.rx_corruption_rate > 0.0 && pkt.payload_bytes > 0 &&
+        corruption_rng_.chance(spec_.rx_corruption_rate)) {
+      pkt.corrupted = true;  // damaged after the adapter's checksum check
+    }
+    ++rx_frames_;
+    rx_batch_.push_back(std::move(pkt));
+    if (spec_.intr_delay == 0 ||
+        rx_batch_.size() >= spec_.max_coalesce) {
+      if (rx_timer_armed_) {
+        sim_.cancel(rx_timer_);
+        rx_timer_armed_ = false;
+      }
+      raise_interrupt();
+    } else if (!rx_timer_armed_) {
+      rx_timer_armed_ = true;
+      rx_timer_ = sim_.schedule(spec_.intr_delay, [this]() {
+        rx_timer_armed_ = false;
+        raise_interrupt();
+      });
+    }
+  });
+}
+
+void Adapter::raise_interrupt() {
+  if (rx_batch_.empty()) return;
+  ++interrupts_;
+  // The driver refills the ring as it pulls the batch in the ISR.
+  rx_ring_used_ -= static_cast<std::uint32_t>(rx_batch_.size());
+  std::vector<net::Packet> batch;
+  batch.swap(rx_batch_);
+  for (net::Packet& p : batch) {
+    if (p.trace.enabled) p.trace.t_irq = sim_.now();
+  }
+  if (rx_handler_) rx_handler_(std::move(batch));
+}
+
+}  // namespace xgbe::nic

@@ -1,0 +1,130 @@
+// Network adapter model (Intel PRO/10GbE LR and e1000-class GbE).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/memory.hpp"
+#include "hw/pcix.hpp"
+#include "link/device.hpp"
+#include "link/link.hpp"
+#include "sim/random.hpp"
+#include "net/packet.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace xgbe::nic {
+
+struct AdapterSpec {
+  std::string model = "Intel PRO/10GbE LR";
+  double line_rate_bps = 10e9;
+  std::uint32_t max_mtu = 16000;  // largest MTU the 82597EX supports
+  bool csum_offload = true;       // TCP/IP checksum offload (§2)
+  bool tso_capable = true;        // TCP segmentation offload ("Large Send")
+  std::uint32_t tx_ring = 4096;
+  std::uint32_t rx_ring = 4096;
+  /// Interrupt coalescing delay: time the adapter waits after a receive
+  /// before raising the interrupt, batching packets (§3.3.2). 0 disables.
+  sim::SimTime intr_delay = sim::usec(5);
+  /// Packets per interrupt cap; a full batch raises the interrupt early.
+  std::uint32_t max_coalesce = 64;
+  /// On-board transmit FIFO; DMA stalls when serialization falls behind.
+  std::uint32_t tx_fifo_bytes = 512 * 1024;
+  /// Probability that a received frame is damaged on the PCI/memory path
+  /// after the adapter verified its checksum (bus errors, marginal
+  /// hardware, heat — §3.5.3). Host-side software checksums catch these;
+  /// adapter-offloaded checksums cannot.
+  double rx_corruption_rate = 0.0;
+  std::uint64_t corruption_seed = 0xc0de;
+  /// Communication Streaming Architecture (§3.5.3): the adapter hangs off
+  /// the memory controller hub instead of the PCI-X bus, so frame transfers
+  /// move at memory speed with no I/O-bus transaction overhead.
+  bool on_mch = false;
+};
+
+/// The 10GbE server adapter the paper studies.
+AdapterSpec intel_pro10gbe();
+/// Commodity GbE adapter for the multi-flow fan-in clients.
+AdapterSpec intel_e1000();
+
+/// Adapter runtime: owns its dedicated PCI-X bus segment, DMAs frames
+/// between host memory and the wire, and coalesces receive interrupts.
+class Adapter : public link::NetDevice {
+ public:
+  /// `rx_handler` is the kernel's interrupt entry: it receives the batch of
+  /// frames already placed in host memory.
+  using RxHandler = std::function<void(std::vector<net::Packet>)>;
+
+  Adapter(sim::Simulator& simulator, const AdapterSpec& spec,
+          const hw::PcixSpec& bus, const hw::MemorySpec& mem,
+          std::uint32_t mmrbc, sim::Resource& membus, std::string name);
+
+  Adapter(const Adapter&) = delete;
+  Adapter& operator=(const Adapter&) = delete;
+
+  /// Wires the adapter to a link side.
+  void connect(link::Link* wire, bool side_a);
+
+  void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+  /// Driver entry point: DMA the frame from host memory and serialize it.
+  /// Honors TSO (tcp.tso_mss != 0 splits the payload into MSS-sized wire
+  /// frames after a single DMA).
+  void transmit(net::Packet pkt);
+
+  /// Frame fully arrived from the wire (link::NetDevice).
+  void deliver(const net::Packet& pkt) override;
+
+  /// Reconfigures the interrupt coalescing delay (ethtool -C rx-usecs).
+  void set_intr_delay(sim::SimTime delay) { spec_.intr_delay = delay; }
+  /// Reconfigures the PCI-X MMRBC register (setpci).
+  void set_mmrbc(std::uint32_t mmrbc);
+
+  const AdapterSpec& spec() const { return spec_; }
+  std::uint32_t mmrbc() const { return mmrbc_; }
+  sim::Resource& pci_bus() { return pci_; }
+
+  /// Frames waiting for DMA (driver queue depth); pktgen throttles on this.
+  std::size_t tx_backlog() const { return tx_queue_.size(); }
+
+  std::uint64_t tx_frames() const { return tx_frames_; }
+  std::uint64_t rx_frames() const { return rx_frames_; }
+  std::uint64_t rx_dropped_ring() const { return rx_dropped_ring_; }
+  std::uint64_t interrupts_raised() const { return interrupts_; }
+
+ private:
+  void dma_next_tx();
+  void emit_wire_frames(const net::Packet& pkt);
+  void raise_interrupt();
+
+  sim::Simulator& sim_;
+  AdapterSpec spec_;
+  hw::PcixSpec bus_spec_;
+  hw::MemorySpec mem_spec_;
+  std::uint32_t mmrbc_;
+  sim::Resource pci_;
+  sim::Resource& membus_;
+  link::Link* wire_ = nullptr;
+  bool side_a_ = true;
+  sim::Rng corruption_rng_;
+  RxHandler rx_handler_;
+
+  std::deque<net::Packet> tx_queue_;  // awaiting DMA
+  bool tx_dma_active_ = false;
+  std::uint32_t tx_fifo_used_ = 0;
+
+  std::vector<net::Packet> rx_batch_;  // DMA'd, awaiting interrupt
+  sim::EventId rx_timer_{};
+  bool rx_timer_armed_ = false;
+  std::uint32_t rx_ring_used_ = 0;
+
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t rx_dropped_ring_ = 0;
+  std::uint64_t interrupts_ = 0;
+};
+
+}  // namespace xgbe::nic

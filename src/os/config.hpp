@@ -1,0 +1,35 @@
+// Kernel configuration knobs (the sysctl/boot-time switches the paper turns).
+#pragma once
+
+#include <cstdint>
+
+namespace xgbe::os {
+
+enum class KernelMode : std::uint8_t {
+  kSmp,          // SMP kernel: NIC interrupts pinned to CPU0, locking costs
+  kUniprocessor  // UP kernel: single CPU, no SMP overheads (§3.3)
+};
+
+enum class RxApi : std::uint8_t {
+  kOldApi,  // each packet queued separately in interrupt context
+  kNapi     // interrupt only flags work; packets polled outside irq context
+};
+
+struct KernelConfig {
+  KernelMode mode = KernelMode::kSmp;
+  RxApi rx_api = RxApi::kOldApi;
+  /// Socket buffer sizes (sysctl net.ipv4.tcp_rmem[1] / tcp_wmem[1]).
+  /// Defaults are the Linux 2.4 values: 87380 rcvbuf yields the 64 KB
+  /// default window the paper mentions once the 1/4 overhead share is taken.
+  std::uint32_t rcvbuf_bytes = 87380;
+  std::uint32_t sndbuf_bytes = 65536;
+  /// Device transmit queue length (ifconfig txqueuelen), packets.
+  std::uint32_t txqueuelen = 100;
+  /// Header-splitting / direct data placement (the paper's §3.5.3 proposal:
+  /// an aLAST-style engine, or RDMA-over-IP / RDDP): the adapter places
+  /// payloads directly into application memory and hands only headers to
+  /// the kernel, eliminating the socket copies on both paths.
+  bool header_splitting = false;
+};
+
+}  // namespace xgbe::os

@@ -1,0 +1,36 @@
+#include "os/costs.hpp"
+
+namespace xgbe::os {
+
+KernelCosts KernelCosts::scaled_for(const hw::SystemSpec& spec) {
+  const double cpu = spec.cpu_scale();
+  const double fsb = spec.fsb_scale();
+
+  KernelCosts c{};
+  // CPU-bound costs (scale with clock speed).
+  c.syscall = sim::usec_f(0.45 * cpu);
+  c.skb_alloc = sim::usec_f(0.30 * cpu);
+  c.skb_alloc_order = sim::usec_f(0.22 * cpu);
+  c.tx_proto = sim::usec_f(0.55 * cpu);
+  c.tx_driver = sim::usec_f(0.30 * cpu);
+  c.rx_queue_oldapi = sim::usec_f(0.45 * cpu);
+  c.rx_poll_napi = sim::usec_f(0.18 * cpu);
+  c.rx_proto = sim::usec_f(0.90 * cpu);
+  c.ack_rx = sim::usec_f(0.55 * cpu);
+  c.timestamp_extra = sim::usec_f(0.10 * cpu);
+  c.csum_per_byte = sim::psec(static_cast<std::int64_t>(450.0 * cpu));
+  // FSB/device-bound costs (uncached accesses, cacheline transfers).
+  c.doorbell = sim::usec_f(0.25 * fsb);
+  c.irq_entry = sim::usec_f(0.90 * fsb);
+  c.smp_bounce = sim::usec_f(1.00 * fsb);
+  c.wakeup = sim::usec_f(4.40 * (0.4 * cpu + 0.6 * fsb));
+  c.smp_factor = 1.60;
+  // Memory-path penalties shrink with FSB speed.
+  c.rx_copy_factor = 1.0 + 0.50 * fsb;
+  c.tx_copy_factor = 1.0 + 0.15 * fsb;
+  c.alloc_ghost_factor = 1.0 * fsb * fsb;
+  if (c.alloc_ghost_factor > 1.0) c.alloc_ghost_factor = 1.0;
+  return c;
+}
+
+}  // namespace xgbe::os

@@ -1,0 +1,62 @@
+// Kernel path cost model.
+//
+// Base constants are calibrated to the 2.2 GHz / 400 MHz-FSB Dell PE2650 and
+// scaled per SystemSpec: CPU-bound costs with clock speed, device/cacheline
+// costs with FSB speed. MAGNET-style per-packet profiling in the paper is
+// the empirical counterpart of this table.
+#pragma once
+
+#include "hw/system.hpp"
+#include "os/config.hpp"
+#include "sim/time.hpp"
+
+namespace xgbe::os {
+
+struct KernelCosts {
+  sim::SimTime syscall;          // send()/recv() entry + exit
+  sim::SimTime skb_alloc;        // allocate + prime one skb
+  sim::SimTime skb_alloc_order;  // extra cost per block-size doubling >4 KB
+  sim::SimTime wakeup;           // scheduler wakeup of a sleeping reader
+  sim::SimTime tx_proto;         // TCP/IP transmit work per segment
+  sim::SimTime tx_driver;        // driver xmit + descriptor setup
+  sim::SimTime doorbell;         // uncached PIO write to the NIC (FSB-bound)
+  sim::SimTime irq_entry;        // interrupt entry/exit (FSB-bound)
+  sim::SimTime rx_queue_oldapi;  // per packet queued in irq context
+  sim::SimTime rx_poll_napi;     // per packet polled outside irq context
+  sim::SimTime rx_proto;         // TCP/IP receive work per data segment
+  sim::SimTime ack_rx;           // processing a pure ACK at the sender
+  sim::SimTime timestamp_extra;  // per segment when timestamps are on
+  sim::SimTime csum_per_byte;    // software checksum when offload disabled
+  sim::SimTime smp_bounce;       // cacheline bouncing per packet (SMP only)
+  double smp_factor;             // multiplier on kernel costs (SMP kernel)
+  /// Copying cold (just-DMA'd) data runs slower than a STREAM copy; the
+  /// penalty shrinks with FSB speed (bus turnaround dominated).
+  double rx_copy_factor;
+  /// Transmit copies read a warm user buffer; small penalty.
+  double tx_copy_factor;
+  /// Fraction of the power-of-2 allocation slack that turns into memory-bus
+  /// traffic (allocator stress + write-allocate on oversized blocks).
+  double alloc_ghost_factor;
+
+  /// Builds the cost table for a host, applying clock and FSB scaling.
+  static KernelCosts scaled_for(const hw::SystemSpec& spec);
+
+  /// CPU cost of allocating one data block of `block_bytes` (power-of-2
+  /// rounding included by the caller): the buddy/slab work grows with the
+  /// block order — the paper's "far greater stress on the kernel's
+  /// memory-allocation subsystem" (§3.3).
+  sim::SimTime alloc_cost(std::uint32_t block_bytes) const {
+    sim::SimTime c = skb_alloc;
+    for (std::uint32_t b = 8192; b <= block_bytes; b <<= 1) {
+      c += skb_alloc_order;
+    }
+    return c;
+  }
+
+  /// Multiplier in effect for a given kernel mode.
+  double mode_factor(KernelMode mode) const {
+    return mode == KernelMode::kSmp ? smp_factor : 1.0;
+  }
+};
+
+}  // namespace xgbe::os

@@ -1,0 +1,51 @@
+// Linux 2.4-style kmalloc size classes and skb truesize accounting.
+//
+// The kernel allocates packet data buffers from pools of power-of-2 sized
+// blocks. A 9000-byte-MTU frame therefore lands in a 16384-byte block,
+// wasting ~7 KB; an 8160-byte MTU lets the whole frame (payload + TCP/IP +
+// Ethernet headers) fit an 8192-byte block. Socket receive-buffer limits are
+// charged in *truesize* (block + sk_buff struct), which is the mechanism
+// behind the paper's throughput dips (§3.3, §3.5.1) and the 8160-byte-MTU
+// optimization (Fig 5).
+#pragma once
+
+#include <cstdint>
+
+namespace xgbe::os {
+
+/// Smallest and largest general-purpose kmalloc caches in Linux 2.4.
+inline constexpr std::uint32_t kKmallocMinBlock = 32;
+inline constexpr std::uint32_t kKmallocMaxBlock = 131072;
+
+/// Slack the driver adds when sizing the skb data area (alignment padding
+/// plus shared-info tail in later kernels; 16 bytes in the 2.4 e1000-class
+/// drivers this models).
+inline constexpr std::uint32_t kSkbDataPad = 16;
+
+/// Size of struct sk_buff charged to the socket on top of the data block.
+inline constexpr std::uint32_t kSkbStructBytes = 160;
+
+/// Rounds `size` up to the kmalloc block that would satisfy it.
+constexpr std::uint32_t kmalloc_block(std::uint32_t size) {
+  std::uint32_t block = kKmallocMinBlock;
+  while (block < size && block < kKmallocMaxBlock) block <<= 1;
+  return block;
+}
+
+/// Data block backing a received frame of `frame_bytes` (Ethernet header
+/// through CRC).
+constexpr std::uint32_t rx_data_block(std::uint32_t frame_bytes) {
+  return kmalloc_block(frame_bytes + kSkbDataPad);
+}
+
+/// truesize charged against the socket receive buffer for one frame.
+constexpr std::uint32_t skb_truesize(std::uint32_t frame_bytes) {
+  return rx_data_block(frame_bytes) + kSkbStructBytes;
+}
+
+/// Bytes wasted (allocated but unused) by the power-of-2 rounding.
+constexpr std::uint32_t rx_alloc_waste(std::uint32_t frame_bytes) {
+  return rx_data_block(frame_bytes) - (frame_bytes + kSkbDataPad);
+}
+
+}  // namespace xgbe::os

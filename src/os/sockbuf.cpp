@@ -1,0 +1,52 @@
+#include "os/sockbuf.hpp"
+
+namespace xgbe::os {
+
+bool RxSocketBuffer::charge_frame(std::uint32_t frame_bytes,
+                                  std::uint32_t payload_bytes) {
+  const std::uint32_t truesize = skb_truesize(frame_bytes);
+  // Data inside the advertised window must not be dropped just because
+  // power-of-2 rounding made truesize overshoot rcvbuf: Linux prunes and
+  // collapses the receive queue (tcp_prune_queue) to compact memory, and
+  // only drops once genuinely out of space. The window computation is
+  // already zero once rmem_alloc reaches rcvbuf, which bounds the
+  // overshoot; 2x is the tcp_rmem pressure ceiling.
+  if (rmem_alloc_ > 2 * rcvbuf_) {
+    ++drops_;
+    return false;
+  }
+  rmem_alloc_ += truesize;
+  if (payload_bytes > 0) {
+    const double total_ts =
+        truesize_per_payload_ * payload_queued_ + truesize;
+    payload_queued_ += payload_bytes;
+    truesize_per_payload_ = total_ts / payload_queued_;
+  } else {
+    // Pure control segment: freed immediately after processing.
+    rmem_alloc_ -= truesize;
+  }
+  return true;
+}
+
+void RxSocketBuffer::release_payload(std::uint32_t payload_bytes) {
+  if (payload_bytes > payload_queued_) payload_bytes = payload_queued_;
+  const auto release_ts = static_cast<std::uint32_t>(
+      truesize_per_payload_ * static_cast<double>(payload_bytes) + 0.5);
+  rmem_alloc_ = rmem_alloc_ > release_ts ? rmem_alloc_ - release_ts : 0;
+  payload_queued_ -= payload_bytes;
+  if (payload_queued_ == 0) {
+    rmem_alloc_ = 0;  // avoid rounding residue once drained
+    truesize_per_payload_ = 0.0;
+  }
+}
+
+std::uint32_t TxSocketBuffer::writable_payload(std::uint32_t frame_bytes,
+                                               std::uint32_t payload) const {
+  if (full() || payload == 0) return 0;
+  const std::uint32_t free_ts = sndbuf_ - wmem_alloc_;
+  const std::uint32_t per_seg = skb_truesize(frame_bytes);
+  const std::uint32_t segs = free_ts / per_seg;
+  return segs * payload;
+}
+
+}  // namespace xgbe::os

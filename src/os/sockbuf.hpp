@@ -1,0 +1,89 @@
+// Socket buffer accounting (Linux 2.4 semantics).
+#pragma once
+
+#include <cstdint>
+
+#include "os/kmalloc.hpp"
+
+namespace xgbe::os {
+
+/// Receive-side socket memory accounting.
+///
+/// The limit (`rcvbuf`) is charged in truesize, not payload bytes, so the
+/// power-of-2 rounding of large-MTU frames silently shrinks the usable
+/// window. The advertised window derives from the free space scaled by
+/// tcp_adv_win_scale (Linux reserves 1/4 of the space for metadata overhead).
+class RxSocketBuffer {
+ public:
+  explicit RxSocketBuffer(std::uint32_t rcvbuf_bytes)
+      : rcvbuf_(rcvbuf_bytes) {}
+
+  /// Charges one received frame. Returns false (and charges nothing) if the
+  /// allocation would exceed the hard limit — the kernel drops the packet.
+  bool charge_frame(std::uint32_t frame_bytes, std::uint32_t payload_bytes);
+
+  /// Releases accounting for `payload_bytes` consumed by the application.
+  /// Frees proportional truesize (skbs are freed as their payload is read).
+  void release_payload(std::uint32_t payload_bytes);
+
+  std::uint32_t rcvbuf() const { return rcvbuf_; }
+  std::uint32_t rmem_alloc() const { return rmem_alloc_; }
+  std::uint32_t payload_queued() const { return payload_queued_; }
+
+  /// Free space available for new allocations (truesize terms).
+  std::uint32_t free_space() const {
+    return rmem_alloc_ >= rcvbuf_ ? 0 : rcvbuf_ - rmem_alloc_;
+  }
+
+  /// Window-eligible space: Linux reserves 1/(2^tcp_adv_win_scale) of the
+  /// buffer for overhead; the 2.4 default of 2 yields 3/4 of free space.
+  std::uint32_t window_space(int adv_win_scale = 2) const {
+    const std::uint32_t f = free_space();
+    return f - (f >> adv_win_scale);
+  }
+
+  /// Largest window the whole (empty) buffer could ever advertise.
+  std::uint32_t full_window_space(int adv_win_scale = 2) const {
+    return rcvbuf_ - (rcvbuf_ >> adv_win_scale);
+  }
+
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::uint32_t rcvbuf_;
+  std::uint32_t rmem_alloc_ = 0;
+  std::uint32_t payload_queued_ = 0;
+  // Sum of truesize per payload byte currently queued; lets release_payload
+  // uncharge exactly even when frame sizes vary.
+  double truesize_per_payload_ = 0.0;
+  std::uint64_t drops_ = 0;
+};
+
+/// Transmit-side accounting: payload bytes queued but not yet acknowledged,
+/// bounded by the send-buffer size. Charged in truesize as well (Linux
+/// charges wmem in truesize), using the block the tx path allocates.
+class TxSocketBuffer {
+ public:
+  explicit TxSocketBuffer(std::uint32_t sndbuf_bytes)
+      : sndbuf_(sndbuf_bytes) {}
+
+  /// Space available for an application write, in payload bytes, assuming
+  /// segments of roughly `frame_bytes` frames carrying `payload` each.
+  std::uint32_t writable_payload(std::uint32_t frame_bytes,
+                                 std::uint32_t payload) const;
+
+  void charge(std::uint32_t truesize) { wmem_alloc_ += truesize; }
+  void release(std::uint32_t truesize) {
+    wmem_alloc_ = wmem_alloc_ > truesize ? wmem_alloc_ - truesize : 0;
+  }
+
+  std::uint32_t sndbuf() const { return sndbuf_; }
+  std::uint32_t wmem_alloc() const { return wmem_alloc_; }
+  bool full() const { return wmem_alloc_ >= sndbuf_; }
+
+ private:
+  std::uint32_t sndbuf_;
+  std::uint32_t wmem_alloc_ = 0;
+};
+
+}  // namespace xgbe::os

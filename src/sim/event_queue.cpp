@@ -1,0 +1,61 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xgbe::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  ++live_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id.seq == 0 || id.seq >= next_seq_) return;
+  // We cannot know cheaply whether the event is still in the heap; record the
+  // seq and skip it lazily. Duplicate cancels are filtered here.
+  if (is_cancelled(id.seq)) return;
+  cancelled_.push_back(id.seq);
+  std::sort(cancelled_.begin(), cancelled_.end());
+  if (live_ > 0) --live_;
+}
+
+bool EventQueue::is_cancelled(std::uint64_t seq) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
+}
+
+void EventQueue::forget_cancelled(std::uint64_t seq) {
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
+  if (it != cancelled_.end() && *it == seq) cancelled_.erase(it);
+}
+
+void EventQueue::drop_cancelled() const {
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() && is_cancelled(self->heap_.top().seq)) {
+    self->forget_cancelled(self->heap_.top().seq);
+    self->heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; moving the callback out is safe because
+  // the entry is popped immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.cb)};
+  heap_.pop();
+  assert(live_ > 0);
+  --live_;
+  return fired;
+}
+
+}  // namespace xgbe::sim

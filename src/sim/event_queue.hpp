@@ -1,0 +1,71 @@
+// Deterministic pending-event set.
+//
+// Events are ordered by (time, insertion sequence); the sequence tiebreak
+// makes simulations bit-for-bit reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xgbe::sim {
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. Returns a handle for cancel().
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op.
+  void cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    Callback cb;
+  };
+  Fired pop();
+
+  /// Total events ever scheduled (diagnostic).
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<std::uint64_t> cancelled_;  // sorted lazily, typically tiny
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+
+  bool is_cancelled(std::uint64_t seq) const;
+  void forget_cancelled(std::uint64_t seq);
+};
+
+}  // namespace xgbe::sim

@@ -1,0 +1,79 @@
+// Periodic time-series sampling of simulation state.
+//
+// A Recorder calls a sampler at a fixed simulated-time interval and stores
+// (time, value) points — the facility behind congestion-window trajectories
+// and utilization timelines in the examples and benches.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace xgbe::sim {
+
+class Recorder {
+ public:
+  using Sampler = std::function<double()>;
+
+  Recorder(Simulator& simulator, SimTime interval, Sampler sampler)
+      : sim_(simulator), interval_(interval), sampler_(std::move(sampler)) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Starts sampling (first sample after one interval).
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(pending_);
+  }
+
+  const std::vector<std::pair<SimTime, double>>& samples() const {
+    return samples_;
+  }
+
+  /// Largest sampled value (0 if empty).
+  double peak() const {
+    double best = 0.0;
+    for (const auto& [t, v] : samples_) {
+      (void)t;
+      if (v > best) best = v;
+    }
+    return best;
+  }
+
+  /// First sample time at which the value reached `threshold` (-1 if never).
+  SimTime time_to_reach(double threshold) const {
+    for (const auto& [t, v] : samples_) {
+      if (v >= threshold) return t;
+    }
+    return -1;
+  }
+
+ private:
+  void arm() {
+    pending_ = sim_.schedule(interval_, [this]() {
+      if (!running_) return;
+      samples_.emplace_back(sim_.now(), sampler_());
+      arm();
+    });
+  }
+
+  Simulator& sim_;
+  SimTime interval_;
+  Sampler sampler_;
+  std::vector<std::pair<SimTime, double>> samples_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace xgbe::sim

@@ -1,0 +1,28 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+
+namespace xgbe::sim {
+
+void Simulator::run_until(SimTime horizon) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.next_time() > horizon) {
+      now_ = horizon;
+      return;
+    }
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++executed_;
+    fired.cb();
+  }
+  // The pending set drained (or stop() fired) before the horizon: advance
+  // the clock to the horizon anyway so bounded waits always make progress.
+  // run() passes SimTime max as its horizon; leave the clock alone there.
+  if (!stopped_ && horizon != std::numeric_limits<SimTime>::max() &&
+      now_ < horizon) {
+    now_ = horizon;
+  }
+}
+
+}  // namespace xgbe::sim

@@ -1,0 +1,62 @@
+// Discrete-event simulation driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace xgbe::sim {
+
+/// Single-threaded deterministic discrete-event simulator.
+///
+/// Components schedule callbacks; run() executes them in (time, schedule
+/// order) until the pending set drains, a stop is requested, or a horizon is
+/// reached. A Simulator is the root object every model component holds a
+/// reference to; it owns nothing but the clock and the event set.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` picoseconds from now (>= 0).
+  EventId schedule(SimTime delay, EventQueue::Callback cb) {
+    return queue_.schedule(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `at` (clamped to `now()`).
+  EventId schedule_at(SimTime at, EventQueue::Callback cb) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(cb));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the event set drains or stop() is called.
+  void run() { run_until(std::numeric_limits<SimTime>::max()); }
+
+  /// Runs until `horizon` (inclusive for events at exactly `horizon`),
+  /// the event set drains, or stop() is called. The clock advances to the
+  /// last executed event, never past `horizon`.
+  void run_until(SimTime horizon);
+
+  /// Requests that run() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+  /// Number of events executed so far (diagnostic / test hook).
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace xgbe::sim

@@ -1,0 +1,63 @@
+// Simulation time base and unit helpers.
+//
+// All simulated time is kept as an integer count of picoseconds. At 10 Gb/s
+// one byte serializes in exactly 800 ps, so picosecond resolution keeps wire
+// arithmetic exact; a signed 64-bit count covers ~106 days of simulated time,
+// far beyond any experiment in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace xgbe::sim {
+
+/// Simulated time in picoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1'000;
+inline constexpr SimTime kMicrosecond = 1'000'000;
+inline constexpr SimTime kMillisecond = 1'000'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000'000;
+
+/// Converts a duration in seconds (floating point) to SimTime.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Converts SimTime to seconds.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts SimTime to microseconds.
+constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Duration helpers for readable call sites: `usec(5)`, `msec(40)`.
+constexpr SimTime psec(std::int64_t n) { return n * kPicosecond; }
+constexpr SimTime nsec(std::int64_t n) { return n * kNanosecond; }
+constexpr SimTime usec(std::int64_t n) { return n * kMicrosecond; }
+constexpr SimTime msec(std::int64_t n) { return n * kMillisecond; }
+constexpr SimTime sec(std::int64_t n) { return n * kSecond; }
+
+/// Fractional-microsecond helper (e.g. `usec_f(0.25)`).
+constexpr SimTime usec_f(double n) {
+  return static_cast<SimTime>(n * static_cast<double>(kMicrosecond));
+}
+
+/// Time needed to move `bytes` at `bits_per_second` (rounded up to whole ps).
+constexpr SimTime transfer_time(std::int64_t bytes, double bits_per_second) {
+  const double seconds = static_cast<double>(bytes) * 8.0 / bits_per_second;
+  const double ps = seconds * static_cast<double>(kSecond);
+  const auto whole = static_cast<SimTime>(ps);
+  return whole + (static_cast<double>(whole) < ps ? 1 : 0);
+}
+
+/// Steady-state rate in bits/s implied by `bytes` delivered over `elapsed`.
+constexpr double rate_bps(std::int64_t bytes, SimTime elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / to_seconds(elapsed);
+}
+
+}  // namespace xgbe::sim

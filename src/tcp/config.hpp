@@ -1,0 +1,55 @@
+// Per-endpoint TCP configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "net/headers.hpp"
+
+namespace xgbe::tcp {
+
+struct EndpointConfig {
+  std::uint32_t mtu = net::kMtuStandard;
+  /// RFC 1323 timestamps (12 option bytes per segment, used for RTT
+  /// sampling; paper disables them on the E7505 systems, §3.4).
+  bool timestamps = true;
+  /// Nagle's algorithm (TCP_NODELAY clears it).
+  bool nagle = true;
+  /// NTTCP-style write semantics: each application write ends a record
+  /// (PSH) and is segmented independently, so sub-MSS writes travel as
+  /// their own segments. Iperf-style streaming sets this false and
+  /// coalesces the byte stream into full-MSS segments.
+  bool push_per_write = true;
+  /// Socket buffer sizes; defaults mirror Linux 2.4 (87380 rcvbuf yields
+  /// the 64 KB default advertised window).
+  std::uint32_t rcvbuf = 87380;
+  std::uint32_t sndbuf = 65536;
+  /// tcp_adv_win_scale: fraction of rcvbuf reserved for skb overhead.
+  int adv_win_scale = 2;
+  /// TCP segmentation offload: hand super-segments up to tso_max to the
+  /// adapter, which re-segments on the wire.
+  bool tso = false;
+  std::uint32_t tso_max = 65536;
+  /// Initial congestion window in segments (Linux 2.4 default).
+  std::uint32_t initial_cwnd = 2;
+  /// Receiver MSS-estimate bias in bytes, modelling the estimation quirk
+  /// the paper observed ("the sender using a larger MSS value than the
+  /// receiver... might well be an implementation bug", §3.5.1). Positive
+  /// values make the receiver round its window with an overestimate.
+  std::int32_t rcv_mss_bias = 0;
+  /// Disable the Linux SWS-avoidance MSS rounding of the advertised window
+  /// (ablation knob; real 2.4 kernels always round).
+  bool sws_round_window = true;
+  /// Application reader behaviour: bytes per recv() call.
+  std::uint32_t read_chunk = 65536;
+  /// If false the receiving application never reads (window fills).
+  bool app_reader = true;
+  /// Delayed-ACK: acknowledge every `delack_segments` full segments.
+  std::uint32_t delack_segments = 2;
+
+  /// Payload bytes per segment for this endpoint's MTU and options.
+  std::uint32_t local_payload_per_segment() const {
+    return net::payload_per_segment(mtu, timestamps);
+  }
+};
+
+}  // namespace xgbe::tcp

@@ -1,0 +1,56 @@
+#include "tcp/cwnd.hpp"
+
+#include <algorithm>
+
+namespace xgbe::tcp {
+
+void CongestionControl::bump(std::uint32_t acked_segments) {
+  for (std::uint32_t i = 0; i < acked_segments; ++i) {
+    if (cwnd_ >= clamp_) return;
+    if (in_slow_start()) {
+      ++cwnd_;  // one segment per ACKed segment
+    } else {
+      // Additive increase: one segment per window's worth of ACKs.
+      if (++cwnd_cnt_ >= cwnd_) {
+        ++cwnd_;
+        cwnd_cnt_ = 0;
+      }
+    }
+  }
+}
+
+void CongestionControl::on_ack(std::uint32_t acked_segments) {
+  if (in_recovery_) return;  // growth suspended during recovery
+  bump(acked_segments);
+}
+
+bool CongestionControl::on_fast_retransmit(std::uint32_t flight_segments) {
+  if (in_recovery_) return false;
+  in_recovery_ = true;
+  ssthresh_ = std::max<std::uint32_t>(flight_segments / 2, 2);
+  cwnd_ = ssthresh_;
+  inflation_ = 3;  // the three duplicate ACKs have left the network
+  cwnd_cnt_ = 0;
+  return true;
+}
+
+void CongestionControl::on_partial_ack() {
+  if (inflation_ > 0) --inflation_;
+}
+
+void CongestionControl::on_recovery_exit() {
+  in_recovery_ = false;
+  inflation_ = 0;
+  cwnd_ = ssthresh_;
+  cwnd_cnt_ = 0;
+}
+
+void CongestionControl::on_timeout(std::uint32_t flight_segments) {
+  ssthresh_ = std::max<std::uint32_t>(flight_segments / 2, 2);
+  cwnd_ = 1;
+  cwnd_cnt_ = 0;
+  inflation_ = 0;
+  in_recovery_ = false;
+}
+
+}  // namespace xgbe::tcp

@@ -1,0 +1,60 @@
+// Reno/NewReno congestion control in Linux style: the congestion window is
+// counted in whole segments, which is one half of the MSS-alignment
+// phenomenon the paper analyses in §3.5.1 (the other half is the receiver's
+// MSS-rounded advertised window).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xgbe::tcp {
+
+class CongestionControl {
+ public:
+  explicit CongestionControl(std::uint32_t initial_cwnd = 2)
+      : cwnd_(initial_cwnd) {}
+
+  /// Congestion window in segments.
+  std::uint32_t cwnd() const { return cwnd_; }
+  std::uint32_t ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  bool in_recovery() const { return in_recovery_; }
+
+  /// A new cumulative ACK arrived covering `acked_segments` segments.
+  void on_ack(std::uint32_t acked_segments);
+
+  /// Third duplicate ACK: fast retransmit. `flight_segments` is the number
+  /// of segments outstanding. Returns true if we entered recovery.
+  bool on_fast_retransmit(std::uint32_t flight_segments);
+
+  /// Additional duplicate ACK while in recovery (window inflation).
+  void on_dupack_in_recovery() { ++inflation_; }
+
+  /// Partial ACK during NewReno recovery (stay in recovery, deflate).
+  void on_partial_ack();
+
+  /// Recovery completed (ACK reached the recovery point).
+  void on_recovery_exit();
+
+  /// Retransmission timeout: collapse to one segment.
+  void on_timeout(std::uint32_t flight_segments);
+
+  /// Usable window in segments including recovery inflation.
+  std::uint32_t usable_cwnd() const { return cwnd_ + inflation_; }
+
+  /// Hard upper bound (snd_cwnd_clamp); used to model the flow-window cap
+  /// trick of the WAN experiment when socket buffers bound the window.
+  void set_clamp(std::uint32_t clamp) { clamp_ = clamp; }
+
+ private:
+  void bump(std::uint32_t acked_segments);
+
+  std::uint32_t cwnd_;
+  std::uint32_t ssthresh_ = std::numeric_limits<std::uint32_t>::max() / 2;
+  std::uint32_t cwnd_cnt_ = 0;  // CA accumulator (Linux snd_cwnd_cnt)
+  std::uint32_t inflation_ = 0;
+  std::uint32_t clamp_ = std::numeric_limits<std::uint32_t>::max() / 2;
+  bool in_recovery_ = false;
+};
+
+}  // namespace xgbe::tcp

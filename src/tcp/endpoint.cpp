@@ -1,0 +1,756 @@
+#include "tcp/endpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cassert>
+
+#include "net/headers.hpp"
+#include "os/kmalloc.hpp"
+
+namespace xgbe::tcp {
+namespace {
+
+/// Delayed-ACK timer (Linux 2.4 minimum delack interval).
+constexpr sim::SimTime kDelackTimeout = sim::msec(40);
+
+/// Window-scale shift needed so that `space` fits in a 16-bit field.
+std::uint8_t wscale_for(std::uint32_t space) {
+  std::uint8_t shift = 0;
+  while (shift < 14 && (space >> shift) > 65535) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(sim::Simulator& simulator, const EndpointConfig& config,
+                   Hooks hooks)
+    : sim_(simulator),
+      config_(config),
+      hooks_(std::move(hooks)),
+      txbuf_(config.sndbuf),
+      rxbuf_(config.rcvbuf),
+      wadv_(config.sws_round_window,
+            /*max_window=*/0x3fffffffu /* refined after negotiation */) {
+  assert(hooks_.kernel != nullptr);
+  // Deterministic ISS derived from addressing; no security concerns here.
+  iss_ = hooks_.local_node * 100003u + hooks_.flow * 17u + 1u;
+}
+
+net::Packet Endpoint::make_packet(std::uint32_t payload,
+                                  net::Seq seq) const {
+  net::Packet pkt;
+  pkt.protocol = net::Protocol::kTcp;
+  pkt.flow = hooks_.flow;
+  pkt.src = hooks_.local_node;
+  pkt.dst = hooks_.remote_node;
+  pkt.payload_bytes = payload;
+  pkt.frame_bytes = net::tcp_frame_bytes(payload, ts_on_);
+  pkt.tcp.seq = seq;
+  pkt.tcp.timestamps = ts_on_;
+  pkt.tcp.ts_val = sim_.now();
+  pkt.tcp.ts_ecr = last_ts_val_;
+  pkt.created_at = sim_.now();
+  return pkt;
+}
+
+// --- Handshake --------------------------------------------------------------
+
+void Endpoint::listen() { state_ = TcpState::kListen; }
+
+void Endpoint::connect() {
+  state_ = TcpState::kSynSent;
+  send_syn(/*ack=*/false);
+  arm_handshake_timer();
+}
+
+void Endpoint::arm_handshake_timer() {
+  // SYN / SYN-ACK retransmission with exponential backoff (RFC 6298 3 s
+  // initial RTO); gives up after five attempts.
+  if (handshake_armed_ || handshake_attempts_ >= 5) return;
+  handshake_armed_ = true;
+  const sim::SimTime delay = sim::sec(3) << std::min(handshake_attempts_, 4);
+  handshake_timer_ = sim_.schedule(delay, [this]() {
+    handshake_armed_ = false;
+    if (established() || state_ == TcpState::kClosed) return;
+    ++handshake_attempts_;
+    send_syn(/*ack=*/state_ == TcpState::kSynReceived);
+    arm_handshake_timer();
+  });
+}
+
+void Endpoint::close() {
+  if (state_ == TcpState::kClosed || fin_pending_ || fin_sent_) return;
+  if (state_ == TcpState::kListen || state_ == TcpState::kSynSent) {
+    state_ = TcpState::kClosed;
+    if (on_closed) on_closed();
+    return;
+  }
+  fin_pending_ = true;
+  maybe_send_fin();
+}
+
+void Endpoint::maybe_send_fin() {
+  // The FIN goes out only after every queued byte has been sent.
+  if (!fin_pending_ || fin_sent_) return;
+  if (!unsent_.empty() || !pending_writes_.empty() || write_in_kernel_) return;
+  fin_sent_ = true;
+  fin_pending_ = false;
+  fin_seq_ = snd_nxt_;
+  snd_nxt_ += 1;  // the FIN occupies one sequence number
+  net::Packet pkt = make_packet(0, fin_seq_);
+  pkt.tcp.flags.fin = true;
+  pkt.tcp.flags.ack = true;
+  pkt.tcp.ack = reasm_.rcv_nxt();
+  pkt.tcp.window = compute_window();
+  hooks_.emit(pkt);
+  if (!rto_armed_) arm_rto();
+  state_ = (state_ == TcpState::kCloseWait) ? TcpState::kLastAck
+                                            : TcpState::kFinWait1;
+}
+
+void Endpoint::handle_fin(const net::Packet& pkt) {
+  // Accept the FIN only once all data before it has arrived.
+  if (pkt.tcp.seq != reasm_.rcv_nxt() + pkt.payload_bytes) return;
+  if (fin_received_) {
+    send_ack(false);  // retransmitted FIN
+    return;
+  }
+  fin_received_ = true;
+  reasm_ = Reassembly(pkt.tcp.seq + pkt.payload_bytes + 1);
+  send_ack(false);
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:  // simultaneous close
+    case TcpState::kFinWait2:
+      enter_time_wait();
+      break;
+    default:
+      break;
+  }
+}
+
+void Endpoint::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  // 2MSL quiet period; shortened from the RFC 793 minutes to keep
+  // simulations snappy — nothing in the model depends on its length.
+  sim_.schedule(sim::sec(1), [this]() {
+    if (state_ == TcpState::kTimeWait) {
+      state_ = TcpState::kClosed;
+      if (on_closed) on_closed();
+    }
+  });
+}
+
+// --- Zero-window persist timer ----------------------------------------------
+
+void Endpoint::arm_persist_timer() {
+  if (persist_armed_) return;
+  persist_armed_ = true;
+  sim::SimTime delay = rtt_.rto() << std::min(persist_backoff_, 6);
+  if (delay > sim::sec(60)) delay = sim::sec(60);
+  persist_timer_ = sim_.schedule(delay, [this]() {
+    persist_armed_ = false;
+    on_persist_timeout();
+  });
+}
+
+void Endpoint::cancel_persist_timer() {
+  if (persist_armed_) {
+    sim_.cancel(persist_timer_);
+    persist_armed_ = false;
+  }
+  persist_backoff_ = 0;
+}
+
+void Endpoint::on_persist_timeout() {
+  // Still zero-window? Send a one-byte window probe from the head of the
+  // unsent queue; the receiver must answer with its current window even if
+  // it cannot accept the byte.
+  if (unsent_.empty() || !retx_q_.empty()) return;
+  const std::uint32_t in_flight = net::seq_span(snd_una_, snd_nxt_);
+  if (in_flight + unsent_.front().len <= rwnd_) {
+    try_send();  // window opened while the timer was pending
+    return;
+  }
+  TxSegment& head = unsent_.front();
+  TxSegment probe;
+  probe.len = 1;
+  probe.push = false;
+  probe.packets = 1;
+  probe.truesize = os::skb_truesize(net::tcp_frame_bytes(1, ts_on_));
+  txbuf_.charge(probe.truesize);
+  head.len -= 1;
+  probe.seq = snd_nxt_;
+  if (head.len == 0) {
+    txbuf_.release(head.truesize);
+    probe.push = head.push;
+    unsent_.pop_front();
+  }
+  send_segment(probe, /*retransmission=*/false);
+  snd_nxt_ += 1;
+  retx_q_.push_back(probe);
+  ++stats_.window_probes;
+  ++persist_backoff_;
+  arm_persist_timer();
+}
+
+void Endpoint::handshake_established() {
+  if (handshake_armed_) {
+    sim_.cancel(handshake_timer_);
+    handshake_armed_ = false;
+  }
+}
+
+void Endpoint::send_syn(bool ack) {
+  net::Packet pkt = make_packet(0, iss_);
+  pkt.tcp.flags.syn = true;
+  pkt.tcp.flags.ack = ack;
+  if (ack) pkt.tcp.ack = reasm_.rcv_nxt();
+  pkt.tcp.timestamps = config_.timestamps;  // offer, not yet negotiated
+  pkt.tcp.mss_option =
+      static_cast<std::uint16_t>(net::mss_for_mtu(config_.mtu));
+  pkt.tcp.wscale_present = true;
+  pkt.tcp.wscale_option =
+      wscale_for(rxbuf_.full_window_space(config_.adv_win_scale));
+  pkt.tcp.window = std::min<std::uint32_t>(
+      rxbuf_.full_window_space(config_.adv_win_scale), 65535);
+  hooks_.emit(pkt);
+}
+
+void Endpoint::complete_handshake(const net::Packet& pkt) {
+  ts_on_ = config_.timestamps && pkt.tcp.timestamps;
+  peer_mss_option_ = pkt.tcp.mss_option ? pkt.tcp.mss_option : 536;
+  // Payload per segment: bounded by our own MTU and the peer's MSS option,
+  // minus per-segment option bytes.
+  const std::uint32_t local = net::mss_for_mtu(config_.mtu);
+  snd_mss_payload_ = std::min<std::uint32_t>(local, peer_mss_option_) -
+                     (ts_on_ ? net::kTcpTimestampOptionBytes : 0);
+  snd_wscale_ =
+      wscale_for(rxbuf_.full_window_space(config_.adv_win_scale));
+  const std::uint32_t clamp =
+      pkt.tcp.wscale_present
+          ? std::min<std::uint32_t>(0x3fffffffu, 65535u << snd_wscale_)
+          : 65535u;
+  wadv_ = WindowAdvertiser(config_.sws_round_window, clamp);
+  snd_una_ = snd_nxt_ = iss_ + 1;
+  rwnd_ = pkt.tcp.window;
+}
+
+// --- Application writes -----------------------------------------------------
+
+std::uint32_t Endpoint::record_truesize(std::uint32_t bytes) const {
+  // truesize the record will occupy once segmented (full segments + tail).
+  const std::uint32_t mss = snd_mss_payload_;
+  const std::uint32_t full = bytes / mss;
+  const std::uint32_t tail = bytes % mss;
+  std::uint32_t ts = full * os::skb_truesize(net::tcp_frame_bytes(mss, ts_on_));
+  if (tail > 0) ts += os::skb_truesize(net::tcp_frame_bytes(tail, ts_on_));
+  return ts;
+}
+
+void Endpoint::app_send(std::uint32_t bytes, std::function<void()> admitted) {
+  assert(bytes > 0 && bytes <= config_.sndbuf);
+  pending_writes_.push_back(PendingWrite{bytes, std::move(admitted)});
+  admit_pending_writes();
+}
+
+void Endpoint::admit_pending_writes() {
+  if (write_in_kernel_ || pending_writes_.empty() || !can_carry_data())
+    return;
+  const PendingWrite& w = pending_writes_.front();
+  const std::uint32_t need = record_truesize(w.bytes);
+  if (txbuf_.wmem_alloc() + need > txbuf_.sndbuf() &&
+      txbuf_.wmem_alloc() > 0) {
+    return;  // wait for ACKs to free space (blocking write)
+  }
+  write_in_kernel_ = true;
+  const std::uint32_t bytes = w.bytes;
+  const int nsegs =
+      static_cast<int>((bytes + snd_mss_payload_ - 1) / snd_mss_payload_);
+  const std::uint32_t block = os::rx_data_block(net::tcp_frame_bytes(
+      std::min(bytes, snd_mss_payload_), ts_on_));
+  hooks_.kernel->app_write(bytes, nsegs, block, [this, bytes]() {
+    write_in_kernel_ = false;
+    PendingWrite w = std::move(pending_writes_.front());
+    pending_writes_.pop_front();
+    enqueue_record(bytes);
+    try_send();
+    if (w.admitted) w.admitted();
+    admit_pending_writes();
+  });
+}
+
+void Endpoint::enqueue_record(std::uint32_t bytes) {
+  const std::uint32_t mss = snd_mss_payload_;
+  if (config_.tso && bytes > mss) {
+    // Build super-segments up to tso_max; the adapter re-segments.
+    std::uint32_t remaining = bytes;
+    while (remaining > 0) {
+      const std::uint32_t chunk = std::min(remaining, config_.tso_max);
+      TxSegment seg;
+      seg.len = chunk;
+      seg.push = (remaining == chunk) && config_.push_per_write;
+      seg.packets = (chunk + mss - 1) / mss;
+      seg.truesize =
+          os::skb_truesize(net::tcp_frame_bytes(chunk > mss ? mss : chunk,
+                                                ts_on_)) *
+          seg.packets;
+      txbuf_.charge(seg.truesize);
+      unsent_.push_back(seg);
+      remaining -= chunk;
+    }
+    return;
+  }
+  std::uint32_t remaining = bytes;
+  // Stream semantics (no per-write record boundary): top up a sub-MSS tail
+  // segment left by the previous write, so Nagle never head-of-line blocks
+  // the queue on an artificial record edge.
+  if (!config_.push_per_write && !unsent_.empty() &&
+      unsent_.back().len < mss) {
+    TxSegment& tail = unsent_.back();
+    const std::uint32_t delta = std::min(mss - tail.len, remaining);
+    const std::uint32_t new_truesize =
+        os::skb_truesize(net::tcp_frame_bytes(tail.len + delta, ts_on_));
+    txbuf_.release(tail.truesize);
+    txbuf_.charge(new_truesize);
+    tail.len += delta;
+    tail.truesize = new_truesize;
+    remaining -= delta;
+  }
+  while (remaining > 0) {
+    const std::uint32_t chunk = std::min(remaining, mss);
+    TxSegment seg;
+    seg.len = chunk;
+    seg.push = (remaining == chunk) && config_.push_per_write;
+    seg.truesize = os::skb_truesize(net::tcp_frame_bytes(chunk, ts_on_));
+    txbuf_.charge(seg.truesize);
+    unsent_.push_back(seg);
+    remaining -= chunk;
+  }
+}
+
+// --- Sender -----------------------------------------------------------------
+
+std::uint32_t Endpoint::flight_packets() const {
+  std::uint32_t n = 0;
+  for (const auto& seg : retx_q_) n += seg.packets;
+  return n;
+}
+
+void Endpoint::try_send() {
+  if (!can_carry_data()) return;
+  while (!unsent_.empty()) {
+    TxSegment& seg = unsent_.front();
+    const std::uint32_t fp = flight_packets();
+    const std::uint32_t budget =
+        cc_.usable_cwnd() > fp ? cc_.usable_cwnd() - fp : 0;
+    if (budget == 0) break;
+    if (seg.packets > budget) {
+      // A TSO super-segment larger than the congestion window: send what
+      // the window allows now (Linux tso_fragment) and keep the rest.
+      if (seg.packets == 1) break;
+      const std::uint32_t take = budget * snd_mss_payload_;
+      if (take == 0 || take >= seg.len) break;
+      TxSegment head;
+      head.len = take;
+      head.push = false;
+      head.packets = budget;
+      head.truesize = record_truesize(take);
+      txbuf_.release(seg.truesize);
+      seg.len -= take;
+      seg.packets = (seg.len + snd_mss_payload_ - 1) / snd_mss_payload_;
+      seg.truesize = record_truesize(seg.len);
+      txbuf_.charge(head.truesize + seg.truesize);
+      unsent_.push_front(head);
+      continue;
+    }
+    const std::uint32_t in_flight = net::seq_span(snd_una_, snd_nxt_);
+    if (in_flight + seg.len > rwnd_) {
+      // Zero-window deadlock guard: with nothing in flight there will be
+      // no ACK to reopen the window — start probing (persist timer).
+      if (retx_q_.empty() && in_flight == 0) arm_persist_timer();
+      break;
+    }
+    // Nagle: hold a sub-MSS segment while data is outstanding, unless the
+    // application uses write-per-record semantics (NTTCP behaviour).
+    if (config_.nagle && !config_.push_per_write &&
+        seg.len < snd_mss_payload_ && !retx_q_.empty()) {
+      break;
+    }
+    seg.seq = snd_nxt_;
+    cancel_persist_timer();
+    send_segment(seg, /*retransmission=*/false);
+    snd_nxt_ += seg.len;
+    retx_q_.push_back(seg);
+    unsent_.pop_front();
+  }
+  maybe_send_fin();
+}
+
+void Endpoint::send_segment(TxSegment& seg, bool retransmission) {
+  net::Packet pkt = make_packet(seg.len, seg.seq);
+  pkt.tcp.flags.ack = true;
+  pkt.tcp.ack = reasm_.rcv_nxt();
+  pkt.tcp.window = compute_window();
+  pkt.tcp.push = seg.push;
+  pkt.tcp.is_retransmit = retransmission;
+  if (seg.packets > 1) pkt.tcp.tso_mss = snd_mss_payload_;
+  if (trace_every_ != 0 && (++trace_counter_ % trace_every_) == 0) {
+    pkt.trace.enabled = true;
+  }
+  if (!retransmission) {
+    seg.first_sent = sim_.now();
+    stats_.bytes_sent += seg.len;
+  } else {
+    seg.retransmitted = true;
+    ++stats_.retransmits;
+  }
+  stats_.segments_sent += seg.packets;
+  hooks_.emit(pkt);
+  if (!rto_armed_) arm_rto();
+  if (cwnd_trace) cwnd_trace(sim_.now(), cc_.cwnd());
+}
+
+void Endpoint::retransmit_head() {
+  if (retx_q_.empty()) return;
+  send_segment(retx_q_.front(), /*retransmission=*/true);
+}
+
+void Endpoint::arm_rto() {
+  rto_armed_ = true;
+  rto_timer_ = sim_.schedule(rtt_.rto(), [this]() {
+    rto_armed_ = false;
+    on_rto();
+  });
+}
+
+void Endpoint::cancel_rto() {
+  if (rto_armed_) {
+    sim_.cancel(rto_timer_);
+    rto_armed_ = false;
+  }
+}
+
+void Endpoint::on_rto() {
+  if (retx_q_.empty()) {
+    if (fin_sent_ && net::seq_le(snd_una_, fin_seq_) &&
+        state_ != TcpState::kClosed) {
+      // Retransmit the FIN.
+      net::Packet pkt = make_packet(0, fin_seq_);
+      pkt.tcp.flags.fin = true;
+      pkt.tcp.flags.ack = true;
+      pkt.tcp.ack = reasm_.rcv_nxt();
+      pkt.tcp.window = compute_window();
+      pkt.tcp.is_retransmit = true;
+      hooks_.emit(pkt);
+      rtt_.backoff();
+      arm_rto();
+    }
+    return;
+  }
+  ++stats_.timeouts;
+  cc_.on_timeout(flight_packets());
+  rtt_.backoff();
+  dupacks_ = 0;
+  retransmit_head();
+  if (!rto_armed_) arm_rto();
+}
+
+void Endpoint::notify_if_drained() {
+  if (retx_q_.empty() && unsent_.empty() && pending_writes_.empty() &&
+      on_all_acked) {
+    on_all_acked();
+  }
+}
+
+void Endpoint::handle_ack(const net::Packet& pkt) {
+  const std::uint32_t old_rwnd = rwnd_;
+  rwnd_ = pkt.tcp.window;
+  const net::Seq ack = pkt.tcp.ack;
+
+  if (net::seq_gt(ack, snd_una_)) {
+    // New data acknowledged.
+    std::uint32_t acked_segments = 0;
+    std::uint32_t freed_truesize = 0;
+    bool rtt_sampled = false;
+    while (!retx_q_.empty() &&
+           net::seq_le(retx_q_.front().seq + retx_q_.front().len, ack)) {
+      const TxSegment& seg = retx_q_.front();
+      acked_segments += seg.packets;
+      freed_truesize += seg.truesize;
+      stats_.bytes_acked += seg.len;
+      if (!seg.retransmitted && !rtt_sampled && !ts_on_) {
+        rtt_.sample(sim_.now() - seg.first_sent);
+        rtt_sampled = true;
+      }
+      retx_q_.pop_front();
+    }
+    // Byte-granular ACK landing inside a (TSO super-)segment: trim the
+    // covered prefix so congestion accounting sees the acked packets.
+    if (!retx_q_.empty() && net::seq_gt(ack, retx_q_.front().seq)) {
+      TxSegment& f = retx_q_.front();
+      const std::uint32_t covered = net::seq_span(f.seq, ack);
+      const std::uint32_t old_packets = f.packets;
+      const std::uint32_t old_truesize = f.truesize;
+      f.seq = ack;
+      f.len -= covered;
+      f.packets = (f.len + snd_mss_payload_ - 1) / snd_mss_payload_;
+      f.truesize = record_truesize(f.len);
+      acked_segments += old_packets - f.packets;
+      freed_truesize += old_truesize > f.truesize
+                            ? old_truesize - f.truesize
+                            : 0;
+      stats_.bytes_acked += covered;
+    }
+    if (ts_on_ && pkt.tcp.ts_ecr > 0) {
+      rtt_.sample(sim_.now() - pkt.tcp.ts_ecr);
+    }
+    snd_una_ = ack;
+    txbuf_.release(freed_truesize);
+
+    if (cc_.in_recovery()) {
+      if (net::seq_ge(ack, recover_)) {
+        cc_.on_recovery_exit();
+        dupacks_ = 0;
+      } else {
+        // NewReno partial ACK: retransmit the next hole immediately.
+        cc_.on_partial_ack();
+        retransmit_head();
+      }
+    } else {
+      cc_.on_ack(acked_segments);
+      dupacks_ = 0;
+    }
+
+    cancel_rto();
+    if (!retx_q_.empty() || (fin_sent_ && net::seq_le(ack, fin_seq_))) {
+      arm_rto();
+    }
+    if (fin_sent_ && net::seq_gt(ack, fin_seq_)) {
+      // Our FIN is acknowledged.
+      if (state_ == TcpState::kFinWait1) {
+        state_ = TcpState::kFinWait2;
+      } else if (state_ == TcpState::kLastAck) {
+        state_ = TcpState::kClosed;
+        if (on_closed) on_closed();
+      }
+    }
+    admit_pending_writes();
+    try_send();
+    notify_if_drained();
+    return;
+  }
+
+  // RFC 5681 duplicate ACK: no payload, no SYN/FIN, no window change, and
+  // outstanding data. Window updates must not trigger fast retransmit.
+  if (ack == snd_una_ && !retx_q_.empty() && pkt.payload_bytes == 0 &&
+      pkt.tcp.window == old_rwnd) {
+    ++stats_.dupacks_received;
+    ++dupacks_;
+    if (cc_.in_recovery()) {
+      cc_.on_dupack_in_recovery();
+      try_send();
+    } else if (dupacks_ == 3) {
+      ++stats_.fast_retransmits;
+      recover_ = snd_nxt_;
+      cc_.on_fast_retransmit(flight_packets());
+      retransmit_head();
+      cancel_rto();
+      arm_rto();
+    }
+    return;
+  }
+  // Window update or stale ACK: the rwnd_ update above may unblock sends.
+  if (rwnd_ > old_rwnd) cancel_persist_timer();
+  try_send();
+}
+
+// --- Receiver ---------------------------------------------------------------
+
+std::uint32_t Endpoint::compute_window() {
+  const std::uint32_t space = rxbuf_.window_space(config_.adv_win_scale);
+  std::uint32_t est = rcv_mss_est_;
+  if (config_.rcv_mss_bias != 0) {
+    const std::int64_t biased =
+        static_cast<std::int64_t>(est) + config_.rcv_mss_bias;
+    est = biased < 1 ? 1u : static_cast<std::uint32_t>(biased);
+  }
+  std::uint32_t win = wadv_.select(space, est, reasm_.rcv_nxt());
+  // Window-scale granularity: values are transmitted as win >> shift.
+  win = (win >> snd_wscale_) << snd_wscale_;
+  last_adv_win_ = win;
+  return win;
+}
+
+void Endpoint::handle_data(const net::Packet& pkt) {
+#ifdef XGBE_TRACE_ACKS
+  std::fprintf(stderr, "[%lld] node%u data seq=%u len=%u\n",
+               (long long)sim_.now(), hooks_.local_node, pkt.tcp.seq,
+               pkt.payload_bytes);
+#endif
+  ++stats_.segments_received;
+  if (ts_on_ && pkt.tcp.timestamps) last_ts_val_ = pkt.tcp.ts_val;
+
+  // Reject data beyond the advertised right edge (zero-window probes land
+  // here); answer with the current window so the prober unsticks.
+  if (wadv_.has_advertised() &&
+      net::seq_ge(pkt.tcp.seq, wadv_.rcv_adv())) {
+    ++stats_.out_of_window;
+    send_ack(false);
+    return;
+  }
+  if (reasm_.is_duplicate(pkt.tcp.seq, pkt.payload_bytes)) {
+    ++stats_.dupacks_sent;
+    send_ack(false);
+    return;
+  }
+  if (!rxbuf_.charge_frame(pkt.frame_bytes, pkt.payload_bytes)) {
+    ++stats_.rcv_buffer_drops;
+    send_ack(false);  // re-advertise the (closed) window
+    return;
+  }
+  if (pkt.corrupted) ++stats_.corrupted_delivered;
+  // Linux tcp_measure_rcv_mss: track the largest segment recently seen.
+  rcv_mss_est_ = std::max(rcv_mss_est_, pkt.payload_bytes);
+
+  const std::uint32_t delivered = reasm_.offer(pkt.tcp.seq, pkt.payload_bytes);
+  if (delivered > 0) {
+    stats_.bytes_delivered += delivered;
+    payload_ready_ += delivered;
+    maybe_read();
+    ++delack_count_;
+    if (delack_count_ >= config_.delack_segments) {
+      send_ack(false);
+    } else {
+      schedule_delayed_ack();
+    }
+  } else {
+    // Out of order: immediate duplicate ACK (fast-retransmit trigger).
+    ++stats_.dupacks_sent;
+    send_ack(false);
+  }
+}
+
+void Endpoint::schedule_delayed_ack() {
+  if (delack_armed_) return;
+  delack_armed_ = true;
+  delack_timer_ = sim_.schedule(kDelackTimeout, [this]() {
+    delack_armed_ = false;
+    if (delack_count_ > 0) send_ack(false);
+  });
+}
+
+void Endpoint::send_ack(bool window_update) {
+#ifdef XGBE_TRACE_ACKS
+  std::fprintf(stderr, "[%lld] node%u send_ack wu=%d ack=%u win=%u count=%u\n",
+               (long long)sim_.now(), hooks_.local_node, (int)window_update,
+               reasm_.rcv_nxt(), last_adv_win_, delack_count_);
+#endif
+  delack_count_ = 0;
+  if (delack_armed_) {
+    sim_.cancel(delack_timer_);
+    delack_armed_ = false;
+  }
+  net::Packet pkt = make_packet(0, snd_nxt_);
+  pkt.tcp.flags.ack = true;
+  pkt.tcp.ack = reasm_.rcv_nxt();
+  pkt.tcp.window = compute_window();
+  ++stats_.acks_sent;
+  if (window_update) ++stats_.window_update_acks;
+  hooks_.emit(pkt);
+}
+
+void Endpoint::maybe_read() {
+  if (!config_.app_reader || reading_ || payload_ready_ == 0) return;
+  const auto chunk = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(payload_ready_, config_.read_chunk));
+  reading_ = true;
+  hooks_.kernel->app_read(chunk, [this, chunk]() {
+    reading_ = false;
+    payload_ready_ -= chunk;
+    rxbuf_.release_payload(chunk);
+    stats_.bytes_consumed += chunk;
+    if (on_consumed) on_consumed(chunk);
+    maybe_window_update();
+    maybe_read();
+  });
+}
+
+void Endpoint::maybe_window_update() {
+  // Advertise freed space if it moves the edge by >= 2 * MSS-estimate or
+  // reopens a closed window (Linux tcp_data_snd_check heuristics).
+  const std::uint32_t space = rxbuf_.window_space(config_.adv_win_scale);
+  std::uint32_t candidate = std::min(space, wadv_.max_window());
+  if (config_.sws_round_window && rcv_mss_est_ > 0) {
+    candidate = (candidate / rcv_mss_est_) * rcv_mss_est_;
+  }
+  const bool reopened = last_adv_win_ == 0 && candidate > 0;
+  if (reopened || candidate >= last_adv_win_ + 2 * rcv_mss_est_) {
+    send_ack(true);
+  }
+}
+
+// --- Demux ------------------------------------------------------------------
+
+void Endpoint::on_packet(const net::Packet& pkt) {
+  switch (state_) {
+    case TcpState::kListen:
+      if (pkt.tcp.flags.syn && !pkt.tcp.flags.ack) {
+        reasm_ = Reassembly(pkt.tcp.seq + 1);
+        // Record negotiated parameters now; established on the final ACK.
+        complete_handshake(pkt);
+        state_ = TcpState::kSynReceived;
+        send_syn(/*ack=*/true);
+        arm_handshake_timer();
+      }
+      return;
+    case TcpState::kSynSent:
+      if (pkt.tcp.flags.syn && pkt.tcp.flags.ack) {
+        reasm_ = Reassembly(pkt.tcp.seq + 1);
+        complete_handshake(pkt);
+        last_ts_val_ = pkt.tcp.ts_val;
+        state_ = TcpState::kEstablished;
+        handshake_established();
+        send_ack(false);
+        if (on_established) on_established();
+        try_send();
+      }
+      return;
+    case TcpState::kSynReceived:
+      if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn) {
+        state_ = TcpState::kEstablished;
+        handshake_established();
+        rwnd_ = pkt.tcp.window;
+        if (on_established) on_established();
+        try_send();
+      }
+      return;
+    case TcpState::kEstablished:
+    case TcpState::kFinWait1:
+    case TcpState::kFinWait2:
+    case TcpState::kCloseWait:
+    case TcpState::kLastAck:
+    case TcpState::kTimeWait:
+      break;
+    case TcpState::kClosed:
+      return;
+  }
+
+  if (pkt.tcp.flags.fin) {
+    if (pkt.payload_bytes > 0) handle_data(pkt);
+    if (pkt.tcp.flags.ack) handle_ack(pkt);
+    handle_fin(pkt);
+    return;
+  }
+  if (pkt.payload_bytes > 0) {
+    handle_data(pkt);
+    // Piggybacked ACK processing.
+    if (pkt.tcp.flags.ack) handle_ack(pkt);
+  } else if (pkt.tcp.flags.ack) {
+    handle_ack(pkt);
+  }
+}
+
+}  // namespace xgbe::tcp

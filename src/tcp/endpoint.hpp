@@ -1,0 +1,256 @@
+// A TCP connection endpoint bound to a simulated host.
+//
+// Implements enough of a Linux 2.4 TCP to reproduce the paper: Reno/NewReno
+// congestion control with a segment-counted congestion window, delayed
+// ACKs, RFC 1323 timestamps and window scaling, SWS-avoidance window
+// advertising rounded to the receiver's MSS estimate, truesize-charged
+// socket buffers, NTTCP-style per-write segmentation, and optional TSO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "os/kernel.hpp"
+#include "os/sockbuf.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/config.hpp"
+#include "tcp/cwnd.hpp"
+#include "tcp/reassembly.hpp"
+#include "tcp/rtt.hpp"
+#include "tcp/window.hpp"
+
+namespace xgbe::tcp {
+
+struct EndpointStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+  std::uint64_t bytes_sent = 0;       // payload, first transmissions
+  std::uint64_t bytes_acked = 0;      // payload acknowledged
+  std::uint64_t bytes_delivered = 0;  // in-order payload made readable
+  std::uint64_t bytes_consumed = 0;   // payload read by the application
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dupacks_received = 0;
+  std::uint64_t dupacks_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t window_update_acks = 0;
+  std::uint64_t rcv_buffer_drops = 0;
+  std::uint64_t window_probes = 0;   // zero-window persist probes sent
+  std::uint64_t out_of_window = 0;   // segments rejected beyond the window
+  std::uint64_t corrupted_delivered = 0;  // silent corruption reached the app
+};
+
+enum class TcpState : std::uint8_t {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,    // our FIN sent, not yet acknowledged
+  kFinWait2,    // our FIN acknowledged, waiting for the peer's
+  kCloseWait,   // peer's FIN received, application not done yet
+  kLastAck,     // peer's FIN received and our FIN sent
+  kTimeWait     // both FINs exchanged; 2MSL quiet period
+};
+
+class Endpoint {
+ public:
+  using EmitFn = std::function<void(const net::Packet&)>;
+
+  /// Host bindings: the kernel charges path costs, `emit` hands a built
+  /// segment to the kernel TX path + adapter.
+  struct Hooks {
+    os::Kernel* kernel = nullptr;
+    EmitFn emit;
+    net::NodeId local_node = 0;
+    net::NodeId remote_node = 0;
+    net::FlowId flow = 0;
+  };
+
+  Endpoint(sim::Simulator& simulator, const EndpointConfig& config,
+           Hooks hooks);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  // --- Connection management ----------------------------------------------
+  void listen();
+  void connect();
+  /// Graceful close: queues a FIN after any pending data (the application
+  /// may keep reading; half-close semantics).
+  void close();
+  TcpState state() const { return state_; }
+  bool established() const { return state_ == TcpState::kEstablished; }
+  bool closed() const { return state_ == TcpState::kClosed; }
+  /// Fires on transition to ESTABLISHED.
+  std::function<void()> on_established;
+  /// Fires when the connection is fully closed (both FINs exchanged).
+  std::function<void()> on_closed;
+
+  // --- Application interface ----------------------------------------------
+  /// One application write of `bytes` (<= sndbuf). `admitted` fires once
+  /// the data has been copied into the socket (blocking-write semantics).
+  void app_send(std::uint32_t bytes, std::function<void()> admitted);
+
+  /// Fires whenever every byte written so far has been acknowledged.
+  std::function<void()> on_all_acked;
+
+  /// Fires after the receiving application consumes bytes (post-copy).
+  std::function<void(std::uint64_t)> on_consumed;
+
+  /// Congestion-window trace hook (time, cwnd in segments).
+  std::function<void(sim::SimTime, std::uint32_t)> cwnd_trace;
+
+  /// MAGNET sampling: every Nth data segment carries path timestamps
+  /// (0 disables). Negligible simulation cost, like the real tool.
+  void set_trace_sampling(std::uint32_t every_n) { trace_every_ = every_n; }
+
+  /// Hard congestion-window ceiling in segments (Linux snd_cwnd_clamp).
+  void set_cwnd_clamp(std::uint32_t segments) { cc_.set_clamp(segments); }
+
+  // --- Network interface (host demux) --------------------------------------
+  /// Packet for this endpoint, after kernel receive costs were charged.
+  void on_packet(const net::Packet& pkt);
+
+  // --- Introspection --------------------------------------------------------
+  const EndpointStats& stats() const { return stats_; }
+  const EndpointConfig& config() const { return config_; }
+  std::uint32_t mss_payload() const { return snd_mss_payload_; }
+  std::uint32_t cwnd_segments() const { return cc_.cwnd(); }
+  std::uint32_t flight_bytes() const {
+    return net::seq_span(snd_una_, snd_nxt_);
+  }
+  std::uint32_t peer_window() const { return rwnd_; }
+  std::uint32_t last_advertised_window() const { return last_adv_win_; }
+  sim::SimTime srtt() const { return rtt_.srtt(); }
+  const RttEstimator& rtt() const { return rtt_; }
+  const os::RxSocketBuffer& rx_buffer() const { return rxbuf_; }
+  const Reassembly& reassembly() const { return reasm_; }
+  std::uint64_t payload_ready() const { return payload_ready_; }
+  bool reader_busy() const { return reading_; }
+  std::uint32_t unsent_segments() const {
+    return static_cast<std::uint32_t>(unsent_.size());
+  }
+  std::uint32_t unacked_segments() const {
+    return static_cast<std::uint32_t>(retx_q_.size());
+  }
+  net::Seq snd_una() const { return snd_una_; }
+  net::Seq snd_nxt() const { return snd_nxt_; }
+  std::uint32_t rcv_mss_estimate() const { return rcv_mss_est_; }
+  std::uint8_t window_shift() const { return snd_wscale_; }
+
+ private:
+  struct TxSegment {
+    net::Seq seq = 0;
+    std::uint32_t len = 0;
+    bool push = false;
+    std::uint32_t truesize = 0;
+    std::uint32_t packets = 1;  // wire segments (for TSO super-segments)
+    sim::SimTime first_sent = 0;
+    bool retransmitted = false;
+  };
+
+  // TX path.
+  bool can_carry_data() const {
+    return state_ == TcpState::kEstablished ||
+           state_ == TcpState::kCloseWait;
+  }
+  void admit_pending_writes();
+  void maybe_send_fin();
+  void handle_fin(const net::Packet& pkt);
+  void enter_time_wait();
+  void arm_persist_timer();
+  void cancel_persist_timer();
+  void on_persist_timeout();
+  void enqueue_record(std::uint32_t bytes);
+  std::uint32_t record_truesize(std::uint32_t bytes) const;
+  void try_send();
+  void send_segment(TxSegment& seg, bool retransmission);
+  void retransmit_head();
+  std::uint32_t flight_packets() const;
+  void arm_rto();
+  void cancel_rto();
+  void on_rto();
+  void handle_ack(const net::Packet& pkt);
+  void notify_if_drained();
+
+  // RX path.
+  void handle_data(const net::Packet& pkt);
+  void maybe_read();
+  void send_ack(bool window_update);
+  void schedule_delayed_ack();
+  std::uint32_t compute_window();
+  void maybe_window_update();
+
+  // Handshake.
+  void send_syn(bool ack);
+  void arm_handshake_timer();
+  void handshake_established();
+  void complete_handshake(const net::Packet& pkt);
+  net::Packet make_packet(std::uint32_t payload, net::Seq seq) const;
+
+  sim::Simulator& sim_;
+  EndpointConfig config_;
+  Hooks hooks_;
+  EndpointStats stats_;
+  TcpState state_ = TcpState::kClosed;
+
+  // Negotiated parameters.
+  bool ts_on_ = false;
+  std::uint32_t snd_mss_payload_ = 536;
+  std::uint8_t snd_wscale_ = 0;  // our receive-window shift
+  std::uint32_t peer_mss_option_ = 536;
+
+  // Sender state.
+  net::Seq iss_ = 1;
+  net::Seq snd_una_ = 0;
+  net::Seq snd_nxt_ = 0;
+  std::uint32_t rwnd_ = 0;
+  CongestionControl cc_;
+  RttEstimator rtt_;
+  std::deque<TxSegment> unsent_;
+  std::deque<TxSegment> retx_q_;
+  os::TxSocketBuffer txbuf_;
+  std::uint32_t dupacks_ = 0;
+  net::Seq recover_ = 0;
+  sim::EventId rto_timer_{};
+  bool rto_armed_ = false;
+  sim::EventId handshake_timer_{};
+  bool handshake_armed_ = false;
+  int handshake_attempts_ = 0;
+  // Teardown state.
+  bool fin_pending_ = false;   // close() called, FIN not yet sent
+  bool fin_sent_ = false;
+  net::Seq fin_seq_ = 0;       // sequence number our FIN occupies
+  bool fin_received_ = false;
+  // Zero-window persist timer (window probes).
+  sim::EventId persist_timer_{};
+  bool persist_armed_ = false;
+  int persist_backoff_ = 0;
+  struct PendingWrite {
+    std::uint32_t bytes;
+    std::function<void()> admitted;
+  };
+  std::deque<PendingWrite> pending_writes_;
+  bool write_in_kernel_ = false;
+  std::uint32_t trace_every_ = 0;
+  std::uint64_t trace_counter_ = 0;
+
+  // Receiver state.
+  Reassembly reasm_;
+  os::RxSocketBuffer rxbuf_;
+  WindowAdvertiser wadv_;
+  std::uint32_t rcv_mss_est_ = 536;
+  std::uint32_t last_adv_win_ = 0;
+  std::uint64_t payload_ready_ = 0;
+  bool reading_ = false;
+  std::uint32_t delack_count_ = 0;
+  sim::EventId delack_timer_{};
+  bool delack_armed_ = false;
+  sim::SimTime last_ts_val_ = 0;
+};
+
+}  // namespace xgbe::tcp

@@ -1,0 +1,64 @@
+#include "tcp/reassembly.hpp"
+
+namespace xgbe::tcp {
+
+bool Reassembly::is_duplicate(net::Seq seq, std::uint32_t len) const {
+  // Entirely below rcv_nxt?
+  if (net::seq_le(seq + len, rcv_nxt_)) return true;
+  // Entirely covered by one out-of-order range?
+  for (const auto& [start, rlen] : ooo_) {
+    if (net::seq_le(start, seq) && net::seq_le(seq + len, start + rlen))
+      return true;
+  }
+  return false;
+}
+
+std::uint32_t Reassembly::offer(net::Seq seq, std::uint32_t len) {
+  if (len == 0) return 0;
+  net::Seq end = seq + len;
+  // Trim data already received in order.
+  if (net::seq_lt(seq, rcv_nxt_)) {
+    if (net::seq_le(end, rcv_nxt_)) return 0;  // full duplicate
+    seq = rcv_nxt_;
+  }
+
+  if (net::seq_gt(seq, rcv_nxt_)) {
+    // Out of order: insert [seq, end), coalescing with neighbours.
+    net::Seq nstart = seq;
+    net::Seq nend = end;
+    for (auto it = ooo_.begin(); it != ooo_.end();) {
+      const net::Seq s = it->first;
+      const net::Seq e = it->first + it->second;
+      const bool overlaps =
+          net::seq_le(s, nend) && net::seq_le(nstart, e);
+      if (overlaps) {
+        nstart = net::seq_min(nstart, s);
+        nend = net::seq_max(nend, e);
+        ooo_bytes_ -= it->second;
+        it = ooo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ooo_[nstart] = net::seq_span(nstart, nend);
+    ooo_bytes_ += net::seq_span(nstart, nend);
+    return 0;
+  }
+
+  // In order: advance rcv_nxt, then drain any now-contiguous ranges.
+  std::uint32_t delivered = net::seq_span(rcv_nxt_, end);
+  rcv_nxt_ = end;
+  for (auto it = ooo_.begin(); it != ooo_.end();) {
+    if (net::seq_gt(it->first, rcv_nxt_)) break;
+    const net::Seq e = it->first + it->second;
+    if (net::seq_gt(e, rcv_nxt_)) {
+      delivered += net::seq_span(rcv_nxt_, e);
+      rcv_nxt_ = e;
+    }
+    ooo_bytes_ -= it->second;
+    it = ooo_.erase(it);
+  }
+  return delivered;
+}
+
+}  // namespace xgbe::tcp

@@ -1,0 +1,33 @@
+#include "tcp/rtt.hpp"
+
+#include <algorithm>
+
+namespace xgbe::tcp {
+
+void RttEstimator::sample(sim::SimTime rtt) {
+  if (rtt < 0) return;
+  if (n_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    min_rtt_ = rtt;
+  } else {
+    const sim::SimTime err = rtt - srtt_;
+    srtt_ += err / 8;                                      // alpha = 1/8
+    rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;     // beta = 1/4
+    min_rtt_ = std::min(min_rtt_, rtt);
+  }
+  ++n_;
+  backoff_shift_ = 0;
+}
+
+sim::SimTime RttEstimator::rto() const {
+  sim::SimTime base = n_ == 0 ? kInitialRto : srtt_ + 4 * rttvar_;
+  base = std::clamp(base, kMinRto, kMaxRto);
+  const int shift = std::min(backoff_shift_, 10);
+  const sim::SimTime backed = base << shift;
+  return std::min(backed, kMaxRto);
+}
+
+void RttEstimator::backoff() { ++backoff_shift_; }
+
+}  // namespace xgbe::tcp

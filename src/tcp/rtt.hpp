@@ -1,0 +1,39 @@
+// RTT estimation and retransmission timeout (Jacobson/Karn, RFC 6298 with
+// Linux 2.4 clamps).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace xgbe::tcp {
+
+class RttEstimator {
+ public:
+  /// Linux 2.4 bounds (HZ=100): 200 ms minimum, 120 s maximum RTO.
+  static constexpr sim::SimTime kMinRto = sim::msec(200);
+  static constexpr sim::SimTime kMaxRto = sim::sec(120);
+  static constexpr sim::SimTime kInitialRto = sim::sec(3);
+
+  /// Feeds one RTT measurement (Karn's rule: never from a retransmitted
+  /// segment unless timestamps disambiguate).
+  void sample(sim::SimTime rtt);
+
+  /// Current retransmission timeout including backoff.
+  sim::SimTime rto() const;
+
+  /// Exponential backoff after a timeout; reset on any valid sample.
+  void backoff();
+
+  bool has_estimate() const { return n_ > 0; }
+  sim::SimTime srtt() const { return srtt_; }
+  sim::SimTime rttvar() const { return rttvar_; }
+  sim::SimTime min_rtt() const { return min_rtt_; }
+
+ private:
+  sim::SimTime srtt_ = 0;
+  sim::SimTime rttvar_ = 0;
+  sim::SimTime min_rtt_ = 0;
+  int backoff_shift_ = 0;
+  unsigned n_ = 0;
+};
+
+}  // namespace xgbe::tcp

@@ -1,0 +1,38 @@
+// Iperf workload: streams for a fixed duration and reports the steady-state
+// rate. Iperf coalesces the byte stream into full-MSS segments (set
+// push_per_write=false on the sending endpoint for faithful semantics).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+
+namespace xgbe::tools {
+
+struct IperfOptions {
+  std::uint32_t write_size = 65536;
+  sim::SimTime warmup = sim::msec(30);
+  sim::SimTime duration = sim::msec(200);
+};
+
+struct IperfResult {
+  bool completed = false;
+  double throughput_bps = 0.0;
+  std::uint64_t bytes = 0;
+  double sender_load = 0.0;
+  double receiver_load = 0.0;
+
+  double throughput_gbps() const { return throughput_bps / 1e9; }
+};
+
+IperfResult run_iperf(core::Testbed& tb, core::Testbed::Connection& conn,
+                      core::Host& sender, core::Host& receiver,
+                      const IperfOptions& options);
+
+/// Endpoint configuration tweak for iperf semantics (stream coalescing).
+inline tcp::EndpointConfig iperf_config(tcp::EndpointConfig base) {
+  base.push_per_write = false;
+  return base;
+}
+
+}  // namespace xgbe::tools

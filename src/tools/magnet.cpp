@@ -1,0 +1,74 @@
+#include "tools/magnet.hpp"
+
+#include <memory>
+
+#include "tools/nttcp.hpp"
+
+namespace xgbe::tools {
+
+const MagnetStage* MagnetReport::stage(const std::string& name) const {
+  for (const auto& s : stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const MagnetStage* MagnetReport::hottest() const {
+  const MagnetStage* best = nullptr;
+  for (const auto& s : stages) {
+    if (best == nullptr || s.us.mean() > best->us.mean()) best = &s;
+  }
+  return best;
+}
+
+MagnetReport run_magnet(core::Testbed& tb, core::Testbed::Connection& conn,
+                        core::Host& sender, core::Host& receiver,
+                        const MagnetOptions& options) {
+  MagnetReport report;
+  report.stages = {
+      {"tx_host", {}},   // TCP emit -> adapter (kernel tx path + queue)
+      {"tx_dma", {}},    // adapter -> DMA read complete (PCI-X)
+      {"wire", {}},      // DMA done -> last bit at the peer NIC
+      {"rx_dma", {}},    // arrival -> DMA write complete
+      {"coalesce", {}},  // DMA done -> interrupt raised
+      {"rx_kernel", {}}, // interrupt -> protocol processing done
+  };
+  sim::OnlineStats total;
+
+  conn.client->set_trace_sampling(options.sample_every);
+  auto sampled = std::make_shared<std::uint64_t>(0);
+  auto* stages = &report.stages;
+  receiver.packet_tap = [sampled, stages, &tb](const net::Packet& pkt) {
+    if (!pkt.trace.enabled || pkt.payload_bytes == 0) return;
+    ++*sampled;
+    const auto& t = pkt.trace;
+    auto span_us = [](sim::SimTime a, sim::SimTime b) {
+      return sim::to_microseconds(b - a);
+    };
+    (*stages)[0].us.add(span_us(pkt.created_at, t.t_nic));
+    (*stages)[1].us.add(span_us(t.t_nic, t.t_dma_done));
+    (*stages)[2].us.add(span_us(t.t_dma_done, t.t_rx_arrive));
+    (*stages)[3].us.add(span_us(t.t_rx_arrive, t.t_rx_dma));
+    (*stages)[4].us.add(span_us(t.t_rx_dma, t.t_irq));
+    (*stages)[5].us.add(span_us(t.t_irq, tb.now()));
+  };
+
+  NttcpOptions nt;
+  nt.payload = options.payload;
+  nt.count = options.count;
+  nt.timeout = options.timeout;
+  const NttcpResult r = run_nttcp(tb, conn, sender, receiver, nt);
+
+  receiver.packet_tap = nullptr;
+  conn.client->set_trace_sampling(0);
+
+  report.completed = r.completed;
+  report.sampled_packets = *sampled;
+  report.throughput_gbps = r.throughput_gbps();
+  double sum = 0.0;
+  for (const auto& s : report.stages) sum += s.us.mean();
+  report.total_us_mean = sum;
+  return report;
+}
+
+}  // namespace xgbe::tools

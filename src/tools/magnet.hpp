@@ -1,0 +1,56 @@
+// MAGNET: per-packet path profiling (§3.2, §5).
+//
+// The paper uses MAGNET to "trace and profile the paths taken by individual
+// packets through the TCP stack with negligible effect on network
+// performance", quantifying "how many packets take each possible path, the
+// cost of each path" — and closes by instrumenting the stack with it to get
+// "an unprecedentedly high-resolution picture of the most expensive aspects
+// of TCP processing overhead".
+//
+// This re-implementation samples every Nth data segment, stamps it at each
+// stage of the simulated path, and aggregates per-stage residence times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "sim/stats.hpp"
+
+namespace xgbe::tools {
+
+struct MagnetOptions {
+  std::uint32_t payload = 8000;
+  std::uint32_t count = 2000;
+  std::uint32_t sample_every = 10;  // trace every Nth segment
+  sim::SimTime timeout = sim::sec(120);
+};
+
+/// One pipeline stage's residence-time statistics.
+struct MagnetStage {
+  std::string name;
+  sim::OnlineStats us;  // residence time in microseconds
+};
+
+struct MagnetReport {
+  bool completed = false;
+  std::uint64_t sampled_packets = 0;
+  double throughput_gbps = 0.0;
+  /// Stages in path order: tx host (TCP + driver + queueing), TX DMA,
+  /// wire (+switch), RX DMA, interrupt coalescing, RX kernel.
+  std::vector<MagnetStage> stages;
+  double total_us_mean = 0.0;
+
+  const MagnetStage* stage(const std::string& name) const;
+  /// The most expensive stage by mean residence time.
+  const MagnetStage* hottest() const;
+};
+
+/// Runs an NTTCP transfer with MAGNET sampling enabled on the sender and a
+/// collection tap on the receiver; returns per-stage cost statistics.
+MagnetReport run_magnet(core::Testbed& tb, core::Testbed::Connection& conn,
+                        core::Host& sender, core::Host& receiver,
+                        const MagnetOptions& options);
+
+}  // namespace xgbe::tools

@@ -1,0 +1,116 @@
+#include "tools/netperf.hpp"
+
+#include <memory>
+
+namespace xgbe::tools {
+
+NetperfStreamResult run_netperf_stream(core::Testbed& tb,
+                                       core::Testbed::Connection& conn,
+                                       core::Host& sender,
+                                       core::Host& receiver,
+                                       const NetperfStreamOptions& options) {
+  (void)sender;
+  (void)receiver;
+  NetperfStreamResult result;
+  if (!conn.client->established() && !tb.run_until_established(conn)) {
+    return result;
+  }
+  sim::Simulator& sim = tb.simulator();
+
+  auto consumed = std::make_shared<std::uint64_t>(0);
+  conn.server->on_consumed = [consumed](std::uint64_t b) { *consumed += b; };
+
+  auto running = std::make_shared<bool>(true);
+  auto writer = std::make_shared<std::function<void()>>();
+  *writer = [running, writer, &conn, &options]() {
+    if (!*running) return;
+    conn.client->app_send(options.send_size, [writer]() { (*writer)(); });
+  };
+  (*writer)();
+
+  sim.run_until(sim.now() + options.warmup);
+  const std::uint64_t base = *consumed;
+  const sim::SimTime t0 = sim.now();
+  sim.run_until(t0 + options.duration);
+  *running = false;
+  conn.server->on_consumed = nullptr;
+
+  const double secs = sim::to_seconds(sim.now() - t0);
+  result.completed = secs > 0;
+  result.throughput_bps =
+      secs > 0 ? static_cast<double>(*consumed - base) * 8.0 / secs : 0.0;
+  return result;
+}
+
+NetperfRrResult run_netperf_rr(core::Testbed& tb,
+                               core::Testbed::Connection& conn,
+                               const NetperfRrOptions& options) {
+  NetperfRrResult result;
+  if (!conn.client->established() && !tb.run_until_established(conn)) {
+    return result;
+  }
+  sim::Simulator& sim = tb.simulator();
+
+  struct State {
+    std::uint32_t remaining;
+    std::uint32_t warmup_left;
+    std::uint64_t client_rx = 0;
+    std::uint64_t server_rx = 0;
+    sim::SimTime measure_start = 0;
+    sim::SimTime finished_at = 0;
+    bool done = false;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = options.transactions;
+  st->warmup_left = options.warmup_transactions;
+
+  auto send_request = std::make_shared<std::function<void()>>();
+  *send_request = [&conn, &options]() {
+    conn.client->app_send(options.request_size, nullptr);
+  };
+
+  conn.server->on_consumed = [st, &conn, &options](std::uint64_t bytes) {
+    st->server_rx += bytes;
+    while (st->server_rx >= options.request_size) {
+      st->server_rx -= options.request_size;
+      conn.server->app_send(options.response_size, nullptr);
+    }
+  };
+
+  conn.client->on_consumed = [st, send_request, &sim,
+                              &options](std::uint64_t bytes) {
+    st->client_rx += bytes;
+    if (st->client_rx < options.response_size) return;
+    st->client_rx -= options.response_size;
+    if (st->warmup_left > 0) {
+      if (--st->warmup_left == 0) st->measure_start = sim.now();
+    } else if (--st->remaining == 0) {
+      st->done = true;
+      st->finished_at = sim.now();
+      sim.stop();
+      return;
+    }
+    (*send_request)();
+  };
+
+  const sim::SimTime t0 = sim.now();
+  (*send_request)();
+  sim.run_until(t0 + options.timeout);
+
+  conn.server->on_consumed = nullptr;
+  conn.client->on_consumed = nullptr;
+  if (!st->done) return result;
+
+  const sim::SimTime start =
+      st->measure_start > 0 ? st->measure_start : t0;
+  const double secs = sim::to_seconds(st->finished_at - start);
+  result.completed = secs > 0;
+  result.transactions_per_sec =
+      secs > 0 ? options.transactions / secs : 0.0;
+  result.mean_latency_us = result.transactions_per_sec > 0
+                               ? 1e6 / result.transactions_per_sec
+                               : 0.0;
+  return result;
+}
+
+}  // namespace xgbe::tools

@@ -1,0 +1,53 @@
+// netperf workloads (§3.2: "the experimental results from these two tools
+// correspond to another oft-used tool called netperf").
+//
+// TCP_STREAM: one-way bulk transfer for a fixed duration (like iperf but
+// with netperf's default message size). TCP_RR: synchronous
+// request/response, reported in transactions per second.
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+
+namespace xgbe::tools {
+
+struct NetperfStreamOptions {
+  std::uint32_t send_size = 16384;  // netperf -m default-ish
+  sim::SimTime warmup = sim::msec(30);
+  sim::SimTime duration = sim::msec(200);
+};
+
+struct NetperfStreamResult {
+  bool completed = false;
+  double throughput_bps = 0.0;
+  double throughput_gbps() const { return throughput_bps / 1e9; }
+};
+
+NetperfStreamResult run_netperf_stream(core::Testbed& tb,
+                                       core::Testbed::Connection& conn,
+                                       core::Host& sender,
+                                       core::Host& receiver,
+                                       const NetperfStreamOptions& options);
+
+struct NetperfRrOptions {
+  std::uint32_t request_size = 1;   // netperf TCP_RR defaults: 1 byte
+  std::uint32_t response_size = 1;  // each way
+  std::uint32_t transactions = 200;
+  std::uint32_t warmup_transactions = 20;
+  sim::SimTime timeout = sim::sec(60);
+};
+
+struct NetperfRrResult {
+  bool completed = false;
+  double transactions_per_sec = 0.0;
+  double mean_latency_us = 0.0;  // per transaction (full round trip)
+};
+
+/// The connection endpoints should use netpipe_config() semantics
+/// (NODELAY, prompt ACKs), as real netperf RR tests do.
+NetperfRrResult run_netperf_rr(core::Testbed& tb,
+                               core::Testbed::Connection& conn,
+                               const NetperfRrOptions& options);
+
+}  // namespace xgbe::tools

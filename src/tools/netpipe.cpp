@@ -1,0 +1,79 @@
+#include "tools/netpipe.hpp"
+
+#include <memory>
+
+namespace xgbe::tools {
+
+NetpipeResult run_netpipe(core::Testbed& tb, core::Testbed::Connection& conn,
+                          const NetpipeOptions& options) {
+  NetpipeResult result;
+  if (!conn.client->established() && !tb.run_until_established(conn)) {
+    return result;
+  }
+  sim::Simulator& sim = tb.simulator();
+
+  struct State {
+    std::uint32_t payload;
+    std::uint32_t remaining;
+    std::uint32_t warmup_left;
+    std::uint64_t client_rx = 0;  // bytes of the current pong received
+    std::uint64_t server_rx = 0;  // bytes of the current ping received
+    sim::SimTime ping_sent = 0;
+    sim::SampleSet rtts;
+    bool done = false;
+  };
+  auto st = std::make_shared<State>();
+  st->payload = options.payload;
+  st->remaining = options.iterations;
+  st->warmup_left = options.warmup_iterations;
+
+  auto send_ping = std::make_shared<std::function<void()>>();
+  *send_ping = [st, &conn, &sim]() {
+    st->ping_sent = sim.now();
+    conn.client->app_send(st->payload, nullptr);
+  };
+
+  conn.server->on_consumed = [st, &conn](std::uint64_t bytes) {
+    st->server_rx += bytes;
+    if (st->server_rx >= st->payload) {
+      st->server_rx -= st->payload;
+      conn.server->app_send(st->payload, nullptr);  // pong
+    }
+  };
+
+  conn.client->on_consumed = [st, send_ping, &sim](std::uint64_t bytes) {
+    st->client_rx += bytes;
+    if (st->client_rx < st->payload) return;
+    st->client_rx -= st->payload;
+    if (st->warmup_left > 0) {
+      --st->warmup_left;
+    } else {
+      st->rtts.add(sim::to_microseconds(sim.now() - st->ping_sent));
+      if (--st->remaining == 0) {
+        st->done = true;
+        sim.stop();
+        return;
+      }
+    }
+    (*send_ping)();
+  };
+
+  const sim::SimTime t0 = sim.now();
+  (*send_ping)();
+  sim.run_until(t0 + options.timeout);
+
+  conn.server->on_consumed = nullptr;
+  conn.client->on_consumed = nullptr;
+  if (!st->done) return result;
+
+  const sim::OnlineStats s = st->rtts.summary();
+  result.completed = true;
+  result.rtt_us = s.mean();
+  result.rtt_stddev_us = s.stddev();
+  result.min_rtt_us = s.min();
+  result.max_rtt_us = s.max();
+  result.latency_us = s.mean() / 2.0;
+  return result;
+}
+
+}  // namespace xgbe::tools

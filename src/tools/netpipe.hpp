@@ -1,0 +1,40 @@
+// NetPipe workload: single-message ping-pong; end-to-end latency is the
+// averaged round-trip time divided by two (§3.2, Figs 6-7).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+#include "sim/stats.hpp"
+
+namespace xgbe::tools {
+
+struct NetpipeOptions {
+  std::uint32_t payload = 1;  // bytes per ping
+  std::uint32_t iterations = 100;
+  std::uint32_t warmup_iterations = 10;
+  sim::SimTime timeout = sim::sec(30);
+};
+
+struct NetpipeResult {
+  bool completed = false;
+  double latency_us = 0.0;      // one-way, averaged
+  double rtt_us = 0.0;          // full round trip, averaged
+  double rtt_stddev_us = 0.0;
+  double min_rtt_us = 0.0;
+  double max_rtt_us = 0.0;
+};
+
+NetpipeResult run_netpipe(core::Testbed& tb, core::Testbed::Connection& conn,
+                          const NetpipeOptions& options);
+
+/// Endpoint configuration tweak for netpipe semantics: tiny messages must
+/// fly immediately (NODELAY) and be acknowledged promptly.
+inline tcp::EndpointConfig netpipe_config(tcp::EndpointConfig base) {
+  base.nagle = false;
+  base.push_per_write = true;
+  base.delack_segments = 1;  // ping-pong: every segment answers anyway
+  return base;
+}
+
+}  // namespace xgbe::tools

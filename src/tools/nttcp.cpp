@@ -1,0 +1,74 @@
+#include "tools/nttcp.hpp"
+
+#include <memory>
+
+namespace xgbe::tools {
+
+NttcpResult run_nttcp(core::Testbed& tb, core::Testbed::Connection& conn,
+                      core::Host& sender, core::Host& receiver,
+                      const NttcpOptions& options) {
+  NttcpResult result;
+  if (!conn.client->established() && !tb.run_until_established(conn)) {
+    return result;
+  }
+
+  sim::Simulator& sim = tb.simulator();
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(options.payload) * options.count;
+
+  struct State {
+    std::uint32_t writes_left;
+    std::uint64_t consumed = 0;
+    sim::SimTime finished_at = 0;
+    bool done = false;
+  };
+  auto st = std::make_shared<State>();
+  st->writes_left = options.count;
+
+  sender.mark_load_window();
+  receiver.mark_load_window();
+  const sim::SimTime t0 = sim.now();
+  const std::uint64_t base_retx = conn.client->stats().retransmits;
+  const std::uint64_t base_segs = conn.client->stats().segments_sent;
+  const std::uint64_t base_drops = conn.server->stats().rcv_buffer_drops;
+
+  conn.server->on_consumed = [st, total_bytes, &sim](std::uint64_t bytes) {
+    st->consumed += bytes;
+    if (st->consumed >= total_bytes && !st->done) {
+      st->done = true;
+      st->finished_at = sim.now();
+      sim.stop();
+    }
+  };
+
+  // Blocking-write loop: the next write is issued when the previous one has
+  // been copied into the socket.
+  auto writer = std::make_shared<std::function<void()>>();
+  *writer = [st, writer, &conn, &options]() {
+    if (st->writes_left == 0) return;
+    --st->writes_left;
+    conn.client->app_send(options.payload, [writer]() { (*writer)(); });
+  };
+  (*writer)();
+
+  sim.run_until(t0 + options.timeout);
+
+  conn.server->on_consumed = nullptr;
+  if (!st->done) return result;  // timed out or deadlocked
+
+  result.completed = true;
+  result.bytes = st->consumed;
+  result.elapsed_s = sim::to_seconds(st->finished_at - t0);
+  result.throughput_bps =
+      result.elapsed_s > 0
+          ? static_cast<double>(st->consumed) * 8.0 / result.elapsed_s
+          : 0.0;
+  result.sender_load = sender.cpu_load();
+  result.receiver_load = receiver.cpu_load();
+  result.retransmits = conn.client->stats().retransmits - base_retx;
+  result.segments_sent = conn.client->stats().segments_sent - base_segs;
+  result.receiver_drops = conn.server->stats().rcv_buffer_drops - base_drops;
+  return result;
+}
+
+}  // namespace xgbe::tools

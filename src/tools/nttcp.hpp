@@ -1,0 +1,39 @@
+// NTTCP workload: sends a fixed number of fixed-size application writes and
+// measures application-to-application throughput (the paper's primary
+// bandwidth tool, §3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+
+namespace xgbe::tools {
+
+struct NttcpOptions {
+  std::uint32_t payload = 8192;  // bytes per write ("packet size")
+  std::uint32_t count = 32768;   // number of writes (paper default)
+  sim::SimTime timeout = sim::sec(120);
+};
+
+struct NttcpResult {
+  bool completed = false;
+  double throughput_bps = 0.0;  // application payload bits/s
+  double elapsed_s = 0.0;
+  std::uint64_t bytes = 0;
+  double sender_load = 0.0;
+  double receiver_load = 0.0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t segments_sent = 0;
+  std::uint64_t receiver_drops = 0;
+
+  double throughput_gbps() const { return throughput_bps / 1e9; }
+};
+
+/// Runs NTTCP over an established (or establishing) connection. The
+/// connection's client side transmits. Blocks (in simulated time) until the
+/// receiver has consumed every byte or the timeout expires.
+NttcpResult run_nttcp(core::Testbed& tb, core::Testbed::Connection& conn,
+                      core::Host& sender, core::Host& receiver,
+                      const NttcpOptions& options);
+
+}  // namespace xgbe::tools

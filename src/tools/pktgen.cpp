@@ -1,0 +1,87 @@
+#include "tools/pktgen.hpp"
+
+#include <memory>
+
+#include "net/headers.hpp"
+
+namespace xgbe::tools {
+
+PktgenResult run_pktgen(core::Testbed& tb, core::Host& sender,
+                        core::Host& receiver, const PktgenOptions& options,
+                        std::size_t adapter_index) {
+  PktgenResult result;
+  sim::Simulator& sim = tb.simulator();
+
+  struct State {
+    std::uint64_t rx_frames = 0;
+    std::uint64_t rx_payload = 0;
+    std::uint64_t rx_wire = 0;
+    std::uint64_t window_frames = 0;
+    std::uint64_t window_payload = 0;
+    std::uint64_t window_wire = 0;
+    bool running = true;
+  };
+  auto st = std::make_shared<State>();
+
+  receiver.raw_sink = [st](const net::Packet& pkt) {
+    ++st->rx_frames;
+    st->rx_payload += pkt.payload_bytes;
+    st->rx_wire += pkt.wire_bytes();
+  };
+
+  net::Packet proto;
+  proto.protocol = net::Protocol::kUdp;
+  proto.src = sender.node();
+  proto.dst = receiver.node();
+  proto.payload_bytes = options.payload;
+  proto.frame_bytes = net::udp_frame_bytes(options.payload);
+
+  const sim::SimTime loop_cost = static_cast<sim::SimTime>(
+      static_cast<double>(options.base_loop_cost) *
+      sender.system().cpu_scale());
+  nic::Adapter& nicdev = sender.adapter(adapter_index);
+  os::Kernel& kernel = sender.kernel();
+
+  // The pktgen loop runs as a kernel thread: pay the per-packet loop cost
+  // on a CPU, then hand the frame to the driver. Throttle on the driver
+  // queue so the loop self-paces to the bottleneck (bus or wire).
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [st, loop, &kernel, &nicdev, &sim, proto, loop_cost]() {
+    if (!st->running) return;
+    if (nicdev.tx_backlog() > 32) {
+      sim.schedule(sim::usec(2), [loop]() { (*loop)(); });
+      return;
+    }
+    kernel.app_cpu().submit(loop_cost, [st, loop, &nicdev, proto]() {
+      if (!st->running) return;
+      nicdev.transmit(proto);
+      (*loop)();
+    });
+  };
+  (*loop)();
+
+  sim.run_until(sim.now() + options.warmup);
+  st->window_frames = st->rx_frames;
+  st->window_payload = st->rx_payload;
+  st->window_wire = st->rx_wire;
+  sender.mark_load_window();
+  const sim::SimTime t0 = sim.now();
+  sim.run_until(t0 + options.duration);
+  const double secs = sim::to_seconds(sim.now() - t0);
+  st->running = false;
+  receiver.raw_sink = nullptr;
+
+  if (secs <= 0) return result;
+  const std::uint64_t frames = st->rx_frames - st->window_frames;
+  result.completed = frames > 0;
+  result.frames = frames;
+  result.packets_per_sec = static_cast<double>(frames) / secs;
+  result.payload_bps =
+      static_cast<double>(st->rx_payload - st->window_payload) * 8.0 / secs;
+  result.throughput_bps =
+      static_cast<double>(st->rx_wire - st->window_wire) * 8.0 / secs;
+  result.sender_load = sender.cpu_load();
+  return result;
+}
+
+}  // namespace xgbe::tools

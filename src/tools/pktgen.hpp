@@ -1,0 +1,38 @@
+// Linux packet generator: a kernel-level loop transmitting pre-formed UDP
+// frames directly to the adapter, bypassing the TCP/IP stack and its copies
+// (single-copy). The paper uses it to find the host's raw data-movement
+// ceiling: ~5.5 Gb/s at 8160-byte packets on the PE2650 (§3.5.2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+
+namespace xgbe::tools {
+
+struct PktgenOptions {
+  std::uint32_t payload = 8160 - 28;  // UDP payload so the IP packet = 8160
+  sim::SimTime duration = sim::msec(100);
+  sim::SimTime warmup = sim::msec(10);
+  /// Per-packet cost of the pktgen kernel loop (skb clone + driver entry),
+  /// scaled by the host's CPU clock.
+  sim::SimTime base_loop_cost = sim::usec_f(1.05);
+};
+
+struct PktgenResult {
+  bool completed = false;
+  double packets_per_sec = 0.0;
+  double throughput_bps = 0.0;  // total wire-frame bits per second
+  double payload_bps = 0.0;
+  double sender_load = 0.0;
+  std::uint64_t frames = 0;
+
+  double throughput_gbps() const { return throughput_bps / 1e9; }
+};
+
+/// Blasts UDP frames from `sender` to `receiver` over an existing topology.
+PktgenResult run_pktgen(core::Testbed& tb, core::Host& sender,
+                        core::Host& receiver, const PktgenOptions& options,
+                        std::size_t adapter_index = 0);
+
+}  // namespace xgbe::tools

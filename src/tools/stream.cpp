@@ -1,0 +1,45 @@
+#include "tools/stream.hpp"
+
+#include <memory>
+
+namespace xgbe::tools {
+
+StreamResult run_stream(core::Testbed& tb, core::Host& host,
+                        const StreamOptions& options) {
+  sim::Simulator& sim = tb.simulator();
+  os::Kernel& kernel = host.kernel();
+
+  auto remaining = std::make_shared<std::uint32_t>(options.iterations);
+  auto finished = std::make_shared<sim::SimTime>(0);
+
+  const sim::SimTime cpu_cost =
+      hw::cpu_copy_time(host.system().memory, options.array_bytes);
+  const sim::SimTime bus_cost =
+      hw::bus_time(host.system().memory, options.array_bytes, 2);
+
+  auto iterate = std::make_shared<std::function<void()>>();
+  *iterate = [=, &kernel, &sim]() {
+    kernel.copy_job(kernel.app_cpu(), cpu_cost, bus_cost, [=, &sim]() {
+      if (--*remaining == 0) {
+        *finished = sim.now();
+        sim.stop();
+        return;
+      }
+      (*iterate)();
+    });
+  };
+
+  const sim::SimTime t0 = sim.now();
+  (*iterate)();
+  sim.run_until(t0 + sim::sec(60));
+
+  StreamResult result;
+  const double secs = sim::to_seconds(*finished - t0);
+  if (secs > 0) {
+    result.copy_bytes_per_sec =
+        static_cast<double>(options.array_bytes) * options.iterations / secs;
+  }
+  return result;
+}
+
+}  // namespace xgbe::tools

@@ -1,0 +1,26 @@
+// STREAM-style memory bandwidth probe: times large copies through the
+// host's CPU + memory-bus resources (§3.2 uses STREAM to compare the
+// PE2650, PE4600, and Intel E7505 memory subsystems).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+
+namespace xgbe::tools {
+
+struct StreamOptions {
+  std::uint64_t array_bytes = 8 * 1024 * 1024;
+  std::uint32_t iterations = 10;
+};
+
+struct StreamResult {
+  double copy_bytes_per_sec = 0.0;
+  double copy_gbps() const { return copy_bytes_per_sec * 8.0 / 1e9; }
+};
+
+/// Measures the simulated copy bandwidth on an otherwise idle host.
+StreamResult run_stream(core::Testbed& tb, core::Host& host,
+                        const StreamOptions& options = {});
+
+}  // namespace xgbe::tools

@@ -1,0 +1,87 @@
+#include "tools/tcpdump.hpp"
+
+#include <cstdio>
+
+namespace xgbe::tools {
+
+std::string format_frame(sim::SimTime at, const net::Packet& pkt) {
+  char buf[256];
+  const double secs = sim::to_seconds(at);
+  int n = std::snprintf(buf, sizeof(buf), "%12.6f %u > %u: ", secs, pkt.src,
+                        pkt.dst);
+  std::string line(buf, static_cast<std::size_t>(n));
+
+  if (pkt.protocol == net::Protocol::kUdp) {
+    std::snprintf(buf, sizeof(buf), "UDP, length %u", pkt.payload_bytes);
+    return line + buf;
+  }
+  if (pkt.protocol == net::Protocol::kRaw) {
+    std::snprintf(buf, sizeof(buf), "RAW, length %u", pkt.frame_bytes);
+    return line + buf;
+  }
+
+  std::string flags;
+  if (pkt.tcp.flags.syn) flags += 'S';
+  if (pkt.tcp.flags.fin) flags += 'F';
+  if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn && !pkt.tcp.flags.fin &&
+      pkt.payload_bytes == 0) {
+    flags += '.';
+  } else if (pkt.tcp.flags.ack && (pkt.tcp.flags.syn || pkt.tcp.flags.fin)) {
+    flags += '.';
+  }
+  if (pkt.tcp.push) flags += 'P';
+  if (flags.empty()) flags = ".";
+  line += "Flags [" + flags + "], ";
+
+  if (pkt.payload_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), "seq %u:%u, ", pkt.tcp.seq,
+                  pkt.tcp.seq + pkt.payload_bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "seq %u, ", pkt.tcp.seq);
+  }
+  line += buf;
+  if (pkt.tcp.flags.ack) {
+    std::snprintf(buf, sizeof(buf), "ack %u, ", pkt.tcp.ack);
+    line += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "win %u, ", pkt.tcp.window);
+  line += buf;
+  if (pkt.tcp.flags.syn) {
+    std::snprintf(buf, sizeof(buf), "options [mss %u%s%s], ",
+                  pkt.tcp.mss_option,
+                  pkt.tcp.wscale_present ? ",wscale" : "",
+                  pkt.tcp.timestamps ? ",TS" : "");
+    line += buf;
+  } else if (pkt.tcp.timestamps) {
+    line += "options [TS], ";
+  }
+  if (pkt.tcp.is_retransmit) line += "retransmission, ";
+  std::snprintf(buf, sizeof(buf), "length %u", pkt.payload_bytes);
+  line += buf;
+  return line;
+}
+
+void Capture::attach(link::Link& wire) {
+  wire.tap = [this](const net::Packet& pkt, bool) { on_frame(pkt); };
+}
+
+void Capture::detach(link::Link& wire) { wire.tap = nullptr; }
+
+void Capture::on_frame(const net::Packet& pkt) {
+  ++seen_;
+  if (options_.filter && !options_.filter(pkt)) return;
+  ++recorded_;
+  lines_.push_back(format_frame(sim_.now(), pkt));
+  while (lines_.size() > options_.max_lines) lines_.pop_front();
+}
+
+std::string Capture::text() const {
+  std::string out;
+  for (const auto& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xgbe::tools

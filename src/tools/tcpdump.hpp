@@ -1,0 +1,61 @@
+// tcpdump-style wire capture (§3.2: "tcpdump is commonly available and used
+// for analyzing protocols at the wire level" — the paper used it alongside
+// MAGNET to diagnose the window/MSS pathologies of §3.5.1).
+//
+// A Capture attaches to a simulated Link's wire tap and records one
+// formatted line per frame, with optional filtering and a bounded ring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "link/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace xgbe::tools {
+
+struct CaptureOptions {
+  /// Keep at most this many lines (oldest dropped first), like `tcpdump -c`
+  /// but ring-buffered.
+  std::size_t max_lines = 10000;
+  /// Only record frames matching this predicate (null = everything).
+  std::function<bool(const net::Packet&)> filter;
+};
+
+/// Formats one frame as a tcpdump-like line, e.g.
+///   "12.345678 1 > 2: Flags [S], seq 100021, win 65535, options [mss 8960,wscale 0,TS], length 0"
+///   "12.345901 1 > 2: Flags [.], seq 100022:109970, ack 200025, win 62636, length 8948"
+std::string format_frame(sim::SimTime at, const net::Packet& pkt);
+
+class Capture {
+ public:
+  Capture(sim::Simulator& simulator, const CaptureOptions& options = {})
+      : sim_(simulator), options_(options) {}
+
+  /// Attaches to a link's tap (replacing any existing tap).
+  void attach(link::Link& wire);
+  /// Detaches (clears the link's tap).
+  void detach(link::Link& wire);
+
+  const std::deque<std::string>& lines() const { return lines_; }
+  std::uint64_t frames_seen() const { return seen_; }
+  std::uint64_t frames_recorded() const { return recorded_; }
+  void clear() { lines_.clear(); }
+
+  /// Convenience: concatenates all lines.
+  std::string text() const;
+
+ private:
+  void on_frame(const net::Packet& pkt);
+
+  sim::Simulator& sim_;
+  CaptureOptions options_;
+  std::deque<std::string> lines_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace xgbe::tools

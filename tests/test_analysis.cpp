@@ -1,0 +1,160 @@
+// Unit tests for the closed-form models: AIMD recovery (Table 1), window
+// alignment (Fig 8), BDP arithmetic, interconnect comparison data.
+#include <gtest/gtest.h>
+
+#include "analysis/aimd.hpp"
+#include "analysis/bdp.hpp"
+#include "analysis/interconnects.hpp"
+#include "analysis/window_model.hpp"
+
+namespace xgbe::analysis {
+namespace {
+
+TEST(Aimd, WindowSegments) {
+  // 10 Gb/s * 120 ms / 8 / 1460 B ~= 102,740 segments.
+  EXPECT_NEAR(window_segments(10e9, 0.120, 1460), 102740.0, 100.0);
+}
+
+TEST(Aimd, GenevaChicagoStandardMtu) {
+  // Table 1: ~1 hr 42-43 min to recover at 10 Gb/s, 120 ms RTT, 1460 MSS.
+  const double t = recovery_time_s(10e9, 0.120, 1460);
+  EXPECT_NEAR(t / 3600.0, 1.71, 0.05);
+}
+
+TEST(Aimd, GenevaChicagoJumbo) {
+  // Jumbo frames cut recovery to ~17 minutes.
+  const double t = recovery_time_s(10e9, 0.120, 8960);
+  EXPECT_NEAR(t / 60.0, 16.7, 0.5);
+}
+
+TEST(Aimd, GenevaSunnyvaleStandardMtu) {
+  // ~3 hr 51 min at 180 ms RTT.
+  const double t = recovery_time_s(10e9, 0.180, 1460);
+  EXPECT_NEAR(t / 3600.0, 3.85, 0.1);
+}
+
+TEST(Aimd, GenevaSunnyvaleJumbo) {
+  const double t = recovery_time_s(10e9, 0.180, 8960);
+  EXPECT_NEAR(t / 60.0, 37.7, 1.0);
+}
+
+TEST(Aimd, LanRecoveryIsMilliseconds) {
+  const double t = recovery_time_s(10e9, 0.04e-3, 1460);
+  EXPECT_LT(t, 0.01);
+  EXPECT_GT(t, 1e-5);
+}
+
+TEST(Aimd, RecoveryQuadraticInRtt) {
+  const double t1 = recovery_time_s(10e9, 0.1, 1460);
+  const double t2 = recovery_time_s(10e9, 0.2, 1460);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.01);  // T ~ B*RTT^2 / (16*MSS)
+}
+
+TEST(Aimd, RecoveryInverseInMss) {
+  const double t1 = recovery_time_s(10e9, 0.1, 1460);
+  const double t2 = recovery_time_s(10e9, 0.1, 2920);
+  EXPECT_NEAR(t1 / t2, 2.0, 0.01);
+}
+
+TEST(Aimd, DeficitPositiveAndBounded) {
+  const double d = deficit_bytes(2.5e9, 0.180, 8960);
+  EXPECT_GT(d, 0.0);
+  // Cannot exceed what the full rate would have moved in the window.
+  const double t = recovery_time_s(2.5e9, 0.180, 8960);
+  EXPECT_LT(d, 2.5e9 / 8.0 * t);
+}
+
+TEST(Aimd, Table1HasFiveRows) {
+  const auto rows = table1_scenarios();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].path, "LAN");
+  EXPECT_EQ(rows[1].mss_bytes, 1460u);
+  EXPECT_EQ(rows[2].mss_bytes, 8960u);
+  EXPECT_DOUBLE_EQ(rows[3].rtt_s, 180e-3);
+}
+
+TEST(Aimd, FormatDuration) {
+  EXPECT_EQ(format_duration(0.0007), "0.7 ms");
+  EXPECT_EQ(format_duration(2.5), "2.5 s");
+  EXPECT_EQ(format_duration(1004.0), "17 min");
+  EXPECT_EQ(format_duration(6164.0), "1 hr 43 min");
+}
+
+TEST(WindowModel, PaperExample) {
+  // §3.5.1: 33,000 bytes available, receiver MSS estimate 8948, sender MSS
+  // 8960 -> 26,844 advertised (19% loss), 17,920 usable (~50% total loss).
+  const WindowAlignment w = align_window(33000, 8948, 8960);
+  EXPECT_EQ(w.receiver_window, 26844u);
+  EXPECT_EQ(w.sender_window, 17920u);
+  EXPECT_NEAR(w.receiver_efficiency, 0.81, 0.01);
+  EXPECT_NEAR(w.end_to_end_efficiency, 0.54, 0.01);
+}
+
+TEST(WindowModel, Fig8Example) {
+  // Fig 8: ~26 KB theoretical window, ~9 KB MSS -> best window 2 segments
+  // (18 KB), 31% below the allowance.
+  const WindowAlignment w = align_window(26624, 9000, 9000);
+  EXPECT_EQ(w.sender_window, 18000u);
+  EXPECT_NEAR(w.end_to_end_efficiency, 0.69, 0.02);
+}
+
+TEST(WindowModel, MatchedMssSingleRounding) {
+  const WindowAlignment w = align_window(65535, 1448, 1448);
+  EXPECT_EQ(w.receiver_window, w.sender_window);
+  EXPECT_EQ(w.receiver_window % 1448, 0u);
+}
+
+TEST(WindowModel, SmallMssNearlyLossless) {
+  const WindowAlignment w = align_window(65535, 536, 536);
+  EXPECT_GT(w.end_to_end_efficiency, 0.99);
+}
+
+TEST(WindowModel, ScaleQuantize) {
+  EXPECT_EQ(scale_quantize(0xffffu, 4), 0xfff0u);
+  EXPECT_EQ(scale_quantize(1 << 20, 10), 1u << 20);
+}
+
+TEST(WindowModel, SegmentsPerWindow) {
+  // "about 5.5 packets per window" for 48 KB / 8948 (§3.5.1).
+  EXPECT_NEAR(segments_per_window(48000, 8948), 5.4, 0.2);
+}
+
+TEST(Bdp, LanIdealWindow) {
+  // 10 Gb/s at 19 us one-way -> ~48 KB (§3.3.1).
+  EXPECT_NEAR(lan_ideal_window_bytes() / 1024.0, 46.4, 1.0);
+}
+
+TEST(Bdp, WanWindow) {
+  // OC-48 payload at 180 ms: ~52-54 MB.
+  EXPECT_NEAR(bdp_bytes(2.4e9, 0.180) / 1e6, 54.0, 1.0);
+}
+
+TEST(Bdp, RcvbufCoversWindow) {
+  const std::uint32_t buf = rcvbuf_for_bdp(10e9, 38e-6);
+  EXPECT_GT(buf, bdp_bytes(10e9, 38e-6));
+}
+
+TEST(Interconnects, PublishedSet) {
+  const auto all = published_interconnects();
+  ASSERT_EQ(all.size(), 5u);
+  // Myrinet/GM: 1.984 Gb/s sustained within 3% of the 2 Gb/s limit.
+  EXPECT_NEAR(all[1].bandwidth_gbps / all[1].theoretical_gbps, 0.99, 0.01);
+  // QsNet Elan3 latency 4.9 us.
+  EXPECT_DOUBLE_EQ(all[3].latency_us, 4.9);
+  // TCP/IP rows never require code changes; native APIs do.
+  for (const auto& e : all) {
+    EXPECT_EQ(e.requires_code_change, e.api != "TCP/IP") << e.name;
+  }
+}
+
+TEST(Interconnects, PaperSummaryRatios) {
+  // "4.11 Gb/s ... over 115% better than Myrinet [TCP/IP]" (§3.5.4 uses
+  // 1.853); and latency 19 us ~40% better than GbE's ~32 us.
+  EXPECT_NEAR(bandwidth_advantage(4.11, 1.853), 122.0, 5.0);
+  EXPECT_NEAR(bandwidth_advantage(4.11, 0.95), 333.0, 10.0);
+  EXPECT_NEAR(latency_advantage(19.0, 32.0), 68.0, 5.0);
+  EXPECT_LT(latency_advantage(19.0, 4.9), 0.0);  // QsNet native is faster
+}
+
+}  // namespace
+}  // namespace xgbe::analysis

@@ -1,0 +1,119 @@
+// Calibration regression locks: the headline numbers recorded in
+// EXPERIMENTS.md, asserted with tolerances. If a model change moves one of
+// these, EXPERIMENTS.md must be re-baselined consciously — these tests make
+// silent drift impossible.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "tools/netpipe.hpp"
+#include "tools/nttcp.hpp"
+#include "tools/pktgen.hpp"
+
+namespace xgbe {
+namespace {
+
+tools::NttcpResult nttcp(const hw::SystemSpec& sys,
+                         const core::TuningProfile& tuning,
+                         std::uint32_t payload) {
+  core::Testbed tb;
+  auto& a = tb.add_host("a", sys, tuning);
+  auto& b = tb.add_host("b", sys, tuning);
+  tb.connect(a, b);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = payload;
+  opt.count = 2000;
+  return tools::run_nttcp(tb, conn, a, b, opt);
+}
+
+double latency_us(const core::TuningProfile& tuning, bool through_switch) {
+  core::Testbed tb;
+  auto& a = tb.add_host("a", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("b", hw::presets::pe2650(), tuning);
+  if (through_switch) {
+    auto& sw = tb.add_switch();
+    tb.connect_to_switch(a, sw);
+    tb.connect_to_switch(b, sw);
+  } else {
+    tb.connect(a, b);
+  }
+  auto cfg = tools::netpipe_config(a.endpoint_config());
+  auto conn = tb.open_connection(a, b, cfg, cfg);
+  tools::NetpipeOptions opt;
+  opt.payload = 1;
+  opt.iterations = 60;
+  return tools::run_netpipe(tb, conn, opt).latency_us;
+}
+
+TEST(CalibrationLock, Stock1500PeaksNear1p8) {
+  // Paper Fig 3: ~1.8 Gb/s at the 1500-byte MTU.
+  const auto r =
+      nttcp(hw::presets::pe2650(), core::TuningProfile::stock(1500), 16344);
+  EXPECT_NEAR(r.throughput_gbps(), 1.8, 0.15);
+  EXPECT_GT(r.receiver_load, 0.85);  // CPU-bound, paper load ~0.9
+}
+
+TEST(CalibrationLock, Stock9000PeaksNear2p7) {
+  // Paper Fig 3: ~2.7 Gb/s, CPU load ~0.4 — TX PCI-X bound at MMRBC 512.
+  const auto r =
+      nttcp(hw::presets::pe2650(), core::TuningProfile::stock(9000), 8000);
+  EXPECT_NEAR(r.throughput_gbps(), 2.7, 0.2);
+  EXPECT_LT(r.receiver_load, 0.65);
+}
+
+TEST(CalibrationLock, StockJumboDipAtMssPayloads) {
+  // Paper Fig 3: the marked throughput dip around jumbo-MSS payloads.
+  const auto peak =
+      nttcp(hw::presets::pe2650(), core::TuningProfile::stock(9000), 8000);
+  const auto dip =
+      nttcp(hw::presets::pe2650(), core::TuningProfile::stock(9000), 8948);
+  EXPECT_GT(peak.throughput_bps, dip.throughput_bps * 1.3);
+}
+
+TEST(CalibrationLock, Tuned8160PeaksNear4Gbps) {
+  // Paper Fig 5: 4.11 Gb/s with the 8160-byte MTU, fully tuned.
+  const auto r = nttcp(hw::presets::pe2650(),
+                       core::TuningProfile::lan_tuned(8160), 8000);
+  EXPECT_NEAR(r.throughput_gbps(), 4.2, 0.35);
+}
+
+TEST(CalibrationLock, LatencyMatchesFigs6And7) {
+  const double coalesced = latency_us(core::TuningProfile::lan_tuned(9000),
+                                      /*through_switch=*/false);
+  EXPECT_NEAR(coalesced, 18.5, 1.5);  // paper: 19 us
+
+  auto uncoalesced_tuning = core::TuningProfile::lan_tuned(9000);
+  uncoalesced_tuning.intr_delay = 0;
+  const double uncoalesced = latency_us(uncoalesced_tuning, false);
+  EXPECT_NEAR(uncoalesced, 13.5, 1.5);  // paper: 14 us
+
+  const double switched =
+      latency_us(core::TuningProfile::lan_tuned(9000), true);
+  EXPECT_NEAR(switched, 24.5, 1.5);  // paper: 25 us
+}
+
+TEST(CalibrationLock, PktgenCeilingNear88kPps) {
+  // Paper §3.5.2: ~88,400 packets/s at 8160-byte packets, CPU mostly idle.
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::lan_tuned(9000);
+  auto& a = tb.add_host("a", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("b", hw::presets::pe2650(), tuning);
+  tb.connect(a, b);
+  tools::PktgenOptions opt;
+  opt.duration = sim::msec(50);
+  const auto r = tools::run_pktgen(tb, a, b, opt);
+  ASSERT_TRUE(r.completed);
+  EXPECT_NEAR(r.packets_per_sec, 88400.0, 3500.0);
+}
+
+TEST(CalibrationLock, E7505OutOfBoxNear4p5) {
+  // Paper §3.4: 4.64 Gb/s essentially out of the box, timestamps disabled.
+  auto t = core::TuningProfile::stock(9000);
+  t.timestamps = false;
+  const auto r = nttcp(hw::presets::intel_e7505(), t, 8000);
+  EXPECT_NEAR(r.throughput_gbps(), 4.5, 0.35);
+}
+
+}  // namespace
+}  // namespace xgbe

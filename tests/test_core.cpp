@@ -1,0 +1,152 @@
+// Tests for the core facade: tuning profiles, host assembly, testbed
+// topology building.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "link/wan.hpp"
+
+namespace xgbe::core {
+namespace {
+
+TEST(TuningProfile, StockDefaults) {
+  const auto t = TuningProfile::stock(9000);
+  EXPECT_EQ(t.mtu, 9000u);
+  EXPECT_EQ(t.mmrbc, 0u);  // system default (512 on the Dells)
+  EXPECT_EQ(t.kernel, os::KernelMode::kSmp);
+  EXPECT_EQ(t.rcvbuf, 87380u);
+  EXPECT_TRUE(t.timestamps);
+  EXPECT_EQ(t.intr_delay, sim::usec(5));
+  EXPECT_FALSE(t.header_splitting);
+}
+
+TEST(TuningProfile, LadderOrderAndKnobs) {
+  const auto ladder = TuningProfile::ladder(9000);
+  ASSERT_EQ(ladder.size(), 4u);
+  EXPECT_EQ(ladder[0].mmrbc, 0u);
+  EXPECT_EQ(ladder[1].mmrbc, 4096u);
+  EXPECT_EQ(ladder[1].kernel, os::KernelMode::kSmp);
+  EXPECT_EQ(ladder[2].kernel, os::KernelMode::kUniprocessor);
+  EXPECT_EQ(ladder[2].rcvbuf, 87380u);
+  EXPECT_EQ(ladder[3].rcvbuf, 256u * 1024u);
+  // Labels carry the configuration, like the paper's figure legends.
+  EXPECT_NE(ladder[3].label.find("256kbuf"), std::string::npos);
+}
+
+TEST(TuningProfile, WanProfile) {
+  const auto t = TuningProfile::wan(64u * 1024 * 1024);
+  EXPECT_EQ(t.mtu, 9000u);
+  EXPECT_EQ(t.rcvbuf, 64u * 1024 * 1024);
+  EXPECT_GT(t.sndbuf, t.rcvbuf);  // retransmit queue truesize headroom
+  EXPECT_EQ(t.txqueuelen, 10000u);
+}
+
+TEST(TuningProfile, FutureOffload) {
+  const auto t = TuningProfile::future_offload(9000);
+  EXPECT_TRUE(t.header_splitting);
+  EXPECT_TRUE(t.adapter_on_mch);
+  EXPECT_EQ(t.intr_delay, 0);
+}
+
+TEST(Host, EndpointConfigDerivesFromTuning) {
+  Testbed tb;
+  auto t = TuningProfile::with_big_windows(8160);
+  t.timestamps = false;
+  t.tso = true;
+  auto& h = tb.add_host("h", hw::presets::pe2650(), t);
+  const auto cfg = h.endpoint_config();
+  EXPECT_EQ(cfg.mtu, 8160u);
+  EXPECT_FALSE(cfg.timestamps);
+  EXPECT_TRUE(cfg.tso);
+  EXPECT_EQ(cfg.rcvbuf, 256u * 1024u);
+}
+
+TEST(Host, MmrbcFallsBackToSystemDefault) {
+  Testbed tb;
+  auto& dell = tb.add_host("dell", hw::presets::pe2650(),
+                           TuningProfile::stock(9000));
+  EXPECT_EQ(dell.adapter().mmrbc(), 512u);
+  auto& intel = tb.add_host("intel", hw::presets::intel_e7505(),
+                            TuningProfile::stock(9000));
+  EXPECT_EQ(intel.adapter().mmrbc(), 4096u);
+  auto& tuned = tb.add_host("tuned", hw::presets::pe2650(),
+                            TuningProfile::with_pci_burst(9000));
+  EXPECT_EQ(tuned.adapter().mmrbc(), 4096u);
+}
+
+TEST(Host, AddAdapterReturnsIndices) {
+  Testbed tb;
+  auto& h = tb.add_host("h", hw::presets::pe2650(),
+                        TuningProfile::lan_tuned(9000));
+  EXPECT_EQ(h.adapter_count(), 1u);
+  const auto second = h.add_adapter(nic::intel_pro10gbe());
+  EXPECT_EQ(second, 1u);
+  EXPECT_EQ(h.adapter_count(), 2u);
+  // Independent PCI-X segments.
+  EXPECT_NE(&h.adapter(0).pci_bus(), &h.adapter(1).pci_bus());
+}
+
+TEST(Testbed, NodeIdsUnique) {
+  Testbed tb;
+  auto& a = tb.add_host("a", hw::presets::pe2650(),
+                        TuningProfile::stock(1500));
+  auto& b = tb.add_host("b", hw::presets::pe2650(),
+                        TuningProfile::stock(1500));
+  auto& c = tb.add_host("c", hw::presets::pe2650(),
+                        TuningProfile::stock(1500));
+  EXPECT_NE(a.node(), b.node());
+  EXPECT_NE(b.node(), c.node());
+}
+
+TEST(Testbed, EstablishTimesOutWithoutTopology) {
+  Testbed tb;
+  auto& a = tb.add_host("a", hw::presets::pe2650(),
+                        TuningProfile::stock(1500));
+  auto& b = tb.add_host("b", hw::presets::pe2650(),
+                        TuningProfile::stock(1500));
+  // No link: the SYN goes nowhere; establishment must fail, not hang.
+  auto conn = tb.open_connection(a, b, a.endpoint_config(),
+                                 b.endpoint_config());
+  EXPECT_FALSE(tb.run_until_established(conn, sim::msec(50)));
+  EXPECT_GE(tb.now(), sim::msec(50));
+}
+
+TEST(Testbed, WanPathConnectsEndToEnd) {
+  Testbed tb;
+  const auto tuning = TuningProfile::wan(32u * 1024 * 1024);
+  auto& a = tb.add_host("a", hw::presets::wan_endpoint(), tuning);
+  auto& b = tb.add_host("b", hw::presets::wan_endpoint(), tuning);
+  const auto circuits = tb.build_wan_path(
+      a, b,
+      {link::wan::oc192_pos(100.0), link::wan::oc48_pos(100.0)},
+      link::wan::router_spec());
+  ASSERT_EQ(circuits.size(), 2u);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  ASSERT_TRUE(tb.run_until_established(conn));
+  // Data crosses both circuits.
+  bool done = false;
+  conn.server->on_consumed = [&](std::uint64_t) { done = true; };
+  conn.client->app_send(8948, nullptr);
+  tb.run_for(sim::msec(50));
+  EXPECT_TRUE(done);
+  EXPECT_GT(circuits[0]->frames_delivered(), 0u);
+  EXPECT_GT(circuits[1]->frames_delivered(), 0u);
+}
+
+TEST(Testbed, SwitchTopologyLearnsHosts) {
+  Testbed tb;
+  const auto tuning = TuningProfile::lan_tuned(9000);
+  auto& a = tb.add_host("a", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("b", hw::presets::pe2650(), tuning);
+  auto& sw = tb.add_switch();
+  tb.connect_to_switch(a, sw);
+  tb.connect_to_switch(b, sw);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  EXPECT_TRUE(tb.run_until_established(conn));
+  EXPECT_EQ(sw.dropped_no_route(), 0u);
+  EXPECT_GT(sw.forwarded(), 0u);
+}
+
+}  // namespace
+}  // namespace xgbe::core

@@ -1,0 +1,144 @@
+// Unit tests for the hardware models: PCI-X bus, memory subsystem, presets.
+#include <gtest/gtest.h>
+
+#include "hw/memory.hpp"
+#include "hw/pcix.hpp"
+#include "hw/presets.hpp"
+
+namespace xgbe::hw {
+namespace {
+
+TEST(Pcix, RateFromClockAndWidth) {
+  PcixSpec s;
+  s.clock_mhz = 133.0;
+  s.width_bits = 64;
+  // The paper's 8.5 Gb/s PCI-X figure.
+  EXPECT_NEAR(s.rate_bps(), 8.512e9, 1e6);
+}
+
+TEST(Pcix, BurstCount) {
+  EXPECT_EQ(burst_count(0, 512), 0u);
+  EXPECT_EQ(burst_count(512, 512), 1u);
+  EXPECT_EQ(burst_count(513, 512), 2u);
+  // A 9018-byte jumbo frame: 18 bursts at MMRBC 512, 3 at 4096 (§3.3).
+  EXPECT_EQ(burst_count(9018, 512), 18u);
+  EXPECT_EQ(burst_count(9018, 4096), 3u);
+}
+
+TEST(Pcix, ValidMmrbcValues) {
+  EXPECT_TRUE(is_valid_mmrbc(512));
+  EXPECT_TRUE(is_valid_mmrbc(4096));
+  EXPECT_FALSE(is_valid_mmrbc(0));
+  EXPECT_FALSE(is_valid_mmrbc(1000));
+  EXPECT_FALSE(is_valid_mmrbc(8192));
+}
+
+TEST(Pcix, ReadServiceTimeDropsWithMmrbc) {
+  const PcixSpec s = presets::pe2650().pcix;
+  const auto t512 = dma_read_service_time(s, 9018, 512);
+  const auto t4096 = dma_read_service_time(s, 9018, 4096);
+  EXPECT_LT(t4096, t512);
+  // The amortization saves 15 bursts of overhead.
+  EXPECT_EQ(t512 - t4096, 15 * s.burst_overhead);
+}
+
+TEST(Pcix, WriteSideIgnoresMmrbc) {
+  const PcixSpec s = presets::pe2650().pcix;
+  EXPECT_LT(dma_write_service_time(s, 9018),
+            dma_read_service_time(s, 9018, 4096));
+}
+
+TEST(Pcix, Pe2650StockJumboCeilingNear2p7) {
+  // The calibrated model must keep the paper's stock bottleneck: the TX DMA
+  // read path at MMRBC 512 caps a 9018-byte frame stream at ~2.7 Gb/s.
+  const PcixSpec s = presets::pe2650().pcix;
+  const double gbps = effective_read_rate_bps(s, 9018, 512) / 1e9;
+  EXPECT_NEAR(gbps, 2.72, 0.15);
+}
+
+TEST(Pcix, EffectiveRateMonotonicInFrameSize) {
+  const PcixSpec s = presets::pe2650().pcix;
+  double prev = 0.0;
+  for (std::uint32_t bytes : {512u, 1518u, 4096u, 9018u, 16018u}) {
+    const double rate = effective_read_rate_bps(s, bytes, 4096);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Memory, StreamCopyIsHalfTraversal) {
+  MemorySpec m;
+  m.traversal_bytes_per_sec = 2.15e9;
+  EXPECT_NEAR(m.stream_copy_bytes_per_sec(), 1.075e9, 1e3);
+}
+
+TEST(Memory, BusTimeScalesWithTraversals) {
+  MemorySpec m;
+  m.traversal_bytes_per_sec = 2e9;
+  EXPECT_EQ(bus_time(m, 1000, 2), 2 * bus_time(m, 1000, 1));
+  EXPECT_EQ(cpu_copy_time(m, 1000), bus_time(m, 1000, 2));
+}
+
+TEST(Presets, Pe2650Shape) {
+  const SystemSpec s = presets::pe2650();
+  EXPECT_EQ(s.cpu_count, 2);
+  EXPECT_DOUBLE_EQ(s.cpu_ghz, 2.2);
+  EXPECT_DOUBLE_EQ(s.fsb_mhz, 400.0);
+  EXPECT_EQ(s.default_mmrbc, 512u);
+  EXPECT_DOUBLE_EQ(s.cpu_scale(), 1.0);
+  EXPECT_DOUBLE_EQ(s.fsb_scale(), 1.0);
+  // STREAM ~8.6 Gb/s on the PE2650 (inferred in §3.5.2).
+  EXPECT_NEAR(s.memory.stream_copy_bytes_per_sec() * 8 / 1e9, 8.6, 0.1);
+}
+
+TEST(Presets, Pe4600HasMoreMemoryBandwidthLessPci) {
+  const SystemSpec a = presets::pe2650();
+  const SystemSpec b = presets::pe4600();
+  EXPECT_GT(b.memory.traversal_bytes_per_sec, a.memory.traversal_bytes_per_sec);
+  EXPECT_LT(b.pcix.rate_bps(), a.pcix.rate_bps());  // 100 vs 133 MHz
+  // STREAM 12.8 Gb/s on the GC-HE (§3.5.2).
+  EXPECT_NEAR(b.memory.stream_copy_bytes_per_sec() * 8 / 1e9, 12.8, 0.1);
+}
+
+TEST(Presets, E7505FasterFsb) {
+  const SystemSpec s = presets::intel_e7505();
+  EXPECT_DOUBLE_EQ(s.fsb_mhz, 533.0);
+  EXPECT_LT(s.fsb_scale(), 0.8);
+  // STREAM "within a few percent" of the PE2650 (§3.5.2).
+  const double pe = presets::pe2650().memory.stream_copy_bytes_per_sec();
+  EXPECT_NEAR(s.memory.stream_copy_bytes_per_sec() / pe, 1.0, 0.1);
+}
+
+TEST(Presets, ItaniumQuad) {
+  const SystemSpec s = presets::itanium2_quad();
+  EXPECT_EQ(s.cpu_count, 4);
+  EXPECT_GT(s.memory.traversal_bytes_per_sec, 6e9);
+}
+
+TEST(Presets, WanEndpointMatchesPaper) {
+  const SystemSpec s = presets::wan_endpoint();
+  EXPECT_DOUBLE_EQ(s.cpu_ghz, 2.4);
+  EXPECT_NEAR(s.pcix.rate_bps(), 8.512e9, 1e6);  // 133 MHz PCI-X (§4.1)
+}
+
+// Property sweep: read service time is non-increasing in MMRBC for any
+// frame size.
+class MmrbcSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MmrbcSweep, ServiceTimeNonIncreasingInMmrbc) {
+  const PcixSpec s = presets::pe2650().pcix;
+  const std::uint32_t bytes = GetParam();
+  sim::SimTime prev = dma_read_service_time(s, bytes, 512);
+  for (std::uint32_t mmrbc : {1024u, 2048u, 4096u}) {
+    const sim::SimTime t = dma_read_service_time(s, bytes, mmrbc);
+    EXPECT_LE(t, prev) << "bytes=" << bytes << " mmrbc=" << mmrbc;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, MmrbcSweep,
+                         ::testing::Values(64u, 512u, 1518u, 4096u, 8178u,
+                                           9018u, 16018u));
+
+}  // namespace
+}  // namespace xgbe::hw

@@ -1,0 +1,100 @@
+// Unit tests for the header/framing size model and sequence arithmetic.
+#include <gtest/gtest.h>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "net/seq.hpp"
+
+namespace xgbe::net {
+namespace {
+
+TEST(Headers, MssForStandardMtus) {
+  EXPECT_EQ(mss_for_mtu(1500), 1460u);
+  EXPECT_EQ(mss_for_mtu(9000), 8960u);
+  EXPECT_EQ(mss_for_mtu(8160), 8120u);
+  EXPECT_EQ(mss_for_mtu(16000), 15960u);
+}
+
+TEST(Headers, TimestampsCost12BytesPerSegment) {
+  EXPECT_EQ(payload_per_segment(9000, false), 8960u);
+  // The paper's 8948-byte MSS: 9000 MTU with timestamps enabled (§3.5.1).
+  EXPECT_EQ(payload_per_segment(9000, true), 8948u);
+}
+
+TEST(Headers, TcpFrameBytes) {
+  // 1448 payload + 20 IP + 20 TCP + 12 TS + 14 ETH + 4 CRC = 1518.
+  EXPECT_EQ(tcp_frame_bytes(1448, true), 1518u);
+  EXPECT_EQ(tcp_frame_bytes(1460, false), 1518u);
+  EXPECT_EQ(tcp_frame_bytes(0, false), 58u);
+}
+
+TEST(Headers, UdpFrameBytes) {
+  EXPECT_EQ(udp_frame_bytes(8132), 8178u);  // 8160-byte IP packet + eth
+}
+
+TEST(Headers, WireOccupancyEnforcesMinFrame) {
+  EXPECT_EQ(wire_occupancy_bytes(10), kEthMinFrameBytes + kEthWireGapBytes);
+  EXPECT_EQ(wire_occupancy_bytes(1518), 1518u + 20u);
+}
+
+TEST(Headers, WireEfficiencyImprovesWithMtu) {
+  const double e1500 = tcp_wire_efficiency(1500, true);
+  const double e9000 = tcp_wire_efficiency(9000, true);
+  const double e16000 = tcp_wire_efficiency(16000, true);
+  EXPECT_LT(e1500, e9000);
+  EXPECT_LT(e9000, e16000);
+  EXPECT_GT(e1500, 0.90);
+  EXPECT_GT(e9000, 0.98);
+}
+
+TEST(Seq, BasicComparisons) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_TRUE(seq_le(2, 2));
+  EXPECT_TRUE(seq_gt(3, 2));
+  EXPECT_TRUE(seq_ge(3, 3));
+}
+
+TEST(Seq, WrapAround) {
+  const Seq near_max = 0xfffffff0u;
+  const Seq wrapped = near_max + 0x20u;  // wraps past zero
+  EXPECT_TRUE(seq_lt(near_max, wrapped));
+  EXPECT_TRUE(seq_gt(wrapped, near_max));
+  EXPECT_EQ(seq_span(near_max, wrapped), 0x20u);
+}
+
+TEST(Seq, MinMaxAndIn) {
+  EXPECT_EQ(seq_max(5u, 9u), 9u);
+  EXPECT_EQ(seq_min(5u, 9u), 5u);
+  EXPECT_TRUE(seq_in(5, 5, 10));
+  EXPECT_FALSE(seq_in(10, 5, 10));
+  const Seq hi = 0xfffffffau;
+  EXPECT_TRUE(seq_in(2, hi, 10));  // interval spanning the wrap
+}
+
+TEST(Packet, WireBytesUsesFraming) {
+  Packet p;
+  p.frame_bytes = 1518;
+  EXPECT_EQ(p.wire_bytes(), 1538u);
+  p.frame_bytes = 20;
+  EXPECT_EQ(p.wire_bytes(), 84u);  // min frame + gap
+}
+
+// Property: seq comparisons are a strict weak order within a half-space.
+class SeqOrderTest : public ::testing::TestWithParam<Seq> {};
+
+TEST_P(SeqOrderTest, OrderConsistentUnderOffset) {
+  const Seq base = GetParam();
+  for (std::uint32_t d = 1; d < 0x40000000u; d <<= 3) {
+    EXPECT_TRUE(seq_lt(base, base + d)) << base << " " << d;
+    EXPECT_TRUE(seq_gt(base + d, base));
+    EXPECT_FALSE(seq_lt(base + d, base));
+    EXPECT_EQ(seq_span(base, base + d), d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, SeqOrderTest,
+                         ::testing::Values(0u, 1u, 0x7fffffffu, 0x80000000u,
+                                           0xfffffff0u, 0xffffffffu));
+
+}  // namespace
+}  // namespace xgbe::net

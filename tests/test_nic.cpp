@@ -1,0 +1,206 @@
+// Unit tests for the adapter model: DMA timing, coalescing, TSO, rings.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/presets.hpp"
+#include "link/link.hpp"
+#include "net/headers.hpp"
+#include "nic/adapter.hpp"
+
+namespace xgbe::nic {
+namespace {
+
+class SinkDevice : public link::NetDevice {
+ public:
+  void deliver(const net::Packet& pkt) override { packets.push_back(pkt); }
+  std::vector<net::Packet> packets;
+};
+
+class AdapterFixture : public ::testing::Test {
+ protected:
+  AdapterFixture()
+      : membus_(sim_, "membus"),
+        spec_(intel_pro10gbe()),
+        sys_(hw::presets::pe2650()) {}
+
+  std::unique_ptr<Adapter> make(std::uint32_t mmrbc,
+                                sim::SimTime intr_delay = sim::usec(5)) {
+    AdapterSpec s = spec_;
+    s.intr_delay = intr_delay;
+    return std::make_unique<Adapter>(sim_, s, sys_.pcix, sys_.memory, mmrbc,
+                                     membus_, "eth0");
+  }
+
+  net::Packet data_packet(std::uint32_t payload) {
+    net::Packet p;
+    p.protocol = net::Protocol::kTcp;
+    p.payload_bytes = payload;
+    p.frame_bytes = net::tcp_frame_bytes(payload, true);
+    p.tcp.timestamps = true;
+    p.tcp.flags.ack = true;
+    return p;
+  }
+
+  sim::Simulator sim_;
+  sim::Resource membus_;
+  AdapterSpec spec_;
+  hw::SystemSpec sys_;
+};
+
+TEST_F(AdapterFixture, TxDmaTimeMatchesBusModel) {
+  auto nic = make(4096);
+  link::Link wire(sim_, link::LinkSpec{}, "w");
+  SinkDevice peer;
+  nic->connect(&wire, true);
+  wire.attach_b(&peer);
+
+  const net::Packet p = data_packet(8948);
+  nic->transmit(p);
+  sim_.run();
+  ASSERT_EQ(peer.packets.size(), 1u);
+  EXPECT_EQ(nic->pci_bus().busy_time(),
+            hw::dma_read_service_time(sys_.pcix, p.frame_bytes, 4096));
+  EXPECT_GT(membus_.busy_time(), 0);
+}
+
+TEST_F(AdapterFixture, MmrbcChangesApply) {
+  auto nic = make(512);
+  EXPECT_EQ(nic->mmrbc(), 512u);
+  nic->set_mmrbc(4096);
+  EXPECT_EQ(nic->mmrbc(), 4096u);
+  nic->set_mmrbc(777);  // invalid, ignored
+  EXPECT_EQ(nic->mmrbc(), 4096u);
+}
+
+TEST_F(AdapterFixture, CoalescingBatchesPackets) {
+  auto nic = make(4096, sim::usec(5));
+  std::vector<std::size_t> batch_sizes;
+  nic->set_rx_handler([&](std::vector<net::Packet> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  // Three frames arrive 1 us apart: all inside the 5 us coalescing window.
+  for (int i = 0; i < 3; ++i) {
+    sim_.schedule(sim::usec(i), [&, i] { nic->deliver(data_packet(1448)); });
+  }
+  sim_.run();
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes[0], 3u);
+  EXPECT_EQ(nic->interrupts_raised(), 1u);
+}
+
+TEST_F(AdapterFixture, CoalescingDisabledInterruptsPerPacket) {
+  auto nic = make(4096, 0);
+  std::vector<std::size_t> batch_sizes;
+  nic->set_rx_handler([&](std::vector<net::Packet> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  for (int i = 0; i < 3; ++i) {
+    sim_.schedule(sim::usec(i), [&] { nic->deliver(data_packet(1448)); });
+  }
+  sim_.run();
+  EXPECT_EQ(batch_sizes.size(), 3u);
+  EXPECT_EQ(nic->interrupts_raised(), 3u);
+}
+
+TEST_F(AdapterFixture, CoalescingDelayBoundsLatency) {
+  auto nic = make(4096, sim::usec(5));
+  sim::SimTime irq_at = -1;
+  nic->set_rx_handler([&](std::vector<net::Packet>) { irq_at = sim_.now(); });
+  nic->deliver(data_packet(1));
+  sim_.run();
+  // DMA first, then the 5 us delay.
+  const sim::SimTime dma =
+      hw::dma_write_service_time(sys_.pcix, data_packet(1).frame_bytes);
+  EXPECT_EQ(irq_at, dma + sim::usec(5));
+}
+
+TEST_F(AdapterFixture, FullBatchRaisesEarly) {
+  AdapterSpec s = spec_;
+  s.intr_delay = sim::msec(10);  // long delay: only the cap can fire
+  s.max_coalesce = 4;
+  Adapter nic(sim_, s, sys_.pcix, sys_.memory, 4096, membus_, "eth0");
+  std::vector<std::size_t> batch_sizes;
+  nic.set_rx_handler([&](std::vector<net::Packet> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  for (int i = 0; i < 4; ++i) nic.deliver(data_packet(1448));
+  sim_.run_until(sim::msec(1));
+  ASSERT_EQ(batch_sizes.size(), 1u);
+  EXPECT_EQ(batch_sizes[0], 4u);
+}
+
+TEST_F(AdapterFixture, RxRingOverflowDrops) {
+  AdapterSpec s = spec_;
+  s.rx_ring = 8;
+  s.intr_delay = sim::msec(100);  // interrupt never fires in time
+  s.max_coalesce = 1000;
+  Adapter nic(sim_, s, sys_.pcix, sys_.memory, 4096, membus_, "eth0");
+  nic.set_rx_handler([](std::vector<net::Packet>) {});
+  for (int i = 0; i < 20; ++i) nic.deliver(data_packet(1448));
+  sim_.run_until(sim::usec(1));
+  EXPECT_GT(nic.rx_dropped_ring(), 0u);
+}
+
+TEST_F(AdapterFixture, TsoSplitsSuperSegment) {
+  auto nic = make(4096);
+  link::Link wire(sim_, link::LinkSpec{}, "w");
+  SinkDevice peer;
+  nic->connect(&wire, true);
+  wire.attach_b(&peer);
+
+  net::Packet super = data_packet(30000);
+  super.tcp.seq = 1000;
+  super.tcp.tso_mss = 8948;
+  super.tcp.push = true;
+  nic->transmit(super);
+  sim_.run();
+
+  ASSERT_EQ(peer.packets.size(), 4u);  // 8948*3 + 3156
+  net::Seq expect_seq = 1000;
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < peer.packets.size(); ++i) {
+    const net::Packet& f = peer.packets[i];
+    EXPECT_EQ(f.tcp.seq, expect_seq);
+    EXPECT_LE(f.payload_bytes, 8948u);
+    EXPECT_EQ(f.frame_bytes, net::tcp_frame_bytes(f.payload_bytes, true));
+    EXPECT_EQ(f.tcp.tso_mss, 0u);
+    EXPECT_EQ(f.tcp.push, i + 1 == peer.packets.size());
+    expect_seq += f.payload_bytes;
+    total += f.payload_bytes;
+  }
+  EXPECT_EQ(total, 30000u);
+  // One DMA for the whole super-segment.
+  EXPECT_EQ(nic->pci_bus().jobs_completed(), 1u);
+}
+
+TEST_F(AdapterFixture, TxFifoBackpressureStallsDma) {
+  // A slow wire (1 Gb/s) behind a fast bus: the FIFO fills and DMA stalls,
+  // but every frame is eventually delivered.
+  AdapterSpec s = intel_e1000();
+  s.tx_fifo_bytes = 16 * 1024;
+  Adapter nic(sim_, s, sys_.pcix, sys_.memory, 4096, membus_, "eth0");
+  link::LinkSpec ls;
+  ls.rate_bps = 1e9;
+  link::Link wire(sim_, ls, "w");
+  SinkDevice peer;
+  nic.connect(&wire, true);
+  wire.attach_b(&peer);
+  for (int i = 0; i < 50; ++i) nic.transmit(data_packet(8948));
+  sim_.run();
+  EXPECT_EQ(peer.packets.size(), 50u);
+  EXPECT_EQ(nic.tx_frames(), 50u);
+}
+
+TEST(AdapterSpecs, GbeVsTenGig) {
+  const AdapterSpec ten = intel_pro10gbe();
+  const AdapterSpec one = intel_e1000();
+  EXPECT_DOUBLE_EQ(ten.line_rate_bps, 10e9);
+  EXPECT_DOUBLE_EQ(one.line_rate_bps, 1e9);
+  EXPECT_EQ(ten.max_mtu, 16000u);  // the 82597EX maximum (§3.3)
+  EXPECT_TRUE(ten.csum_offload);
+  EXPECT_TRUE(ten.tso_capable);
+}
+
+}  // namespace
+}  // namespace xgbe::nic

@@ -1,0 +1,70 @@
+// Tests for the time-series Recorder.
+#include <gtest/gtest.h>
+
+#include "sim/recorder.hpp"
+#include "sim/simulator.hpp"
+
+namespace xgbe::sim {
+namespace {
+
+TEST(Recorder, SamplesAtFixedInterval) {
+  Simulator s;
+  double value = 0.0;
+  Recorder rec(s, usec(10), [&] { return value; });
+  rec.start();
+  s.schedule(usec(25), [&] { value = 5.0; });
+  s.schedule(usec(100), [&] { s.stop(); });
+  s.run();
+  rec.stop();
+  // Samples at 10..90 us; the simulator stops before the t=100 sample.
+  ASSERT_EQ(rec.samples().size(), 9u);
+  EXPECT_EQ(rec.samples()[0].first, usec(10));
+  EXPECT_EQ(rec.samples()[0].second, 0.0);
+  EXPECT_EQ(rec.samples()[2].first, usec(30));
+  EXPECT_EQ(rec.samples()[2].second, 5.0);
+}
+
+TEST(Recorder, StopCancelsPendingSample) {
+  Simulator s;
+  Recorder rec(s, usec(10), [] { return 1.0; });
+  rec.start();
+  s.schedule(usec(35), [&] { rec.stop(); });
+  s.schedule(usec(100), [] {});
+  s.run();
+  EXPECT_EQ(rec.samples().size(), 3u);
+}
+
+TEST(Recorder, PeakAndTimeToReach) {
+  Simulator s;
+  double value = 0.0;
+  Recorder rec(s, usec(10), [&] { return value; });
+  rec.start();
+  s.schedule(usec(15), [&] { value = 3.0; });
+  s.schedule(usec(45), [&] { value = 7.0; });
+  s.schedule(usec(80), [&] {
+    rec.stop();
+    s.stop();
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(rec.peak(), 7.0);
+  EXPECT_EQ(rec.time_to_reach(3.0), usec(20));
+  EXPECT_EQ(rec.time_to_reach(7.0), usec(50));
+  EXPECT_EQ(rec.time_to_reach(100.0), -1);
+}
+
+TEST(Recorder, RestartContinues) {
+  Simulator s;
+  Recorder rec(s, usec(10), [] { return 1.0; });
+  rec.start();
+  s.schedule(usec(25), [&] { rec.stop(); });
+  s.schedule(usec(50), [&] { rec.start(); });
+  s.schedule(usec(85), [&] {
+    rec.stop();
+    s.stop();
+  });
+  s.run();
+  EXPECT_EQ(rec.samples().size(), 5u);  // 10,20 then 60,70,80
+}
+
+}  // namespace
+}  // namespace xgbe::sim

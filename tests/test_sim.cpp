@@ -1,0 +1,276 @@
+// Unit tests for the simulation core: event queue, simulator, resources,
+// RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace xgbe::sim {
+namespace {
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_EQ(usec(1), 1'000'000);
+  EXPECT_EQ(msec(1), 1000 * usec(1));
+  EXPECT_EQ(sec(1), 1000 * msec(1));
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(usec(7)), 7.0);
+  EXPECT_EQ(from_seconds(2.5), sec(2) + msec(500));
+}
+
+TEST(TimeUnits, TransferTimeExactAt10G) {
+  // One byte at 10 Gb/s is exactly 800 ps.
+  EXPECT_EQ(transfer_time(1, 10e9), 800);
+  EXPECT_EQ(transfer_time(1500, 10e9), 1500 * 800);
+}
+
+TEST(TimeUnits, TransferTimeRoundsUp) {
+  // 1 byte at 3 Gb/s = 2666.67 ps -> 2667.
+  EXPECT_EQ(transfer_time(1, 3e9), 2667);
+}
+
+TEST(TimeUnits, RateComputation) {
+  EXPECT_DOUBLE_EQ(rate_bps(1250, usec(1)), 10e9);
+  EXPECT_DOUBLE_EQ(rate_bps(100, 0), 0.0);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(300, [&] { order.push_back(3); });
+  q.schedule(100, [&] { order.push_back(1); });
+  q.schedule(200, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.schedule(100, [&] { ++fired; });
+  q.schedule(200, [&] { ++fired; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DoubleCancelHarmless) {
+  EventQueue q;
+  auto id = q.schedule(100, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulator, AdvancesClockMonotonically) {
+  Simulator s;
+  std::vector<SimTime> times;
+  s.schedule(usec(5), [&] { times.push_back(s.now()); });
+  s.schedule(usec(1), [&] {
+    times.push_back(s.now());
+    s.schedule(usec(1), [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], usec(1));
+  EXPECT_EQ(times[1], usec(2));
+  EXPECT_EQ(times[2], usec(5));
+}
+
+TEST(Simulator, RunUntilHorizonStopsClock) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(usec(10), [&] { ++fired; });
+  s.run_until(usec(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.now(), usec(5));
+  s.run_until(usec(20));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopHaltsExecution) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule(2, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  SimTime when = -1;
+  s.schedule(usec(1), [&] {
+    s.schedule(-100, [&] { when = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(when, usec(1));
+}
+
+TEST(Resource, SerializesJobs) {
+  Simulator s;
+  Resource r(s, "bus");
+  std::vector<SimTime> completions;
+  r.submit(usec(10), [&] { completions.push_back(s.now()); });
+  r.submit(usec(5), [&] { completions.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], usec(10));
+  EXPECT_EQ(completions[1], usec(15));
+}
+
+TEST(Resource, IdleGapsDoNotAccumulate) {
+  Simulator s;
+  Resource r(s, "bus");
+  r.submit(usec(10));
+  s.run();
+  // Schedule a new job after an idle gap.
+  s.schedule(usec(90), [&] { r.submit(usec(10)); });
+  s.run();
+  EXPECT_EQ(r.busy_time(), usec(20));
+  EXPECT_EQ(s.now(), usec(110));
+}
+
+TEST(Resource, UtilizationWindow) {
+  Simulator s;
+  Resource r(s, "cpu");
+  r.mark_window();
+  r.submit(usec(30));
+  s.schedule(usec(100), [] {});
+  s.run();
+  EXPECT_NEAR(r.utilization(), 0.3, 1e-9);
+  r.mark_window();
+  s.schedule(usec(100), [] {});
+  s.run();
+  EXPECT_NEAR(r.utilization(), 0.0, 1e-9);
+}
+
+TEST(Resource, SaturatedUtilizationCapsAtOne) {
+  Simulator s;
+  Resource r(s, "cpu");
+  r.mark_window();
+  for (int i = 0; i < 100; ++i) r.submit(usec(10));
+  s.schedule(usec(50), [&] { s.stop(); });
+  s.run();
+  EXPECT_LE(r.utilization(), 1.0);
+  EXPECT_GT(r.utilization(), 0.99);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  OnlineStats s;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.variance(), 6.0, 1e-12);  // sample variance of 1..8
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, QuantilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 5; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-5.0);   // clamps to bucket 0
+  h.add(100.0);  // clamps to last bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(5), 5.0);
+}
+
+// Property sweep: resource completion time equals sum of costs regardless of
+// submission pattern.
+class ResourceBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResourceBatchTest, TotalBusyEqualsSumOfCosts) {
+  Simulator s;
+  Resource r(s, "x");
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  SimTime total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime cost = static_cast<SimTime>(rng.next_below(10000)) + 1;
+    total += cost;
+    r.submit(cost);
+  }
+  s.run();
+  EXPECT_EQ(r.busy_time(), total);
+  EXPECT_EQ(s.now(), total);
+  EXPECT_EQ(r.jobs_completed(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceBatchTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace xgbe::sim

@@ -1,0 +1,59 @@
+// End-to-end smoke tests: the full stack must move data between two hosts.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "tools/netpipe.hpp"
+#include "tools/nttcp.hpp"
+
+namespace xgbe {
+namespace {
+
+TEST(Smoke, HandshakeEstablishes) {
+  core::Testbed tb;
+  auto tuning = core::TuningProfile::stock(net::kMtuJumbo);
+  auto& a = tb.add_host("a", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("b", hw::presets::pe2650(), tuning);
+  tb.connect(a, b);
+  auto conn = tb.open_connection(a, b, a.endpoint_config(),
+                                 b.endpoint_config());
+  ASSERT_TRUE(tb.run_until_established(conn));
+  EXPECT_GT(conn.client->mss_payload(), 8000u);
+}
+
+TEST(Smoke, NttcpMovesData) {
+  core::Testbed tb;
+  auto tuning = core::TuningProfile::stock(net::kMtuJumbo);
+  auto& a = tb.add_host("a", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("b", hw::presets::pe2650(), tuning);
+  tb.connect(a, b);
+  auto conn = tb.open_connection(a, b, a.endpoint_config(),
+                                 b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = 8192;
+  opt.count = 500;
+  auto r = tools::run_nttcp(tb, conn, a, b, opt);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, 8192u * 500u);
+  EXPECT_GT(r.throughput_gbps(), 0.3);
+  EXPECT_LT(r.throughput_gbps(), 10.0);
+}
+
+TEST(Smoke, NetpipeLatencyIsMicroseconds) {
+  core::Testbed tb;
+  auto tuning = core::TuningProfile::lan_tuned(net::kMtuJumbo);
+  auto& a = tb.add_host("a", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("b", hw::presets::pe2650(), tuning);
+  tb.connect(a, b);
+  auto cfg = tools::netpipe_config(a.endpoint_config());
+  auto conn = tb.open_connection(a, b, cfg, cfg);
+  tools::NetpipeOptions opt;
+  opt.payload = 1;
+  opt.iterations = 50;
+  auto r = tools::run_netpipe(tb, conn, opt);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.latency_us, 5.0);
+  EXPECT_LT(r.latency_us, 60.0);
+}
+
+}  // namespace
+}  // namespace xgbe
