@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/anecdotal_systems"
+  "../bench/anecdotal_systems.pdb"
+  "CMakeFiles/anecdotal_systems.dir/anecdotal_systems.cpp.o"
+  "CMakeFiles/anecdotal_systems.dir/anecdotal_systems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anecdotal_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

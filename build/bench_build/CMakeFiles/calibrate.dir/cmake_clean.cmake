@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../devtools/calibrate"
+  "../devtools/calibrate.pdb"
+  "CMakeFiles/calibrate.dir/calibrate.cpp.o"
+  "CMakeFiles/calibrate.dir/calibrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../devtools/calibrate2"
+  "../devtools/calibrate2.pdb"
+  "CMakeFiles/calibrate2.dir/calibrate2.cpp.o"
+  "CMakeFiles/calibrate2.dir/calibrate2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/data_integrity"
+  "../bench/data_integrity.pdb"
+  "CMakeFiles/data_integrity.dir/data_integrity.cpp.o"
+  "CMakeFiles/data_integrity.dir/data_integrity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

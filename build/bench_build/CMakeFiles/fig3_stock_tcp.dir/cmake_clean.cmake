@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_stock_tcp"
+  "../bench/fig3_stock_tcp.pdb"
+  "CMakeFiles/fig3_stock_tcp.dir/fig3_stock_tcp.cpp.o"
+  "CMakeFiles/fig3_stock_tcp.dir/fig3_stock_tcp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stock_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_tuned_windows"
+  "../bench/fig4_tuned_windows.pdb"
+  "CMakeFiles/fig4_tuned_windows.dir/fig4_tuned_windows.cpp.o"
+  "CMakeFiles/fig4_tuned_windows.dir/fig4_tuned_windows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tuned_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

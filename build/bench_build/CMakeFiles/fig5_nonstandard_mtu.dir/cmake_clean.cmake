@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_nonstandard_mtu"
+  "../bench/fig5_nonstandard_mtu.pdb"
+  "CMakeFiles/fig5_nonstandard_mtu.dir/fig5_nonstandard_mtu.cpp.o"
+  "CMakeFiles/fig5_nonstandard_mtu.dir/fig5_nonstandard_mtu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nonstandard_mtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_nonstandard_mtu.
+# This may be replaced when dependencies are built.

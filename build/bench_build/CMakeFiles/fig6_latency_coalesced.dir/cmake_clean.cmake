@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_latency_coalesced"
+  "../bench/fig6_latency_coalesced.pdb"
+  "CMakeFiles/fig6_latency_coalesced.dir/fig6_latency_coalesced.cpp.o"
+  "CMakeFiles/fig6_latency_coalesced.dir/fig6_latency_coalesced.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_latency_coalesced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_latency_uncoalesced"
+  "../bench/fig7_latency_uncoalesced.pdb"
+  "CMakeFiles/fig7_latency_uncoalesced.dir/fig7_latency_uncoalesced.cpp.o"
+  "CMakeFiles/fig7_latency_uncoalesced.dir/fig7_latency_uncoalesced.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_latency_uncoalesced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_window_alignment"
+  "../bench/fig8_window_alignment.pdb"
+  "CMakeFiles/fig8_window_alignment.dir/fig8_window_alignment.cpp.o"
+  "CMakeFiles/fig8_window_alignment.dir/fig8_window_alignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_window_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

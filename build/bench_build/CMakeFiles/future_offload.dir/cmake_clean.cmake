@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/future_offload"
+  "../bench/future_offload.pdb"
+  "CMakeFiles/future_offload.dir/future_offload.cpp.o"
+  "CMakeFiles/future_offload.dir/future_offload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/interconnect_comparison"
+  "../bench/interconnect_comparison.pdb"
+  "CMakeFiles/interconnect_comparison.dir/interconnect_comparison.cpp.o"
+  "CMakeFiles/interconnect_comparison.dir/interconnect_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multiflow_paths"
+  "../bench/multiflow_paths.pdb"
+  "CMakeFiles/multiflow_paths.dir/multiflow_paths.cpp.o"
+  "CMakeFiles/multiflow_paths.dir/multiflow_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiflow_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

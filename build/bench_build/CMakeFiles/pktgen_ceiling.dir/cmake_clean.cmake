@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pktgen_ceiling"
+  "../bench/pktgen_ceiling.pdb"
+  "CMakeFiles/pktgen_ceiling.dir/pktgen_ceiling.cpp.o"
+  "CMakeFiles/pktgen_ceiling.dir/pktgen_ceiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pktgen_ceiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_loss_recovery"
+  "../bench/table1_loss_recovery.pdb"
+  "CMakeFiles/table1_loss_recovery.dir/table1_loss_recovery.cpp.o"
+  "CMakeFiles/table1_loss_recovery.dir/table1_loss_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_loss_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

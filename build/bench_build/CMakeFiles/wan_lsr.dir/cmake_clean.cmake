@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/wan_lsr"
+  "../bench/wan_lsr.pdb"
+  "CMakeFiles/wan_lsr.dir/wan_lsr.cpp.o"
+  "CMakeFiles/wan_lsr.dir/wan_lsr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_lsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

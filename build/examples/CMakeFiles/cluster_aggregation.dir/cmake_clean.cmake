@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_aggregation.dir/cluster_aggregation.cpp.o"
+  "CMakeFiles/cluster_aggregation.dir/cluster_aggregation.cpp.o.d"
+  "cluster_aggregation"
+  "cluster_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_tuning_ladder.dir/lan_tuning_ladder.cpp.o"
+  "CMakeFiles/lan_tuning_ladder.dir/lan_tuning_ladder.cpp.o.d"
+  "lan_tuning_ladder"
+  "lan_tuning_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_tuning_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

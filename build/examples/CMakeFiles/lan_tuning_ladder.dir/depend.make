@@ -1,0 +1,2 @@
+# Empty dependencies file for lan_tuning_ladder.
+# This may be replaced when dependencies are built.

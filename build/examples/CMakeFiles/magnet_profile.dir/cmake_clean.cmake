@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magnet_profile.dir/magnet_profile.cpp.o"
+  "CMakeFiles/magnet_profile.dir/magnet_profile.cpp.o.d"
+  "magnet_profile"
+  "magnet_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magnet_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

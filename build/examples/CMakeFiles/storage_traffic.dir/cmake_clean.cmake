@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_traffic.dir/storage_traffic.cpp.o"
+  "CMakeFiles/storage_traffic.dir/storage_traffic.cpp.o.d"
+  "storage_traffic"
+  "storage_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_record.dir/wan_record.cpp.o"
+  "CMakeFiles/wan_record.dir/wan_record.cpp.o.d"
+  "wan_record"
+  "wan_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

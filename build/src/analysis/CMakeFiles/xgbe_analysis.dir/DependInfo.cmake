@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aimd.cpp" "src/analysis/CMakeFiles/xgbe_analysis.dir/aimd.cpp.o" "gcc" "src/analysis/CMakeFiles/xgbe_analysis.dir/aimd.cpp.o.d"
+  "/root/repo/src/analysis/interconnects.cpp" "src/analysis/CMakeFiles/xgbe_analysis.dir/interconnects.cpp.o" "gcc" "src/analysis/CMakeFiles/xgbe_analysis.dir/interconnects.cpp.o.d"
+  "/root/repo/src/analysis/window_model.cpp" "src/analysis/CMakeFiles/xgbe_analysis.dir/window_model.cpp.o" "gcc" "src/analysis/CMakeFiles/xgbe_analysis.dir/window_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xgbe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_analysis.dir/aimd.cpp.o"
+  "CMakeFiles/xgbe_analysis.dir/aimd.cpp.o.d"
+  "CMakeFiles/xgbe_analysis.dir/interconnects.cpp.o"
+  "CMakeFiles/xgbe_analysis.dir/interconnects.cpp.o.d"
+  "CMakeFiles/xgbe_analysis.dir/window_model.cpp.o"
+  "CMakeFiles/xgbe_analysis.dir/window_model.cpp.o.d"
+  "libxgbe_analysis.a"
+  "libxgbe_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_core.dir/host.cpp.o"
+  "CMakeFiles/xgbe_core.dir/host.cpp.o.d"
+  "CMakeFiles/xgbe_core.dir/testbed.cpp.o"
+  "CMakeFiles/xgbe_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/xgbe_core.dir/tuning.cpp.o"
+  "CMakeFiles/xgbe_core.dir/tuning.cpp.o.d"
+  "libxgbe_core.a"
+  "libxgbe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

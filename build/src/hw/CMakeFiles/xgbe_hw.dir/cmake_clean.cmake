@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_hw.dir/pcix.cpp.o"
+  "CMakeFiles/xgbe_hw.dir/pcix.cpp.o.d"
+  "CMakeFiles/xgbe_hw.dir/presets.cpp.o"
+  "CMakeFiles/xgbe_hw.dir/presets.cpp.o.d"
+  "libxgbe_hw.a"
+  "libxgbe_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

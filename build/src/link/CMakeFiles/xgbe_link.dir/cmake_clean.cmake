@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_link.dir/link.cpp.o"
+  "CMakeFiles/xgbe_link.dir/link.cpp.o.d"
+  "CMakeFiles/xgbe_link.dir/switch.cpp.o"
+  "CMakeFiles/xgbe_link.dir/switch.cpp.o.d"
+  "CMakeFiles/xgbe_link.dir/wan.cpp.o"
+  "CMakeFiles/xgbe_link.dir/wan.cpp.o.d"
+  "libxgbe_link.a"
+  "libxgbe_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

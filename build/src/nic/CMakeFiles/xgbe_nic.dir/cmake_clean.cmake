@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_nic.dir/adapter.cpp.o"
+  "CMakeFiles/xgbe_nic.dir/adapter.cpp.o.d"
+  "libxgbe_nic.a"
+  "libxgbe_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

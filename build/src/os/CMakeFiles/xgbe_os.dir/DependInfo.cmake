@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/costs.cpp" "src/os/CMakeFiles/xgbe_os.dir/costs.cpp.o" "gcc" "src/os/CMakeFiles/xgbe_os.dir/costs.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/xgbe_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/xgbe_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/sockbuf.cpp" "src/os/CMakeFiles/xgbe_os.dir/sockbuf.cpp.o" "gcc" "src/os/CMakeFiles/xgbe_os.dir/sockbuf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xgbe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xgbe_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

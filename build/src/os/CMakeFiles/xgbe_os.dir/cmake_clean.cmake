@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_os.dir/costs.cpp.o"
+  "CMakeFiles/xgbe_os.dir/costs.cpp.o.d"
+  "CMakeFiles/xgbe_os.dir/kernel.cpp.o"
+  "CMakeFiles/xgbe_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/xgbe_os.dir/sockbuf.cpp.o"
+  "CMakeFiles/xgbe_os.dir/sockbuf.cpp.o.d"
+  "libxgbe_os.a"
+  "libxgbe_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

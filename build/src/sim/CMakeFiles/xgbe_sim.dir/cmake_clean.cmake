@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/xgbe_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/xgbe_sim.dir/resource.cpp.o"
+  "CMakeFiles/xgbe_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/xgbe_sim.dir/simulator.cpp.o"
+  "CMakeFiles/xgbe_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/xgbe_sim.dir/stats.cpp.o"
+  "CMakeFiles/xgbe_sim.dir/stats.cpp.o.d"
+  "libxgbe_sim.a"
+  "libxgbe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/cwnd.cpp" "src/tcp/CMakeFiles/xgbe_tcp.dir/cwnd.cpp.o" "gcc" "src/tcp/CMakeFiles/xgbe_tcp.dir/cwnd.cpp.o.d"
+  "/root/repo/src/tcp/endpoint.cpp" "src/tcp/CMakeFiles/xgbe_tcp.dir/endpoint.cpp.o" "gcc" "src/tcp/CMakeFiles/xgbe_tcp.dir/endpoint.cpp.o.d"
+  "/root/repo/src/tcp/reassembly.cpp" "src/tcp/CMakeFiles/xgbe_tcp.dir/reassembly.cpp.o" "gcc" "src/tcp/CMakeFiles/xgbe_tcp.dir/reassembly.cpp.o.d"
+  "/root/repo/src/tcp/rtt.cpp" "src/tcp/CMakeFiles/xgbe_tcp.dir/rtt.cpp.o" "gcc" "src/tcp/CMakeFiles/xgbe_tcp.dir/rtt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xgbe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xgbe_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xgbe_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_tcp.dir/cwnd.cpp.o"
+  "CMakeFiles/xgbe_tcp.dir/cwnd.cpp.o.d"
+  "CMakeFiles/xgbe_tcp.dir/endpoint.cpp.o"
+  "CMakeFiles/xgbe_tcp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/xgbe_tcp.dir/reassembly.cpp.o"
+  "CMakeFiles/xgbe_tcp.dir/reassembly.cpp.o.d"
+  "CMakeFiles/xgbe_tcp.dir/rtt.cpp.o"
+  "CMakeFiles/xgbe_tcp.dir/rtt.cpp.o.d"
+  "libxgbe_tcp.a"
+  "libxgbe_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxgbe_tcp.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/iperf.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/iperf.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/iperf.cpp.o.d"
+  "/root/repo/src/tools/magnet.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/magnet.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/magnet.cpp.o.d"
+  "/root/repo/src/tools/netperf.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/netperf.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/netperf.cpp.o.d"
+  "/root/repo/src/tools/netpipe.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/netpipe.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/netpipe.cpp.o.d"
+  "/root/repo/src/tools/nttcp.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/nttcp.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/nttcp.cpp.o.d"
+  "/root/repo/src/tools/pktgen.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/pktgen.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/pktgen.cpp.o.d"
+  "/root/repo/src/tools/stream.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/stream.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/stream.cpp.o.d"
+  "/root/repo/src/tools/tcpdump.cpp" "src/tools/CMakeFiles/xgbe_tools.dir/tcpdump.cpp.o" "gcc" "src/tools/CMakeFiles/xgbe_tools.dir/tcpdump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xgbe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/xgbe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/xgbe_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/xgbe_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xgbe_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xgbe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xgbe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgbe_tools.dir/iperf.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/iperf.cpp.o.d"
+  "CMakeFiles/xgbe_tools.dir/magnet.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/magnet.cpp.o.d"
+  "CMakeFiles/xgbe_tools.dir/netperf.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/netperf.cpp.o.d"
+  "CMakeFiles/xgbe_tools.dir/netpipe.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/netpipe.cpp.o.d"
+  "CMakeFiles/xgbe_tools.dir/nttcp.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/nttcp.cpp.o.d"
+  "CMakeFiles/xgbe_tools.dir/pktgen.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/pktgen.cpp.o.d"
+  "CMakeFiles/xgbe_tools.dir/stream.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/stream.cpp.o.d"
+  "CMakeFiles/xgbe_tools.dir/tcpdump.cpp.o"
+  "CMakeFiles/xgbe_tools.dir/tcpdump.cpp.o.d"
+  "libxgbe_tools.a"
+  "libxgbe_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgbe_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capture_netperf.dir/test_capture_netperf.cpp.o"
+  "CMakeFiles/test_capture_netperf.dir/test_capture_netperf.cpp.o.d"
+  "test_capture_netperf"
+  "test_capture_netperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capture_netperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_endpoint.dir/test_tcp_endpoint.cpp.o"
+  "CMakeFiles/test_tcp_endpoint.dir/test_tcp_endpoint.cpp.o.d"
+  "test_tcp_endpoint"
+  "test_tcp_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

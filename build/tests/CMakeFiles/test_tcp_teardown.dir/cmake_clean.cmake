@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_teardown.dir/test_tcp_teardown.cpp.o"
+  "CMakeFiles/test_tcp_teardown.dir/test_tcp_teardown.cpp.o.d"
+  "test_tcp_teardown"
+  "test_tcp_teardown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_teardown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/test_tools.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/test_tools.dir/test_tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xgbe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/xgbe_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/xgbe_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/xgbe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/xgbe_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/xgbe_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xgbe_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/xgbe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xgbe_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
