@@ -16,19 +16,16 @@ void EventQueue::cancel(EventId id) {
   if (id.seq == 0 || id.seq >= next_seq_) return;
   // We cannot know cheaply whether the event is still in the heap; record the
   // seq and skip it lazily. Duplicate cancels are filtered here.
-  if (is_cancelled(id.seq)) return;
-  cancelled_.push_back(id.seq);
-  std::sort(cancelled_.begin(), cancelled_.end());
+  if (!cancelled_.insert(id.seq).second) return;
   if (live_ > 0) --live_;
 }
 
 bool EventQueue::is_cancelled(std::uint64_t seq) const {
-  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
+  return cancelled_.count(seq) != 0;
 }
 
 void EventQueue::forget_cancelled(std::uint64_t seq) {
-  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
-  if (it != cancelled_.end() && *it == seq) cancelled_.erase(it);
+  cancelled_.erase(seq);
 }
 
 void EventQueue::drop_cancelled() const {

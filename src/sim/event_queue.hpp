@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -60,7 +61,7 @@ class EventQueue {
   void drop_cancelled() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<std::uint64_t> cancelled_;  // sorted lazily, typically tiny
+  std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
 

@@ -78,6 +78,34 @@ TEST(EventQueue, DoubleCancelHarmless) {
   EXPECT_TRUE(q.empty());
 }
 
+// Retransmit-timer churn: nearly every scheduled event is cancelled before
+// it fires (the TCP endpoint's RTO/delayed-ACK pattern). Ordering and the
+// live count must survive thousands of interleaved cancels.
+TEST(EventQueue, CancelChurn) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(q.schedule(10 * (i + 1), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) q.cancel(ids[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(q.size(), static_cast<size_t>(n) / 2);
+  SimTime last = 0;
+  while (!q.empty()) {
+    SimTime t = q.next_time();
+    EXPECT_GE(t, last);
+    last = t;
+    q.pop().cb();
+  }
+  ASSERT_EQ(fired.size(), static_cast<size_t>(n) / 2);
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1));
+  }
+}
+
 TEST(Simulator, AdvancesClockMonotonically) {
   Simulator s;
   std::vector<SimTime> times;
