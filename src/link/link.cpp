@@ -41,7 +41,7 @@ std::uint32_t Link::backlog(const NetDevice* from) const {
 }
 
 void Link::transmit(const NetDevice* from, const net::Packet& pkt,
-                    std::function<void()> tx_done) {
+                    sim::InlineCallback tx_done) {
   assert(from == a_ || from == b_);
   const bool forward = (from == a_);
   Direction& dir = forward ? ab_ : ba_;
@@ -59,7 +59,7 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
   const sim::SimTime ser = serialization_time(pkt);
   const sim::SimTime done_at = dir.pipe.submit(
       ser, [this, &dir, bytes = pkt.frame_bytes,
-            tx_done = std::move(tx_done)]() {
+            tx_done = std::move(tx_done)]() mutable {
         dir.backlog_bytes =
             dir.backlog_bytes > bytes ? dir.backlog_bytes - bytes : 0;
         if (tx_done) tx_done();

@@ -34,11 +34,12 @@ int Kernel::active_cpus() const { return static_cast<int>(cpus_.size()); }
 void Kernel::copy_job(sim::Resource& cpu, sim::SimTime cpu_cost,
                       sim::SimTime bus_cost, Done done) {
   auto remaining = std::make_shared<int>(2);
-  auto arm = [remaining, done = std::move(done)]() {
-    if (--*remaining == 0 && done) done();
+  auto shared = std::make_shared<Done>(std::move(done));
+  auto arm = [remaining, shared]() {
+    if (--*remaining == 0 && *shared) (*shared)();
   };
   cpu.submit(cpu_cost, arm);
-  membus_.submit(bus_cost, arm);
+  membus_.submit(bus_cost, std::move(arm));
 }
 
 void Kernel::app_write(std::uint64_t payload_bytes, int nsegs,

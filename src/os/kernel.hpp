@@ -27,7 +27,10 @@ namespace xgbe::os {
 /// when the modeled work completes.
 class Kernel {
  public:
-  using Done = std::function<void()>;
+  // Completion continuations ride the event hot path, so they use the
+  // simulator's allocation-free callback type; Deliver is invoked once per
+  // packet through a shared copy and stays a std::function.
+  using Done = sim::InlineCallback;
   using Deliver = std::function<void(const net::Packet&)>;
 
   Kernel(sim::Simulator& simulator, const hw::SystemSpec& spec,

@@ -1,0 +1,131 @@
+// Small-buffer-optimized event callback.
+//
+// Scheduling a simulation event must not allocate: every in-tree capture set
+// on the hot path (timer lambdas capturing `this`, completion continuations
+// capturing a couple of shared_ptrs) fits a 48-byte inline buffer. Larger
+// callables still work through a heap fallback, so the type is a drop-in
+// replacement for std::function<void()> at the scheduling boundary — with
+// two deliberate differences: it is move-only (so it can hold move-only
+// captures, e.g. a continuation that owns another InlineCallback), and
+// invoking an empty callback is a no-op contractually guarded by callers
+// (the simulator tests with operator bool before dispatch).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xgbe::sim {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  /// True when callables of type F are stored inline (no allocation).
+  /// Exposed so tests can pin the size budget of hot-path capture sets.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineCallback(F&& f) {
+    if constexpr (fits_inline<F>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+      manage_ = &manage_inline<D>;
+    } else {
+      D* p = new D(std::forward<F>(f));
+      std::memcpy(storage_, &p, sizeof(p));
+      invoke_ = &invoke_heap<D>;
+      manage_ = &manage_heap<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  InlineCallback& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Precondition: non-empty.
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  using Invoke = void (*)(void*);
+  // Moves the callable from `src` into `dst` (raw storage), or destroys it
+  // when `dst` is null. After a move the source is dead; the caller clears
+  // its function pointers instead of destroying again.
+  using Manage = void (*)(void* src, void* dst);
+
+  template <typename D>
+  static void invoke_inline(void* s) {
+    (*std::launder(reinterpret_cast<D*>(s)))();
+  }
+  template <typename D>
+  static void manage_inline(void* s, void* d) {
+    D* f = std::launder(reinterpret_cast<D*>(s));
+    if (d != nullptr) ::new (d) D(std::move(*f));
+    f->~D();
+  }
+  template <typename D>
+  static void invoke_heap(void* s) {
+    D* p;
+    std::memcpy(&p, s, sizeof(p));
+    (*p)();
+  }
+  template <typename D>
+  static void manage_heap(void* s, void* d) {
+    D* p;
+    std::memcpy(&p, s, sizeof(p));
+    if (d != nullptr) {
+      std::memcpy(d, &p, sizeof(p));
+    } else {
+      delete p;
+    }
+  }
+
+  void steal(InlineCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(other.storage_, storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace xgbe::sim

@@ -1,58 +1,107 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace xgbe::sim {
 
 EventId EventQueue::schedule(SimTime at, Callback cb) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(cb)});
-  ++live_;
-  return EventId{seq};
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  const std::uint32_t h = acquire_handle(pos);
+  heap_.push_back(Entry{at, seq, h, std::move(cb)});
+  sift_up(heap_.size() - 1);
+  return EventId{h, handles_[h].gen};
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id.seq == 0 || id.seq >= next_seq_) return;
-  // We cannot know cheaply whether the event is still in the heap; record the
-  // seq and skip it lazily. Duplicate cancels are filtered here.
-  if (!cancelled_.insert(id.seq).second) return;
-  if (live_ > 0) --live_;
-}
-
-bool EventQueue::is_cancelled(std::uint64_t seq) const {
-  return cancelled_.count(seq) != 0;
-}
-
-void EventQueue::forget_cancelled(std::uint64_t seq) {
-  cancelled_.erase(seq);
-}
-
-void EventQueue::drop_cancelled() const {
-  auto* self = const_cast<EventQueue*>(this);
-  while (!self->heap_.empty() && is_cancelled(self->heap_.top().seq)) {
-    self->forget_cancelled(self->heap_.top().seq);
-    self->heap_.pop();
-  }
+  if (id.slot >= handles_.size()) return;
+  const HandleRec rec = handles_[id.slot];
+  if (rec.gen != id.gen || rec.pos == kFreePos) return;
+  release_handle(id.slot);
+  remove_at(rec.pos);
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
   assert(!heap_.empty());
-  // priority_queue::top() is const; moving the callback out is safe because
-  // the entry is popped immediately afterwards.
-  auto& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.cb)};
-  heap_.pop();
-  assert(live_ > 0);
-  --live_;
+  Entry& root = heap_.front();
+  Fired fired{root.time, std::move(root.cb)};
+  release_handle(root.handle);
+  remove_at(0);
   return fired;
+}
+
+std::uint32_t EventQueue::acquire_handle(std::uint32_t pos) {
+  if (!free_handles_.empty()) {
+    const std::uint32_t h = free_handles_.back();
+    free_handles_.pop_back();
+    handles_[h].pos = pos;
+    return h;
+  }
+  // Generations start at 1 so a default-constructed EventId (gen 0) can
+  // never match a live handle.
+  handles_.push_back(HandleRec{pos, 1});
+  return static_cast<std::uint32_t>(handles_.size() - 1);
+}
+
+void EventQueue::release_handle(std::uint32_t h) {
+  handles_[h].pos = kFreePos;
+  ++handles_[h].gen;  // invalidates every outstanding EventId for this slot
+  free_handles_.push_back(h);
+}
+
+void EventQueue::remove_at(std::size_t i) {
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    heap_[i] = std::move(heap_[last]);
+    handles_[heap_[i].handle].pos = static_cast<std::uint32_t>(i);
+    heap_.pop_back();
+    if (i > 0 && before(heap_[i], heap_[(i - 1) / kArity])) {
+      sift_up(i);
+    } else {
+      sift_down(i);
+    }
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t p = (i - 1) / kArity;
+    if (!before(e, heap_[p])) break;
+    heap_[i] = std::move(heap_[p]);
+    handles_[heap_[i].handle].pos = static_cast<std::uint32_t>(i);
+    i = p;
+  }
+  heap_[i] = std::move(e);
+  handles_[heap_[i].handle].pos = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = std::move(heap_[best]);
+    handles_[heap_[i].handle].pos = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = std::move(e);
+  handles_[heap_[i].handle].pos = static_cast<std::uint32_t>(i);
 }
 
 }  // namespace xgbe::sim

@@ -2,27 +2,34 @@
 //
 // Events are ordered by (time, insertion sequence); the sequence tiebreak
 // makes simulations bit-for-bit reproducible regardless of heap internals.
+//
+// The pending set is an indexed 4-ary min-heap: every live event's heap
+// position is tracked through a handle table, so cancel() removes the entry
+// from the heap in O(log n) instead of deferring to a lazy skip list. Handles
+// are (slot, generation) pairs; firing or cancelling an event bumps the
+// slot's generation, which makes stale EventIds (cancel-after-fire,
+// duplicate cancel) exact no-ops.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace xgbe::sim {
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. A default-constructed
+/// EventId refers to nothing; cancelling it is a harmless no-op.
 struct EventId {
-  std::uint64_t seq = 0;
+  std::uint32_t slot = 0xffffffffu;
+  std::uint32_t gen = 0;
   friend bool operator==(const EventId&, const EventId&) = default;
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Schedules `cb` at absolute time `at`. Returns a handle for cancel().
   EventId schedule(SimTime at, Callback cb);
@@ -31,8 +38,8 @@ class EventQueue {
   /// already-cancelled event is a harmless no-op.
   void cancel(EventId id);
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest live event. Precondition: !empty().
   SimTime next_time() const;
@@ -45,28 +52,37 @@ class EventQueue {
   Fired pop();
 
   /// Total events ever scheduled (diagnostic).
-  std::uint64_t scheduled_count() const { return next_seq_; }
+  std::uint64_t scheduled_count() const { return next_seq_ - 1; }
 
  private:
   struct Entry {
     SimTime time;
-    std::uint64_t seq;
+    std::uint64_t seq;  // determinism tiebreak: (time, seq) is a total order
+    std::uint32_t handle;
     Callback cb;
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
   };
 
-  void drop_cancelled() const;
+  struct HandleRec {
+    std::uint32_t pos;  // index into heap_, kFreePos when not live
+    std::uint32_t gen;
+  };
+  static constexpr std::uint32_t kFreePos = 0xffffffffu;
+  static constexpr std::size_t kArity = 4;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  static bool before(const Entry& a, const Entry& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+
+  std::uint32_t acquire_handle(std::uint32_t pos);
+  void release_handle(std::uint32_t h);
+  void remove_at(std::size_t i);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Entry> heap_;
+  std::vector<HandleRec> handles_;
+  std::vector<std::uint32_t> free_handles_;
   std::uint64_t next_seq_ = 1;
-  std::size_t live_ = 0;
-
-  bool is_cancelled(std::uint64_t seq) const;
-  void forget_cancelled(std::uint64_t seq);
 };
 
 }  // namespace xgbe::sim

@@ -2,7 +2,7 @@
 
 namespace xgbe::sim {
 
-SimTime Resource::submit(SimTime cost, std::function<void()> done) {
+SimTime Resource::submit(SimTime cost, InlineCallback done) {
   if (cost < 0) cost = 0;
   const SimTime start = available_at();
   const SimTime finish = start + cost;
@@ -11,7 +11,7 @@ SimTime Resource::submit(SimTime cost, std::function<void()> done) {
   ++jobs_;
   // Always schedule the completion event (even without a callback) so the
   // simulation clock covers all resource activity.
-  sim_.schedule_at(finish, done ? std::move(done) : [] {});
+  sim_.schedule_at(finish, std::move(done));
   return finish;
 }
 

@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -27,7 +27,7 @@ class Resource {
 
   /// Enqueues a job of length `cost`; `done` (optional) fires at completion.
   /// Returns the completion time.
-  SimTime submit(SimTime cost, std::function<void()> done = nullptr);
+  SimTime submit(SimTime cost, InlineCallback done = nullptr);
 
   /// Earliest time a newly submitted job would start.
   SimTime available_at() const {

@@ -14,7 +14,9 @@ void Simulator::run_until(SimTime horizon) {
     auto fired = queue_.pop();
     now_ = fired.time;
     ++executed_;
-    fired.cb();
+    // Null callbacks are legal (e.g. Resource completion markers that only
+    // exist to advance the clock).
+    if (fired.cb) fired.cb();
   }
   // The pending set drained (or stop() fired) before the horizon: advance
   // the clock to the horizon anyway so bounded waits always make progress.

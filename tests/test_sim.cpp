@@ -2,8 +2,10 @@
 // RNG, statistics.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
@@ -37,6 +39,74 @@ TEST(TimeUnits, TransferTimeRoundsUp) {
 TEST(TimeUnits, RateComputation) {
   EXPECT_DOUBLE_EQ(rate_bps(1250, usec(1)), 10e9);
   EXPECT_DOUBLE_EQ(rate_bps(100, 0), 0.0);
+}
+
+TEST(InlineCallback, InvokesAndReportsEmpty) {
+  InlineCallback empty;
+  EXPECT_FALSE(empty);
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  EXPECT_TRUE(cb);
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+  cb = nullptr;
+  EXPECT_FALSE(cb);
+}
+
+TEST(InlineCallback, HotPathCaptureSetsStayInline) {
+  // The capture sets the simulator schedules millions of times: a timer
+  // lambda (`this`), and completion continuations holding 1-2 shared_ptrs.
+  // These must never hit the allocator.
+  struct Dummy {
+    void fire() {}
+  } d;
+  auto timer = [&d] { d.fire(); };
+  static_assert(InlineCallback::fits_inline<decltype(timer)>());
+  auto sp1 = std::make_shared<int>(0);
+  auto sp2 = std::make_shared<int>(0);
+  auto continuation = [sp1, sp2] { ++*sp1; };
+  static_assert(InlineCallback::fits_inline<decltype(continuation)>());
+  auto three = [sp1, sp2, i = std::size_t{0}]() mutable { *sp2 += (int)i++; };
+  static_assert(InlineCallback::fits_inline<decltype(three)>());
+}
+
+TEST(InlineCallback, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineCallback a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(b);
+  b();
+  EXPECT_EQ(*counter, 1);
+  b = nullptr;
+  EXPECT_EQ(counter.use_count(), 1);  // capture destroyed exactly once
+}
+
+TEST(InlineCallback, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[200];
+  };
+  Big big{};
+  big.bytes[199] = 42;
+  int seen = 0;
+  auto fat = [big, &seen] { seen = big.bytes[199]; };
+  static_assert(!InlineCallback::fits_inline<decltype(fat)>());
+  InlineCallback cb(std::move(fat));
+  InlineCallback moved(std::move(cb));
+  moved();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallback, HoldsMoveOnlyCaptures) {
+  // std::function cannot hold this; a continuation owning another callback
+  // is exactly the link-layer tx_done pattern.
+  auto flag = std::make_shared<bool>(false);
+  InlineCallback inner([flag] { *flag = true; });
+  InlineCallback outer([inner = std::move(inner)]() mutable { inner(); });
+  outer();
+  EXPECT_TRUE(*flag);
 }
 
 TEST(EventQueue, OrdersByTime) {
@@ -76,6 +146,34 @@ TEST(EventQueue, DoubleCancelHarmless) {
   q.cancel(id);
   q.cancel(id);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.schedule(100, [&] { ++fired; });
+  q.schedule(200, [&] { ++fired; });
+  q.pop().cb();   // fires the id=100 event
+  q.cancel(id);   // stale handle: must not disturb the live event
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HandleReuseDoesNotAliasStaleIds) {
+  EventQueue q;
+  int fired = 0;
+  auto stale = q.schedule(100, [&] { fired += 1; });
+  q.cancel(stale);
+  // The freed handle slot is reused by the next schedule; the stale id must
+  // not be able to cancel the new event.
+  auto fresh = q.schedule(200, [&] { fired += 10; });
+  q.cancel(stale);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_EQ(fired, 10);
+  (void)fresh;
 }
 
 // Retransmit-timer churn: nearly every scheduled event is cancelled before
