@@ -1,114 +1,197 @@
 // Ablation benches for the design choices DESIGN.md calls out: each knob's
 // isolated contribution to the headline 10GbE numbers.
+//
+// Every (family, knob-setting) pair is an independent deterministic
+// simulation, so the full ablation grid is computed once through
+// parallel_sweep; benchmark rows report their precomputed point.
 #include "bench/common.hpp"
+#include "bench/parallel_sweep.hpp"
 
 namespace {
 
 using xgbe::core::TuningProfile;
 using xgbe::hw::presets::pe2650;
 
-// MMRBC sweep at jumbo frames: the burst-amortization curve behind the
-// paper's 512 -> 4096 step.
-void Ablation_MmrbcSweep(benchmark::State& state) {
-  const auto mmrbc = static_cast<std::uint32_t>(state.range(0));
-  xgbe::tools::NttcpResult r;
-  for (auto _ : state) {
-    TuningProfile t = TuningProfile::with_big_windows(9000);
-    t.mmrbc = mmrbc;
-    r = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
-  }
-  state.counters["Gb/s"] = r.throughput_gbps();
-}
+enum class Family {
+  kMmrbc,
+  kCoalescing,
+  kNapi,
+  kCsum,
+  kTso,
+  kSws,
+  kTimestamps,
+};
 
-// Interrupt-coalescing sweep: throughput/CPU vs latency trade (§3.3.2).
-void Ablation_CoalescingSweep(benchmark::State& state) {
-  const auto usecs = static_cast<std::int64_t>(state.range(0));
+struct Point {
+  Family family;
+  std::int64_t arg;
+};
+
+struct Result {
   xgbe::tools::NttcpResult thr;
-  xgbe::tools::NetpipeResult lat;
-  for (auto _ : state) {
-    TuningProfile t = TuningProfile::lan_tuned(9000);
-    t.intr_delay = xgbe::sim::usec(usecs);
-    thr = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
-    lat = xgbe::bench::netpipe_pair(pe2650(), t, 1, false);
+  xgbe::tools::NetpipeResult lat{};
+};
+
+Result compute(const Point& p) {
+  Result r;
+  switch (p.family) {
+    case Family::kMmrbc: {
+      // The burst-amortization curve behind the paper's 512 -> 4096 step.
+      TuningProfile t = TuningProfile::with_big_windows(9000);
+      t.mmrbc = static_cast<std::uint32_t>(p.arg);
+      r.thr = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+      break;
+    }
+    case Family::kCoalescing: {
+      // Throughput/CPU vs latency trade (§3.3.2).
+      TuningProfile t = TuningProfile::lan_tuned(9000);
+      t.intr_delay = xgbe::sim::usec(p.arg);
+      r.thr = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+      r.lat = xgbe::bench::netpipe_pair(pe2650(), t, 1, false);
+      break;
+    }
+    case Family::kNapi: {
+      // NAPI vs the old receive API (§3.3.2 discussion).
+      TuningProfile t = TuningProfile::lan_tuned(1500);
+      t.rx_api = p.arg != 0 ? xgbe::os::RxApi::kNapi : xgbe::os::RxApi::kOldApi;
+      r.thr = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+      break;
+    }
+    case Family::kCsum: {
+      // Receive checksum offload (§2: the adapter computes TCP checksums).
+      TuningProfile t = TuningProfile::lan_tuned(9000);
+      t.csum_offload = p.arg != 0;
+      r.thr = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+      break;
+    }
+    case Family::kTso: {
+      // TCP segmentation offload ("Large Send", §3.3.2).
+      TuningProfile t = TuningProfile::lan_tuned(9000);
+      t.tso = p.arg != 0;
+      r.thr = xgbe::bench::nttcp_pair(pe2650(), t, 16344);
+      break;
+    }
+    case Family::kSws: {
+      // SWS-avoidance MSS rounding of the advertised window (§3.5.1):
+      // disabling the rounding (a hypothetical "fractional MSS increments"
+      // kernel, one of the paper's proposed fixes) recovers the dip.
+      xgbe::core::Testbed tb;
+      const auto tuning = TuningProfile::with_uniprocessor(9000);
+      auto& a = tb.add_host("a", pe2650(), tuning);
+      auto& b = tb.add_host("b", pe2650(), tuning);
+      tb.connect(a, b);
+      auto ca = a.endpoint_config();
+      auto cb = b.endpoint_config();
+      cb.sws_round_window = p.arg != 0;
+      auto conn = tb.open_connection(a, b, ca, cb);
+      xgbe::tools::NttcpOptions opt;
+      opt.payload = 8948;  // the dip payload
+      opt.count = xgbe::bench::kNttcpCount;
+      r.thr = xgbe::tools::run_nttcp(tb, conn, a, b, opt);
+      break;
+    }
+    case Family::kTimestamps: {
+      // Timestamp option cost at jumbo MSS (§3.4: ~10% on E7505 systems).
+      TuningProfile t = TuningProfile::stock(9000);
+      t.timestamps = p.arg != 0;
+      r.thr = xgbe::bench::nttcp_pair(xgbe::hw::presets::intel_e7505(), t,
+                                      8948);
+      break;
+    }
   }
-  state.counters["Gb/s"] = thr.throughput_gbps();
-  state.counters["latency_us"] = lat.latency_us;
-  state.counters["cpu_rx"] = thr.receiver_load;
+  return r;
 }
 
-// NAPI vs the old receive API (§3.3.2 discussion).
+const std::vector<Point>& grid() {
+  static const std::vector<Point> pts = [] {
+    std::vector<Point> p;
+    for (std::int64_t mmrbc : {512, 1024, 2048, 4096}) {
+      p.push_back({Family::kMmrbc, mmrbc});
+    }
+    for (std::int64_t usecs : {0, 5, 20, 50}) {
+      p.push_back({Family::kCoalescing, usecs});
+    }
+    for (Family f : {Family::kNapi, Family::kCsum, Family::kTso, Family::kSws,
+                     Family::kTimestamps}) {
+      p.push_back({f, 0});
+      p.push_back({f, 1});
+    }
+    return p;
+  }();
+  return pts;
+}
+
+const Result& result_for(Family family, std::int64_t arg) {
+  static const std::vector<Result> results =
+      xgbe::bench::parallel_sweep(grid(), compute);
+  for (std::size_t i = 0; i < grid().size(); ++i) {
+    if (grid()[i].family == family && grid()[i].arg == arg) {
+      return results[i];
+    }
+  }
+  static const Result none{};
+  return none;
+}
+
+void Ablation_MmrbcSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result_for(Family::kMmrbc, state.range(0)));
+  }
+  const auto& r = result_for(Family::kMmrbc, state.range(0));
+  state.counters["Gb/s"] = r.thr.throughput_gbps();
+}
+
+void Ablation_CoalescingSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result_for(Family::kCoalescing, state.range(0)));
+  }
+  const auto& r = result_for(Family::kCoalescing, state.range(0));
+  state.counters["Gb/s"] = r.thr.throughput_gbps();
+  state.counters["latency_us"] = r.lat.latency_us;
+  state.counters["cpu_rx"] = r.thr.receiver_load;
+}
+
 void Ablation_NapiVsOldApi(benchmark::State& state) {
-  const bool napi = state.range(0) != 0;
-  xgbe::tools::NttcpResult r;
   for (auto _ : state) {
-    TuningProfile t = TuningProfile::lan_tuned(1500);
-    t.rx_api = napi ? xgbe::os::RxApi::kNapi : xgbe::os::RxApi::kOldApi;
-    r = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+    benchmark::DoNotOptimize(result_for(Family::kNapi, state.range(0)));
   }
-  state.counters["Gb/s"] = r.throughput_gbps();
-  state.counters["cpu_rx"] = r.receiver_load;
+  const auto& r = result_for(Family::kNapi, state.range(0));
+  state.counters["Gb/s"] = r.thr.throughput_gbps();
+  state.counters["cpu_rx"] = r.thr.receiver_load;
 }
 
-// Receive checksum offload (§2: the adapter computes TCP checksums).
 void Ablation_ChecksumOffload(benchmark::State& state) {
-  const bool offload = state.range(0) != 0;
-  xgbe::tools::NttcpResult r;
   for (auto _ : state) {
-    TuningProfile t = TuningProfile::lan_tuned(9000);
-    t.csum_offload = offload;
-    r = xgbe::bench::nttcp_pair(pe2650(), t, 8000);
+    benchmark::DoNotOptimize(result_for(Family::kCsum, state.range(0)));
   }
-  state.counters["Gb/s"] = r.throughput_gbps();
-  state.counters["cpu_rx"] = r.receiver_load;
+  const auto& r = result_for(Family::kCsum, state.range(0));
+  state.counters["Gb/s"] = r.thr.throughput_gbps();
+  state.counters["cpu_rx"] = r.thr.receiver_load;
 }
 
-// TCP segmentation offload ("Large Send", §3.3.2).
 void Ablation_Tso(benchmark::State& state) {
-  const bool tso = state.range(0) != 0;
-  xgbe::tools::NttcpResult r;
   for (auto _ : state) {
-    TuningProfile t = TuningProfile::lan_tuned(9000);
-    t.tso = tso;
-    r = xgbe::bench::nttcp_pair(pe2650(), t, 16344);
+    benchmark::DoNotOptimize(result_for(Family::kTso, state.range(0)));
   }
-  state.counters["Gb/s"] = r.throughput_gbps();
-  state.counters["cpu_tx"] = r.sender_load;
+  const auto& r = result_for(Family::kTso, state.range(0));
+  state.counters["Gb/s"] = r.thr.throughput_gbps();
+  state.counters["cpu_tx"] = r.thr.sender_load;
 }
 
-// SWS-avoidance MSS rounding of the advertised window (§3.5.1): disabling
-// the rounding (a hypothetical "fractional MSS increments" kernel, one of
-// the paper's proposed fixes) recovers throughput at the dip.
 void Ablation_SwsRounding(benchmark::State& state) {
-  const bool round = state.range(0) != 0;
-  double gbps = 0.0;
   for (auto _ : state) {
-    xgbe::core::Testbed tb;
-    const auto tuning = TuningProfile::with_uniprocessor(9000);
-    auto& a = tb.add_host("a", pe2650(), tuning);
-    auto& b = tb.add_host("b", pe2650(), tuning);
-    tb.connect(a, b);
-    auto ca = a.endpoint_config();
-    auto cb = b.endpoint_config();
-    cb.sws_round_window = round;
-    auto conn = tb.open_connection(a, b, ca, cb);
-    xgbe::tools::NttcpOptions opt;
-    opt.payload = 8948;  // the dip payload
-    opt.count = xgbe::bench::kNttcpCount;
-    gbps = xgbe::tools::run_nttcp(tb, conn, a, b, opt).throughput_gbps();
+    benchmark::DoNotOptimize(result_for(Family::kSws, state.range(0)));
   }
-  state.counters["Gb/s"] = gbps;
+  const auto& r = result_for(Family::kSws, state.range(0));
+  state.counters["Gb/s"] = r.thr.throughput_gbps();
 }
 
-// Timestamp option cost at jumbo MSS (§3.4: ~10% on the E7505 systems).
 void Ablation_Timestamps(benchmark::State& state) {
-  const bool ts = state.range(0) != 0;
-  xgbe::tools::NttcpResult r;
   for (auto _ : state) {
-    TuningProfile t = TuningProfile::stock(9000);
-    t.timestamps = ts;
-    r = xgbe::bench::nttcp_pair(xgbe::hw::presets::intel_e7505(), t, 8948);
+    benchmark::DoNotOptimize(result_for(Family::kTimestamps, state.range(0)));
   }
-  state.counters["Gb/s"] = r.throughput_gbps();
+  const auto& r = result_for(Family::kTimestamps, state.range(0));
+  state.counters["Gb/s"] = r.thr.throughput_gbps();
 }
 
 }  // namespace
