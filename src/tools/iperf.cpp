@@ -41,6 +41,7 @@ IperfResult run_iperf(core::Testbed& tb, core::Testbed::Connection& conn,
   const sim::SimTime t1 = sim.now();
   st->running = false;
   conn.server->on_consumed = nullptr;
+  *writer = nullptr;  // break the writer's self-reference cycle
 
   const std::uint64_t bytes = st->consumed - st->window_base;
   const double secs = sim::to_seconds(t1 - t0);

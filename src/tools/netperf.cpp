@@ -34,6 +34,7 @@ NetperfStreamResult run_netperf_stream(core::Testbed& tb,
   sim.run_until(t0 + options.duration);
   *running = false;
   conn.server->on_consumed = nullptr;
+  *writer = nullptr;  // break the writer's self-reference cycle
 
   const double secs = sim::to_seconds(sim.now() - t0);
   result.completed = secs > 0;

@@ -54,6 +54,7 @@ NttcpResult run_nttcp(core::Testbed& tb, core::Testbed::Connection& conn,
   sim.run_until(t0 + options.timeout);
 
   conn.server->on_consumed = nullptr;
+  *writer = nullptr;  // break the writer's self-reference cycle
   if (!st->done) return result;  // timed out or deadlocked
 
   result.completed = true;

@@ -70,6 +70,7 @@ PktgenResult run_pktgen(core::Testbed& tb, core::Host& sender,
   const double secs = sim::to_seconds(sim.now() - t0);
   st->running = false;
   receiver.raw_sink = nullptr;
+  *loop = nullptr;  // break the loop's self-reference cycle
 
   if (secs <= 0) return result;
   const std::uint64_t frames = st->rx_frames - st->window_frames;

@@ -32,6 +32,7 @@ StreamResult run_stream(core::Testbed& tb, core::Host& host,
   const sim::SimTime t0 = sim.now();
   (*iterate)();
   sim.run_until(t0 + sim::sec(60));
+  *iterate = nullptr;  // break the loop's self-reference cycle
 
   StreamResult result;
   const double secs = sim::to_seconds(*finished - t0);

@@ -1,0 +1,125 @@
+// Randomized differential test: the indexed-heap EventQueue against a naive
+// reference implementation (a flat vector scanned for the minimum), driven
+// by seeded schedule/cancel/pop interleavings. Covers the hazards the heap's
+// handle table must get right: cancel-after-fire, duplicate cancels, and
+// slot reuse aliasing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace xgbe::sim {
+namespace {
+
+// Reference model: every scheduled event, with the same (time, insertion
+// order) total order as the real queue.
+struct RefEvent {
+  SimTime time = 0;
+  std::uint64_t tag = 0;  // insertion order; doubles as the tie-breaker
+  bool live = false;
+};
+
+std::size_t ref_min(const std::vector<RefEvent>& ref) {
+  std::size_t best = ref.size();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (!ref[i].live) continue;
+    if (best == ref.size() || ref[i].time < ref[best].time ||
+        (ref[i].time == ref[best].time && ref[i].tag < ref[best].tag)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t ref_live(const std::vector<RefEvent>& ref) {
+  std::size_t n = 0;
+  for (const auto& e : ref) n += e.live ? 1 : 0;
+  return n;
+}
+
+TEST(EventQueueStress, MatchesNaiveReference) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 777ull, 123456789ull}) {
+    SCOPED_TRACE(seed);
+    Rng rng(seed);
+    EventQueue q;
+    std::vector<RefEvent> ref;
+    std::vector<EventId> ids;
+    std::uint64_t last_fired = ~0ull;
+
+    for (int step = 0; step < 20000; ++step) {
+      const std::uint64_t roll = rng.next_below(100);
+      if (roll < 45 || ref_live(ref) == 0) {
+        const auto time = static_cast<SimTime>(rng.next_below(1u << 20));
+        const std::uint64_t tag = ref.size();
+        ids.push_back(q.schedule(time, [tag, &last_fired] {
+          last_fired = tag;
+        }));
+        ref.push_back({time, tag, true});
+      } else if (roll < 70) {
+        // Cancel a random event — live, already fired, or already
+        // cancelled. The latter two must be exact no-ops.
+        const std::size_t k = rng.next_below(ids.size());
+        q.cancel(ids[k]);
+        ref[k].live = false;
+      } else if (roll < 75 && !ids.empty()) {
+        // Duplicate cancel of something guaranteed dead.
+        const std::size_t k = rng.next_below(ids.size());
+        if (!ref[k].live) q.cancel(ids[k]);
+      } else {
+        const std::size_t expect = ref_min(ref);
+        ASSERT_LT(expect, ref.size());
+        ASSERT_FALSE(q.empty());
+        auto fired = q.pop();
+        EXPECT_EQ(fired.time, ref[expect].time);
+        last_fired = ~0ull;
+        fired.cb();
+        EXPECT_EQ(last_fired, ref[expect].tag);
+        ref[expect].live = false;
+      }
+      ASSERT_EQ(q.size(), ref_live(ref));
+    }
+
+    // Drain: the remaining pop order must match the reference exactly.
+    while (!q.empty()) {
+      const std::size_t expect = ref_min(ref);
+      ASSERT_LT(expect, ref.size());
+      auto fired = q.pop();
+      last_fired = ~0ull;
+      fired.cb();
+      EXPECT_EQ(last_fired, ref[expect].tag);
+      EXPECT_EQ(fired.time, ref[expect].time);
+      ref[expect].live = false;
+    }
+    EXPECT_EQ(ref_live(ref), 0u);
+  }
+}
+
+// After an event fires, its handle slot may be reused by a new event; the
+// old id's generation must no longer match, so cancelling it leaves the
+// new tenant untouched even under heavy reuse.
+TEST(EventQueueStress, StaleCancelsNeverKillNewTenants) {
+  EventQueue q;
+  std::vector<EventId> fired_ids;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    auto id = q.schedule(round, [&fired] { ++fired; });
+    q.pop().cb();
+    fired_ids.push_back(id);
+  }
+  EXPECT_EQ(fired, 100);
+  // Fresh events, then stale cancels aimed at every retired handle.
+  std::vector<EventId> live_ids;
+  for (int i = 0; i < 100; ++i) {
+    live_ids.push_back(q.schedule(1000 + i, [&fired] { ++fired; }));
+  }
+  for (auto id : fired_ids) q.cancel(id);
+  EXPECT_EQ(q.size(), 100u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 200);
+}
+
+}  // namespace
+}  // namespace xgbe::sim

@@ -195,6 +195,7 @@ TEST(DualAdapter, SecondAdapterDoesNotHelp) {
     tb.run_until_established(conn1);
     tb.run_until_established(conn2);
     auto consumed = std::make_shared<std::uint64_t>(0);
+    std::vector<std::shared_ptr<std::function<void()>>> writers;
     for (auto* conn : {&conn1, &conn2}) {
       conn->server->on_consumed = [consumed](std::uint64_t b) {
         *consumed += b;
@@ -205,11 +206,13 @@ TEST(DualAdapter, SecondAdapterDoesNotHelp) {
         client->app_send(65536, [writer]() { (*writer)(); });
       };
       (*writer)();
+      writers.push_back(writer);
     }
     tb.run_for(sim::msec(30));
     const std::uint64_t base = *consumed;
     const sim::SimTime t0 = tb.now();
     tb.run_for(sim::msec(100));
+    for (auto& w : writers) *w = nullptr;  // break self-reference cycles
     return static_cast<double>(*consumed - base) * 8.0 /
            sim::to_seconds(tb.now() - t0) / 1e9;
   };
@@ -285,6 +288,7 @@ TEST(MultiFlow, GbeClientsAggregateThroughSwitch) {
   }
   for (auto& conn : conns) ASSERT_TRUE(tb.run_until_established(conn));
   auto consumed = std::make_shared<std::uint64_t>(0);
+  std::vector<std::shared_ptr<std::function<void()>>> writers;
   for (auto& conn : conns) {
     conn.server->on_consumed = [consumed](std::uint64_t b) { *consumed += b; };
     auto writer = std::make_shared<std::function<void()>>();
@@ -293,11 +297,13 @@ TEST(MultiFlow, GbeClientsAggregateThroughSwitch) {
       client->app_send(65536, [writer]() { (*writer)(); });
     };
     (*writer)();
+    writers.push_back(writer);
   }
   tb.run_for(sim::msec(30));
   const std::uint64_t base = *consumed;
   const sim::SimTime t0 = tb.now();
   tb.run_for(sim::msec(100));
+  for (auto& w : writers) *w = nullptr;  // break self-reference cycles
   const double gbps = static_cast<double>(*consumed - base) * 8.0 /
                       sim::to_seconds(tb.now() - t0) / 1e9;
   // Four GbE clients aggregate to most of 4 Gb/s into one 10GbE host.
