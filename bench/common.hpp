@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "fault/fault.hpp"
 #include "link/wan.hpp"
 #include "tools/iperf.hpp"
 #include "tools/netpipe.hpp"
@@ -133,13 +134,18 @@ struct WanRun {
   tools::IperfResult result;
   std::uint64_t retransmits = 0;
   std::uint64_t circuit_drops = 0;
+  fault::FaultCounters faults;  // injected faults across all circuits
   double rtt_ms = 0.0;
 };
 
+/// `fault` (when active) is installed on the transatlantic OC-48 — the
+/// bottleneck circuit — modelling the bursty loss and reordering real
+/// transcontinental paths exhibit.
 inline WanRun wan_run(std::uint32_t buffer_bytes,
                       sim::SimTime warmup = sim::sec(8),
                       sim::SimTime duration = sim::sec(4),
-                      int streams = 1) {
+                      int streams = 1,
+                      const fault::FaultPlan& fault = {}) {
   core::Testbed tb;
   const auto tuning = core::TuningProfile::wan(buffer_bytes);
   auto& a = tb.add_host("sunnyvale", hw::presets::wan_endpoint(), tuning);
@@ -151,6 +157,7 @@ inline WanRun wan_run(std::uint32_t buffer_bytes,
       {link::wan::oc192_pos(link::wan::kSunnyvaleChicagoKm, 64u << 20),
        link::wan::oc48_pos(link::wan::kChicagoGenevaKm, 64u << 20)},
       link::wan::router_spec());
+  if (fault.active()) circuits.back()->set_fault_plan(fault);
   auto cfg = tools::iperf_config(a.endpoint_config());
   cfg.read_chunk = 1 << 20;
   auto conn = tb.open_connection(a, b, cfg, cfg);
@@ -195,7 +202,10 @@ inline WanRun wan_run(std::uint32_t buffer_bytes,
     e.server->on_consumed = nullptr;
   }
   run.rtt_ms = sim::to_microseconds(conn.client->srtt()) / 1e3;
-  for (auto* c : circuits) run.circuit_drops += c->drops_queue();
+  for (auto* c : circuits) {
+    run.circuit_drops += c->drops_queue();
+    run.faults += c->fault_counters();
+  }
   return run;
 }
 

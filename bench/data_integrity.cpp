@@ -12,6 +12,7 @@
 // host-side software checksums (detected, dropped, retransmitted) — and
 // prices the CPU cost of doing it in software.
 #include "bench/common.hpp"
+#include "fault/oracle.hpp"
 
 namespace {
 
@@ -21,6 +22,7 @@ struct IntegrityResult {
   std::uint64_t silent_corruptions = 0;
   std::uint64_t detected_drops = 0;
   std::uint64_t retransmits = 0;
+  bool stream_intact = false;  // fault::verify_stream_integrity verdict
 };
 
 IntegrityResult run(double corruption_rate, bool csum_offload) {
@@ -44,6 +46,13 @@ IntegrityResult run(double corruption_rate, bool csum_offload) {
   out.silent_corruptions = conn.server->stats().corrupted_delivered;
   out.detected_drops = b.kernel().csum_drops();
   out.retransmits = conn.client->stats().retransmits;
+  // The same oracle the chaos soak uses: every byte delivered exactly once,
+  // and (with host checksums) none of them silently damaged.
+  const auto verdict = xgbe::fault::verify_stream_integrity(
+      conn.client->stats(), conn.server->stats(),
+      static_cast<std::uint64_t>(opt.payload) * opt.count,
+      /*checksums_on=*/!csum_offload);
+  out.stream_intact = verdict.ok;
   return out;
 }
 
@@ -71,6 +80,7 @@ void Integrity_HostChecksum(benchmark::State& state) {
   state.counters["detected"] = static_cast<double>(r.detected_drops);
   state.counters["retransmits"] = static_cast<double>(r.retransmits);
   state.counters["cpu_rx"] = r.cpu_rx;
+  state.counters["stream_intact"] = r.stream_intact ? 1.0 : 0.0;
 }
 
 }  // namespace

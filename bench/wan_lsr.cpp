@@ -42,6 +42,28 @@ void Wan_MultiStream(benchmark::State& state) {
   state.counters["retransmits"] = static_cast<double>(run.retransmits);
 }
 
+// A lossy transatlantic variant: Gilbert–Elliott bursty loss on the OC-48
+// (the loss pattern real transcontinental paths exhibit) instead of the
+// clean circuit the record run enjoyed. Even a ~0.001% bursty loss rate at
+// a 176 ms RTT costs a visible fraction of the record rate, because each
+// burst forces a multiplicative backoff that takes many RTTs to regrow.
+void Wan_LossyGeneva(benchmark::State& state) {
+  xgbe::fault::FaultPlan plan;
+  plan.seed = 0x10b5;
+  plan.burst.p_enter_bad = 1e-5;
+  plan.burst.p_exit_bad = 0.5;
+  plan.burst.loss_bad = 1.0;
+  plan.data_only = true;
+  xgbe::bench::WanRun run;
+  for (auto _ : state) {
+    run = xgbe::bench::wan_run(80u * 1024 * 1024, xgbe::sim::sec(8),
+                               xgbe::sim::sec(4), /*streams=*/1, plan);
+  }
+  state.counters["Gb/s"] = run.result.throughput_gbps();
+  state.counters["retransmits"] = static_cast<double>(run.retransmits);
+  state.counters["burst_drops"] = static_cast<double>(run.faults.drops_burst);
+}
+
 void Wan_OversizedBuffersCounterfactual(benchmark::State& state) {
   xgbe::bench::WanRun run;
   for (auto _ : state) {
@@ -66,6 +88,7 @@ void Wan_UndersizedBuffers(benchmark::State& state) {
 
 BENCHMARK(Wan_LandSpeedRecord)->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(Wan_MultiStream)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(Wan_LossyGeneva)->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(Wan_OversizedBuffersCounterfactual)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

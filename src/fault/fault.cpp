@@ -1,0 +1,187 @@
+#include "fault/fault.hpp"
+
+#include <cstdio>
+
+namespace xgbe::fault {
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
+  frames_seen += o.frames_seen;
+  drops_forced += o.drops_forced;
+  drops_uniform += o.drops_uniform;
+  drops_burst += o.drops_burst;
+  drops_carrier += o.drops_carrier;
+  corruptions += o.corruptions;
+  duplicates += o.duplicates;
+  reorders += o.reorders;
+  flaps += o.flaps;
+  return *this;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+void FaultInjector::set_plan(const FaultPlan& plan) {
+  plan_ = plan;
+  rng_.reseed(plan.seed);
+  forced_drops_ = 0;
+  burst_bad_ = false;
+  was_down_ = false;
+  counters_ = FaultCounters{};
+}
+
+bool FaultInjector::carrier_down(sim::SimTime now) {
+  bool down = false;
+  for (const LinkFlap& f : plan_.flaps) {
+    if (now >= f.down_at && (f.up_at < 0 || now < f.up_at)) {
+      down = true;
+      break;
+    }
+  }
+  if (down && !was_down_) ++counters_.flaps;
+  was_down_ = down;
+  return down;
+}
+
+FaultDecision FaultInjector::decide(const net::Packet& pkt,
+                                    sim::SimTime now) {
+  FaultDecision d;
+  ++counters_.frames_seen;
+
+  // Scripted losses resolve first and consume no randomness.
+  if (forced_drops_ > 0 && pkt.payload_bytes > 0) {
+    --forced_drops_;
+    ++counters_.drops_forced;
+    d.drop = true;
+    d.cause = DropCause::kForced;
+    return d;
+  }
+  if (!plan_.flaps.empty() && carrier_down(now)) {
+    ++counters_.drops_carrier;
+    d.drop = true;
+    d.cause = DropCause::kCarrier;
+    return d;
+  }
+
+  const bool eligible = !plan_.data_only || pkt.payload_bytes > 0;
+
+  // Stochastic faults draw in a fixed order, and only when enabled, so the
+  // draw sequence for a given plan is stable regardless of which other
+  // fault families other plans use.
+  if (plan_.burst.enabled() && eligible) {
+    if (burst_bad_) {
+      if (rng_.chance(plan_.burst.p_exit_bad)) burst_bad_ = false;
+    } else {
+      if (rng_.chance(plan_.burst.p_enter_bad)) burst_bad_ = true;
+    }
+    const double p =
+        burst_bad_ ? plan_.burst.loss_bad : plan_.burst.loss_good;
+    if (p > 0.0 && rng_.chance(p)) {
+      ++counters_.drops_burst;
+      d.drop = true;
+      d.cause = DropCause::kBurst;
+      return d;
+    }
+  }
+  if (plan_.loss_rate > 0.0 && eligible && rng_.chance(plan_.loss_rate)) {
+    ++counters_.drops_uniform;
+    d.drop = true;
+    d.cause = DropCause::kUniform;
+    return d;
+  }
+  if (plan_.corrupt_rate > 0.0 && pkt.payload_bytes > 0 &&
+      rng_.chance(plan_.corrupt_rate)) {
+    ++counters_.corruptions;
+    d.corrupt = true;
+  }
+  if (plan_.duplicate_rate > 0.0 && eligible &&
+      rng_.chance(plan_.duplicate_rate)) {
+    ++counters_.duplicates;
+    d.duplicate = true;
+    d.duplicate_delay =
+        1 + static_cast<sim::SimTime>(rng_.next_below(
+                static_cast<std::uint64_t>(plan_.jitter_max)));
+  }
+  if (plan_.reorder_rate > 0.0 && eligible &&
+      rng_.chance(plan_.reorder_rate)) {
+    ++counters_.reorders;
+    d.extra_delay =
+        1 + static_cast<sim::SimTime>(rng_.next_below(
+                static_cast<std::uint64_t>(plan_.jitter_max)));
+  }
+  return d;
+}
+
+std::string describe(const FaultPlan& plan) {
+  char buf[96];
+  std::string out = "seed ";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(plan.seed));
+  out += buf;
+  if (plan.loss_rate > 0.0) {
+    std::snprintf(buf, sizeof(buf), ", loss %.3g%%", plan.loss_rate * 100.0);
+    out += buf;
+  }
+  if (plan.burst.enabled()) {
+    std::snprintf(buf, sizeof(buf), ", burst(%.3g->%.3g, bad %.3g%%)",
+                  plan.burst.p_enter_bad, plan.burst.p_exit_bad,
+                  plan.burst.loss_bad * 100.0);
+    out += buf;
+  }
+  if (plan.corrupt_rate > 0.0) {
+    std::snprintf(buf, sizeof(buf), ", corrupt %.3g%%",
+                  plan.corrupt_rate * 100.0);
+    out += buf;
+  }
+  if (plan.duplicate_rate > 0.0) {
+    std::snprintf(buf, sizeof(buf), ", dup %.3g%%",
+                  plan.duplicate_rate * 100.0);
+    out += buf;
+  }
+  if (plan.reorder_rate > 0.0) {
+    std::snprintf(buf, sizeof(buf), ", reorder %.3g%% (<=%.0f us)",
+                  plan.reorder_rate * 100.0,
+                  sim::to_microseconds(plan.jitter_max));
+    out += buf;
+  }
+  if (!plan.flaps.empty()) {
+    std::snprintf(buf, sizeof(buf), ", %zu flap(s)", plan.flaps.size());
+    out += buf;
+  }
+  if (plan.data_only) out += ", data-only";
+  return out;
+}
+
+std::string describe(const FaultCounters& c) {
+  char buf[64];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "%llu drops",
+                static_cast<unsigned long long>(c.total_drops()));
+  out += buf;
+  if (c.total_drops() > 0) {
+    out += " (";
+    bool first = true;
+    auto part = [&](std::uint64_t n, const char* label) {
+      if (n == 0) return;
+      if (!first) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%llu %s",
+                    static_cast<unsigned long long>(n), label);
+      out += buf;
+      first = false;
+    };
+    part(c.drops_forced, "forced");
+    part(c.drops_uniform, "uniform");
+    part(c.drops_burst, "burst");
+    part(c.drops_carrier, "carrier");
+    out += ")";
+  }
+  std::snprintf(buf, sizeof(buf),
+                ", %llu corrupt, %llu dup, %llu reorder, %llu flap",
+                static_cast<unsigned long long>(c.corruptions),
+                static_cast<unsigned long long>(c.duplicates),
+                static_cast<unsigned long long>(c.reorders),
+                static_cast<unsigned long long>(c.flaps));
+  out += buf;
+  return out;
+}
+
+}  // namespace xgbe::fault

@@ -1,0 +1,64 @@
+// End-to-end byte-stream integrity oracle.
+//
+// The simulator never carries payload bytes, so "did the stream survive?"
+// is answered from the endpoint accounting instead: every application byte
+// must be sent once, acknowledged once, delivered in order exactly once,
+// and consumed exactly once — and with host-side checksums enabled no
+// corrupted frame may reach the application (§3.5.3). The chaos soak and
+// bench/data_integrity share this oracle so they cannot drift apart.
+//
+// Header-only on purpose: xgbe_fault stays a sim+net library while the
+// oracle reaches into tcp::EndpointStats; consumers (tests, benches) link
+// xgbe_tcp through xgbe_core anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tcp/endpoint.hpp"
+
+namespace xgbe::fault {
+
+struct IntegrityReport {
+  bool ok = true;
+  std::string detail;  // first failed check, human-readable
+
+  void fail(std::string msg) {
+    if (!ok) return;  // keep the first failure
+    ok = false;
+    detail = std::move(msg);
+  }
+};
+
+/// Verifies a finished one-way transfer of `expected_bytes` from the
+/// endpoint owning `tx` to the endpoint owning `rx`. `checksums_on` means
+/// the receive path computed checksums on the host (adapter offload
+/// disabled), i.e. in-host corruption must have been caught, not delivered.
+inline IntegrityReport verify_stream_integrity(const tcp::EndpointStats& tx,
+                                               const tcp::EndpointStats& rx,
+                                               std::uint64_t expected_bytes,
+                                               bool checksums_on) {
+  IntegrityReport r;
+  auto expect_eq = [&r](std::uint64_t got, std::uint64_t want,
+                        const char* what) {
+    if (got != want) {
+      r.fail(std::string(what) + ": got " + std::to_string(got) +
+             ", want " + std::to_string(want));
+    }
+  };
+  // Exactly-once send: first transmissions cover the stream once, no more.
+  expect_eq(tx.bytes_sent, expected_bytes, "sender first-transmission bytes");
+  // Exactly-once acknowledgement (cumulative ACKs never double-count).
+  expect_eq(tx.bytes_acked, expected_bytes, "sender acknowledged bytes");
+  // Exactly-once, in-order delivery and consumption at the receiver.
+  expect_eq(rx.bytes_delivered, expected_bytes, "receiver delivered bytes");
+  expect_eq(rx.bytes_consumed, expected_bytes, "receiver consumed bytes");
+  if (checksums_on && rx.corrupted_delivered != 0) {
+    r.fail("silent corruption reached the application: " +
+           std::to_string(rx.corrupted_delivered) +
+           " corrupted segment(s) delivered with checksums on");
+  }
+  return r;
+}
+
+}  // namespace xgbe::fault

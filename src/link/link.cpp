@@ -6,13 +6,42 @@
 
 namespace xgbe::link {
 
+namespace {
+
+fault::FaultPlan legacy_plan(const LinkSpec& spec) {
+  fault::FaultPlan plan;
+  plan.seed = spec.loss_seed;
+  plan.loss_rate = spec.loss_rate;
+  return plan;
+}
+
+}  // namespace
+
 Link::Link(sim::Simulator& simulator, const LinkSpec& spec, std::string name)
     : sim_(simulator),
       spec_(spec),
       name_(std::move(name)),
       ab_(simulator, name_ + "/ab"),
       ba_(simulator, name_ + "/ba"),
-      rng_(spec.loss_seed) {}
+      script_(legacy_plan(spec)) {}
+
+void Link::set_fault_plan(const fault::FaultPlan& plan) {
+  fault_ab_.set_plan(plan);
+  fault::FaultPlan reverse = plan;
+  reverse.seed = plan.seed ^ 0x9e3779b97f4a7c15ULL;
+  fault_ba_.set_plan(reverse);
+}
+
+void Link::set_fault_plan(const fault::FaultPlan& plan, bool from_a) {
+  (from_a ? fault_ab_ : fault_ba_).set_plan(plan);
+}
+
+fault::FaultCounters Link::fault_counters() const {
+  fault::FaultCounters total = script_.counters();
+  total += fault_ab_.counters();
+  total += fault_ba_.counters();
+  return total;
+}
 
 std::uint32_t Link::occupancy_bytes(const net::Packet& pkt) const {
   if (spec_.framing == Framing::kEthernet) return pkt.wire_bytes();
@@ -65,21 +94,40 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
         if (tx_done) tx_done();
       });
 
-  if (forced_drops_ > 0 && pkt.payload_bytes > 0) {
-    --forced_drops_;
-    ++drops_forced_;
-    return;
+  // Shared scripted/legacy injector first (forced drops + LinkSpec loss,
+  // one RNG across both directions), then the direction's own plan. A
+  // frame the script loses never reaches the directional injector — it is
+  // already off the wire.
+  const sim::SimTime now = sim_.now();
+  fault::FaultDecision verdict = script_.decide(pkt, now);
+  if (!verdict.drop) {
+    fault::FaultInjector& dir_fault = forward ? fault_ab_ : fault_ba_;
+    if (dir_fault.active()) {
+      const fault::FaultDecision extra = dir_fault.decide(pkt, now);
+      if (extra.drop) {
+        verdict = extra;
+      } else {
+        verdict.corrupt = verdict.corrupt || extra.corrupt;
+        verdict.duplicate = extra.duplicate;
+        verdict.extra_delay = extra.extra_delay;
+        verdict.duplicate_delay = extra.duplicate_delay;
+      }
+    }
   }
-  const bool lost = spec_.loss_rate > 0.0 && rng_.chance(spec_.loss_rate);
-  if (lost) {
-    ++drops_random_;
-    return;
-  }
+  if (verdict.drop) return;
+
   if (sink != nullptr) {
     ++frames_;
     bytes_ += pkt.frame_bytes;
-    sim_.schedule_at(done_at + spec_.propagation,
-                     [sink, pkt]() { sink->deliver(pkt); });
+    net::Packet out = pkt;
+    if (verdict.corrupt) out.corrupted = true;
+    const sim::SimTime arrival =
+        done_at + spec_.propagation + verdict.extra_delay;
+    sim_.schedule_at(arrival, [sink, out]() { sink->deliver(out); });
+    if (verdict.duplicate) {
+      sim_.schedule_at(arrival + verdict.duplicate_delay,
+                       [sink, out]() { sink->deliver(out); });
+    }
   }
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "link/device.hpp"
 #include "net/packet.hpp"
 #include "sim/random.hpp"
@@ -64,14 +65,40 @@ class Link {
   std::uint64_t frames_delivered() const { return frames_; }
   std::uint64_t bytes_delivered() const { return bytes_; }
   std::uint64_t drops_queue() const { return drops_queue_; }
-  std::uint64_t drops_random() const { return drops_random_; }
+  std::uint64_t drops_random() const {
+    return script_.counters().drops_uniform;
+  }
 
-  /// Forces the next `n` data-carrying frames (payload > 0) to be lost.
-  /// Used by the loss-recovery experiments (Table 1 validation) to inject
-  /// a precisely-timed single loss.
-  void inject_drops(int n) { forced_drops_ += n; }
+  // --- Fault injection ------------------------------------------------------
+  /// Installs `plan` on both directions (the reverse direction gets a
+  /// decorrelated seed so loss on data and ACK paths is independent).
+  void set_fault_plan(const fault::FaultPlan& plan);
 
-  std::uint64_t drops_forced() const { return drops_forced_; }
+  /// Installs `plan` on one direction only (a->b when from_a); the other
+  /// direction is left untouched. Directional plans are how the recovery
+  /// tests black-hole ACKs without touching the data path.
+  void set_fault_plan(const fault::FaultPlan& plan, bool from_a);
+
+  fault::FaultInjector& fault_injector(bool from_a) {
+    return from_a ? fault_ab_ : fault_ba_;
+  }
+  const fault::FaultInjector& fault_injector(bool from_a) const {
+    return from_a ? fault_ab_ : fault_ba_;
+  }
+
+  /// Aggregate of the scripted/legacy injector and both directions.
+  fault::FaultCounters fault_counters() const;
+
+  /// Deprecated shim: forces the next `n` data-carrying frames (payload >
+  /// 0) to be lost, whichever direction offers them first. The Table 1
+  /// loss-recovery experiments predate the fault layer and still call
+  /// this; new code should use fault_injector(from_a).inject_drops(n).
+  void inject_drops(int n) { script_.inject_drops(n); }
+
+  std::uint64_t drops_forced() const {
+    return script_.counters().drops_forced + fault_ab_.counters().drops_forced +
+           fault_ba_.counters().drops_forced;
+  }
 
   /// Bytes occupying the wire for one frame under this link's framing.
   std::uint32_t occupancy_bytes(const net::Packet& pkt) const;
@@ -104,13 +131,16 @@ class Link {
   NetDevice* b_ = nullptr;
   Direction ab_;
   Direction ba_;
-  sim::Rng rng_;
+  // Shared by both directions, like the pre-fault-layer loss knob: carries
+  // the LinkSpec loss_rate/loss_seed plan plus deprecated forced drops, and
+  // consumes RNG draws in transmit order so legacy seeds stay bit-identical.
+  fault::FaultInjector script_;
+  // Per-direction plans installed through set_fault_plan().
+  fault::FaultInjector fault_ab_;
+  fault::FaultInjector fault_ba_;
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t drops_queue_ = 0;
-  std::uint64_t drops_random_ = 0;
-  int forced_drops_ = 0;
-  std::uint64_t drops_forced_ = 0;
 };
 
 }  // namespace xgbe::link

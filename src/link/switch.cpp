@@ -58,7 +58,14 @@ std::uint32_t EthernetSwitch::queued_bytes(int port) const {
 }
 
 void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
-  const auto it = fdb_.find(pkt.dst);
+  net::Packet frame = pkt;
+  fault::FaultDecision verdict;
+  if (fault_.active()) {
+    verdict = fault_.decide(pkt, sim_.now());
+    if (verdict.drop) return;
+    if (verdict.corrupt) frame.corrupted = true;
+  }
+  const auto it = fdb_.find(frame.dst);
   if (it == fdb_.end()) {
     ++dropped_no_route_;
     return;
@@ -67,10 +74,15 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
   // The fabric moves the frame to the egress queue; model its bandwidth as
   // a shared serialized resource plus fixed pipeline latency.
   const sim::SimTime fabric_time =
-      sim::transfer_time(pkt.frame_bytes, spec_.backplane_bps);
+      sim::transfer_time(frame.frame_bytes, spec_.backplane_bps);
   backplane_.submit(fabric_time);
-  sim_.schedule(spec_.fabric_latency + fabric_time,
-                [this, egress, pkt]() { egress_frame(egress, pkt); });
+  const sim::SimTime cross = spec_.fabric_latency + fabric_time;
+  sim_.schedule(cross + verdict.extra_delay,
+                [this, egress, frame]() { egress_frame(egress, frame); });
+  if (verdict.duplicate) {
+    sim_.schedule(cross + verdict.extra_delay + verdict.duplicate_delay,
+                  [this, egress, frame]() { egress_frame(egress, frame); });
+  }
 }
 
 void EthernetSwitch::egress_frame(int port, const net::Packet& pkt) {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "link/device.hpp"
 #include "link/link.hpp"
 #include "sim/resource.hpp"
@@ -51,6 +52,14 @@ class EthernetSwitch {
   std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }
   std::uint32_t queued_bytes(int port) const;
 
+  /// Faults applied at ingress, before forwarding: a misbehaving fabric
+  /// drops, corrupts, duplicates, or delays frames crossing it.
+  void set_fault_plan(const fault::FaultPlan& plan) { fault_.set_plan(plan); }
+  fault::FaultInjector& fault_injector() { return fault_; }
+  const fault::FaultCounters& fault_counters() const {
+    return fault_.counters();
+  }
+
  private:
   class Port;
   void on_frame(int ingress, const net::Packet& pkt);
@@ -62,6 +71,7 @@ class EthernetSwitch {
   sim::Resource backplane_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<net::NodeId, int> fdb_;
+  fault::FaultInjector fault_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_no_route_ = 0;
   std::uint64_t dropped_queue_full_ = 0;

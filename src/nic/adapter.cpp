@@ -112,6 +112,27 @@ void Adapter::emit_wire_frames(const net::Packet& pkt) {
 }
 
 void Adapter::deliver(const net::Packet& arrived) {
+  if (!rx_fault_.active()) {
+    receive_frame(arrived);
+    return;
+  }
+  const fault::FaultDecision verdict = rx_fault_.decide(arrived, sim_.now());
+  if (verdict.drop) return;
+  net::Packet frame = arrived;
+  if (verdict.corrupt) frame.corrupted = true;
+  if (verdict.duplicate) {
+    sim_.schedule(verdict.extra_delay + verdict.duplicate_delay,
+                  [this, frame]() { receive_frame(frame); });
+  }
+  if (verdict.extra_delay > 0) {
+    sim_.schedule(verdict.extra_delay,
+                  [this, frame]() { receive_frame(frame); });
+    return;
+  }
+  receive_frame(frame);
+}
+
+void Adapter::receive_frame(const net::Packet& arrived) {
   if (rx_ring_used_ >= spec_.rx_ring) {
     ++rx_dropped_ring_;
     return;

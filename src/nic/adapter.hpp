@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "hw/memory.hpp"
 #include "hw/pcix.hpp"
 #include "link/device.hpp"
@@ -95,7 +96,19 @@ class Adapter : public link::NetDevice {
   std::uint64_t rx_dropped_ring() const { return rx_dropped_ring_; }
   std::uint64_t interrupts_raised() const { return interrupts_; }
 
+  /// Faults applied to frames arriving from the wire, before the receive
+  /// ring: a flaky MAC/PHY losing, damaging, or stuttering frames. The
+  /// legacy rx_corruption_rate knob is independent and stays bit-identical.
+  void set_rx_fault_plan(const fault::FaultPlan& plan) {
+    rx_fault_.set_plan(plan);
+  }
+  fault::FaultInjector& rx_fault_injector() { return rx_fault_; }
+  const fault::FaultCounters& rx_fault_counters() const {
+    return rx_fault_.counters();
+  }
+
  private:
+  void receive_frame(const net::Packet& arrived);
   void dma_next_tx();
   void emit_wire_frames(const net::Packet& pkt);
   void raise_interrupt();
@@ -110,6 +123,7 @@ class Adapter : public link::NetDevice {
   link::Link* wire_ = nullptr;
   bool side_a_ = true;
   sim::Rng corruption_rng_;
+  fault::FaultInjector rx_fault_;
   RxHandler rx_handler_;
 
   std::deque<net::Packet> tx_queue_;  // awaiting DMA

@@ -1,0 +1,66 @@
+#include "sim/watchdog.hpp"
+
+namespace xgbe::sim {
+
+void Watchdog::arm() {
+  if (armed_ || tripped_) return;
+  armed_ = true;
+  stalled_ = 0;
+  for (Counter& c : counters_) c.primed = false;
+  pending_ = sim_.schedule(options_.interval, [this]() {
+    armed_ = false;
+    tick();
+  });
+}
+
+void Watchdog::disarm() {
+  if (!armed_) return;
+  sim_.cancel(pending_);
+  armed_ = false;
+}
+
+void Watchdog::tick() {
+  for (const Invariant& inv : invariants_) {
+    std::string violation = inv.fn();
+    if (!violation.empty()) {
+      trip("invariant '" + inv.name + "' violated at t=" +
+           std::to_string(to_seconds(sim_.now())) + "s: " + violation);
+      return;
+    }
+  }
+  bool moved = counters_.empty();  // nothing watched => never a stall
+  for (Counter& c : counters_) {
+    const std::uint64_t v = c.fn();
+    if (!c.primed || v != c.last) moved = true;
+    c.primed = true;
+    c.last = v;
+  }
+  if (moved) {
+    stalled_ = 0;
+  } else if (++stalled_ >= options_.stalled_ticks) {
+    std::string why = "no forward progress for " +
+                      std::to_string(to_seconds(
+                          options_.interval * options_.stalled_ticks)) +
+                      "s of simulated time (now t=" +
+                      std::to_string(to_seconds(sim_.now())) + "s); stalled:";
+    for (const Counter& c : counters_) {
+      why += " " + c.name + "=" + std::to_string(c.last);
+    }
+    trip(std::move(why));
+    return;
+  }
+  armed_ = true;
+  pending_ = sim_.schedule(options_.interval, [this]() {
+    armed_ = false;
+    tick();
+  });
+}
+
+void Watchdog::trip(std::string why) {
+  tripped_ = true;
+  diagnosis_ = std::move(why);
+  if (on_trip) on_trip(diagnosis_);
+  if (options_.stop_simulation) sim_.stop();
+}
+
+}  // namespace xgbe::sim

@@ -1,0 +1,100 @@
+// Forward-progress and invariant watchdog for simulation runs.
+//
+// A hung experiment (a connection stalled with its timers wedged, a
+// component livelocked on self-rescheduling events) would otherwise spin
+// the event loop forever — or worse, drain it silently with the transfer
+// incomplete. The watchdog ticks at a fixed simulated interval, evaluates
+// registered invariant checks, and compares registered progress counters
+// against their last values; after `stalled_ticks` consecutive intervals
+// with no counter movement (or on the first invariant violation) it trips:
+// records a diagnosis, invokes the optional on_trip hook, and stops the
+// simulator so run() returns with a clean failure instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace xgbe::sim {
+
+class Watchdog {
+ public:
+  struct Options {
+    /// Simulated time between checks.
+    SimTime interval = msec(100);
+    /// Consecutive no-progress intervals before the watchdog trips.
+    int stalled_ticks = 10;
+    /// Call Simulator::stop() when tripping (almost always wanted; tests
+    /// that only want the diagnosis can turn it off).
+    bool stop_simulation = true;
+  };
+
+  explicit Watchdog(Simulator& simulator) : sim_(simulator) {}
+  Watchdog(Simulator& simulator, Options options)
+      : sim_(simulator), options_(options) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  ~Watchdog() { disarm(); }
+
+  /// Registers a monotonic progress counter (e.g. bytes acknowledged +
+  /// bytes consumed). Any movement across the watched set resets the stall
+  /// count; a tick where none move counts toward tripping.
+  void watch_progress(std::string name, std::function<std::uint64_t()> fn) {
+    counters_.push_back({std::move(name), std::move(fn), 0, false});
+  }
+
+  /// Registers an invariant: returns an empty string while the invariant
+  /// holds, or a description of the violation. Checked every tick; a
+  /// violation trips the watchdog immediately.
+  void add_invariant(std::string name, std::function<std::string()> fn) {
+    invariants_.push_back({std::move(name), std::move(fn)});
+  }
+
+  /// Starts ticking. The pending tick keeps the event queue non-empty, so
+  /// disarm() (or destruction) is required before expecting run() to drain.
+  void arm();
+
+  /// Cancels the pending tick. Safe to call repeatedly.
+  void disarm();
+
+  bool armed() const { return armed_; }
+  bool tripped() const { return tripped_; }
+  const std::string& diagnosis() const { return diagnosis_; }
+
+  /// Invoked once when the watchdog trips (after the diagnosis is set,
+  /// before the simulator is stopped).
+  std::function<void(const std::string&)> on_trip;
+
+ private:
+  struct Counter {
+    std::string name;
+    std::function<std::uint64_t()> fn;
+    std::uint64_t last = 0;
+    bool primed = false;
+  };
+  struct Invariant {
+    std::string name;
+    std::function<std::string()> fn;
+  };
+
+  void tick();
+  void trip(std::string why);
+
+  Simulator& sim_;
+  Options options_;
+  std::vector<Counter> counters_;
+  std::vector<Invariant> invariants_;
+  EventId pending_{};
+  bool armed_ = false;
+  bool tripped_ = false;
+  int stalled_ = 0;
+  std::string diagnosis_;
+};
+
+}  // namespace xgbe::sim

@@ -692,6 +692,77 @@ void Endpoint::maybe_window_update() {
   }
 }
 
+// --- Invariants -------------------------------------------------------------
+
+std::string Endpoint::invariant_violation() const {
+  // Pre-sequence-space states have nothing to check yet.
+  if (state_ == TcpState::kClosed || state_ == TcpState::kListen ||
+      state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
+    return {};
+  }
+  if (net::seq_gt(snd_una_, snd_nxt_)) {
+    return "snd_una " + std::to_string(snd_una_) + " ahead of snd_nxt " +
+           std::to_string(snd_nxt_);
+  }
+  const bool fin_outstanding =
+      fin_sent_ && net::seq_le(snd_una_, fin_seq_);
+  if (!retx_q_.empty()) {
+    if (retx_q_.front().seq != snd_una_) {
+      return "retransmission queue head " +
+             std::to_string(retx_q_.front().seq) + " != snd_una " +
+             std::to_string(snd_una_);
+    }
+    net::Seq expect = snd_una_;
+    for (const TxSegment& seg : retx_q_) {
+      if (seg.seq != expect) {
+        return "retransmission queue gap at " + std::to_string(seg.seq) +
+               " (expected " + std::to_string(expect) + ")";
+      }
+      expect = seg.seq + seg.len;
+    }
+    const net::Seq data_end = fin_sent_ ? fin_seq_ : snd_nxt_;
+    if (expect != data_end) {
+      return "retransmission queue ends at " + std::to_string(expect) +
+             ", not at " + std::to_string(data_end);
+    }
+  } else {
+    const std::uint32_t span = net::seq_span(snd_una_, snd_nxt_);
+    if (span != 0 && !(fin_outstanding && span == 1)) {
+      return "unacked span of " + std::to_string(span) +
+             " bytes with an empty retransmission queue";
+    }
+  }
+  // Exactly-once delivery accounting.
+  if (stats_.bytes_acked > stats_.bytes_sent) {
+    return "acked " + std::to_string(stats_.bytes_acked) +
+           " bytes > sent " + std::to_string(stats_.bytes_sent);
+  }
+  if (stats_.bytes_consumed > stats_.bytes_delivered) {
+    return "consumed " + std::to_string(stats_.bytes_consumed) +
+           " bytes > delivered " + std::to_string(stats_.bytes_delivered);
+  }
+  if (payload_ready_ != stats_.bytes_delivered - stats_.bytes_consumed) {
+    return "payload_ready " + std::to_string(payload_ready_) +
+           " != delivered - consumed";
+  }
+  std::string reasm = reasm_.invariant_violation();
+  if (!reasm.empty()) return "reassembly: " + reasm;
+  // FIN / state-machine legality.
+  if (fin_sent_ && (state_ == TcpState::kEstablished ||
+                    state_ == TcpState::kCloseWait)) {
+    return "FIN sent but state still carries data";
+  }
+  if (state_ == TcpState::kFinWait2 && fin_outstanding) {
+    return "FIN_WAIT_2 entered with our FIN unacknowledged";
+  }
+  if (fin_received_ &&
+      (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
+       state_ == TcpState::kFinWait2)) {
+    return "peer FIN processed but state never advanced";
+  }
+  return {};
+}
+
 // --- Demux ------------------------------------------------------------------
 
 void Endpoint::on_packet(const net::Packet& pkt) {

@@ -111,11 +111,30 @@ class Endpoint {
   /// Hard congestion-window ceiling in segments (Linux snd_cwnd_clamp).
   void set_cwnd_clamp(std::uint32_t segments) { cc_.set_clamp(segments); }
 
+  /// Pause or resume the application reader mid-connection — models an app
+  /// that stops calling read() (the receive window closes) and later comes
+  /// back. Resuming drains buffered payload immediately, which sends the
+  /// reopening window update.
+  void set_app_reader(bool enabled) {
+    config_.app_reader = enabled;
+    if (enabled) maybe_read();
+  }
+
   // --- Network interface (host demux) --------------------------------------
   /// Packet for this endpoint, after kernel receive costs were charged.
   void on_packet(const net::Packet& pkt);
 
   // --- Introspection --------------------------------------------------------
+  /// Structural self-check for the fault-injection watchdog and the chaos
+  /// harness. Verifies sender sequence-space sanity (snd_una <= snd_nxt,
+  /// retransmission queue contiguous from snd_una), receive-side delivery
+  /// accounting (nothing delivered beyond rcv_nxt, ready == delivered -
+  /// consumed), reassembly structure, and FIN/state legality. Returns an
+  /// empty string while every invariant holds, else a description of the
+  /// first violation. Meant to be called between events (e.g. from
+  /// sim::Watchdog ticks), not from inside packet processing.
+  std::string invariant_violation() const;
+
   const EndpointStats& stats() const { return stats_; }
   const EndpointConfig& config() const { return config_; }
   std::uint32_t mss_payload() const { return snd_mss_payload_; }

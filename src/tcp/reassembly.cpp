@@ -61,4 +61,28 @@ std::uint32_t Reassembly::offer(net::Seq seq, std::uint32_t len) {
   return delivered;
 }
 
+std::string Reassembly::invariant_violation() const {
+  std::uint64_t total = 0;
+  bool have_prev = false;
+  net::Seq prev_end = 0;
+  for (const auto& [start, len] : ooo_) {
+    if (len == 0) return "empty out-of-order range at " + std::to_string(start);
+    if (!net::seq_gt(start, rcv_nxt_)) {
+      return "out-of-order range " + std::to_string(start) +
+             " not beyond rcv_nxt " + std::to_string(rcv_nxt_);
+    }
+    if (have_prev && !net::seq_lt(prev_end, start)) {
+      return "uncoalesced/overlapping ranges at " + std::to_string(start);
+    }
+    prev_end = start + len;
+    have_prev = true;
+    total += len;
+  }
+  if (total != ooo_bytes_) {
+    return "ooo_bytes " + std::to_string(ooo_bytes_) +
+           " != sum of ranges " + std::to_string(total);
+  }
+  return {};
+}
+
 }  // namespace xgbe::tcp

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "net/seq.hpp"
 
@@ -33,6 +34,12 @@ class Reassembly {
 
   std::uint32_t ooo_bytes() const { return ooo_bytes_; }
   std::size_t ooo_ranges() const { return ooo_.size(); }
+
+  /// Structural self-check for the fault-injection watchdog: every queued
+  /// range must lie strictly beyond rcv_nxt, ranges must be disjoint with
+  /// gaps between them (coalescing merged the rest), and the byte tally
+  /// must match. Returns an empty string while the invariants hold.
+  std::string invariant_violation() const;
 
  private:
   net::Seq rcv_nxt_;

@@ -56,9 +56,33 @@ std::string format_frame(sim::SimTime at, const net::Packet& pkt) {
     line += "options [TS], ";
   }
   if (pkt.tcp.is_retransmit) line += "retransmission, ";
+  if (pkt.corrupted) line += "corrupt, ";
   std::snprintf(buf, sizeof(buf), "length %u", pkt.payload_bytes);
   line += buf;
   return line;
+}
+
+std::string fault_summary(const link::Link& wire) {
+  const fault::FaultCounters c = wire.fault_counters();
+  std::string line = wire.name() + ": " + fault::describe(c);
+  if (wire.drops_queue() > 0) {
+    line += ", " + std::to_string(wire.drops_queue()) + " queue drops";
+  }
+  const fault::FaultPlan& ab = wire.fault_injector(true).plan();
+  if (ab.active()) line += " [plan: " + fault::describe(ab) + "]";
+  return line;
+}
+
+std::unique_ptr<sim::Recorder> make_fault_recorder(sim::Simulator& simulator,
+                                                   const link::Link& wire,
+                                                   sim::SimTime interval) {
+  auto rec = std::make_unique<sim::Recorder>(
+      simulator, interval, [&wire]() {
+        return static_cast<double>(wire.fault_counters().total_drops() +
+                                   wire.drops_queue());
+      });
+  rec->start();
+  return rec;
 }
 
 void Capture::attach(link::Link& wire) {

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "link/link.hpp"
 #include "net/packet.hpp"
+#include "sim/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace xgbe::tools {
@@ -29,6 +31,18 @@ struct CaptureOptions {
 ///   "12.345678 1 > 2: Flags [S], seq 100021, win 65535, options [mss 8960,wscale 0,TS], length 0"
 ///   "12.345901 1 > 2: Flags [.], seq 100022:109970, ack 200025, win 62636, length 8948"
 std::string format_frame(sim::SimTime at, const net::Packet& pkt);
+
+/// One-line fault report for a link, `netstat -i`-style: the plan in force
+/// plus cumulative per-cause counters (scripted injector + both directions
+/// + queue tail drops). Bench output uses it to show *why* a lossy run
+/// degraded.
+std::string fault_summary(const link::Link& wire);
+
+/// Builds a recorder sampling the link's cumulative fault-induced drops at
+/// `interval`, yielding a loss timeline that lines up with cwnd traces.
+std::unique_ptr<sim::Recorder> make_fault_recorder(sim::Simulator& simulator,
+                                                   const link::Link& wire,
+                                                   sim::SimTime interval);
 
 class Capture {
  public:

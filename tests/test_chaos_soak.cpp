@@ -1,0 +1,337 @@
+// Chaos soak: drives NTTCP transfers across LAN and WAN-profile links under
+// >= 20 seeded fault plans (uniform and bursty loss, payload corruption,
+// duplication, reordering, carrier flaps, and combinations), asserting for
+// every plan that
+//   - every byte is delivered exactly once, in order (integrity oracle),
+//   - nothing is silently corrupted while checksums are on,
+//   - the connection always reaches a clean teardown,
+//   - a rerun of the same plan reproduces bit-identical statistics,
+// with a watchdog checking endpoint invariants and forward progress at
+// every tick, so a stall or a broken invariant becomes a readable failure
+// instead of a hang.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "fault/oracle.hpp"
+#include "sim/watchdog.hpp"
+#include "tools/nttcp.hpp"
+
+namespace xgbe {
+namespace {
+
+struct SoakConfig {
+  std::string name;
+  fault::FaultPlan plan;
+  bool wan = false;        // long-propagation bottleneck profile
+  bool host_csum = false;  // software checksums (required for corruption)
+  std::uint32_t payload = 8948;
+  std::uint32_t count = 600;
+};
+
+struct SoakOutcome {
+  bool completed = false;
+  bool client_closed = false;
+  bool server_closed = false;
+  bool tripped = false;
+  std::string diagnosis;
+  fault::IntegrityReport integrity;
+  std::string fingerprint;
+};
+
+std::string stats_fingerprint(const tcp::EndpointStats& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "seg=%llu/%llu bytes=%llu/%llu/%llu/%llu retx=%llu fast=%llu "
+      "rto=%llu dupack=%llu/%llu acks=%llu wup=%llu drops=%llu probes=%llu "
+      "oow=%llu corrupt=%llu",
+      static_cast<unsigned long long>(s.segments_sent),
+      static_cast<unsigned long long>(s.segments_received),
+      static_cast<unsigned long long>(s.bytes_sent),
+      static_cast<unsigned long long>(s.bytes_acked),
+      static_cast<unsigned long long>(s.bytes_delivered),
+      static_cast<unsigned long long>(s.bytes_consumed),
+      static_cast<unsigned long long>(s.retransmits),
+      static_cast<unsigned long long>(s.fast_retransmits),
+      static_cast<unsigned long long>(s.timeouts),
+      static_cast<unsigned long long>(s.dupacks_received),
+      static_cast<unsigned long long>(s.dupacks_sent),
+      static_cast<unsigned long long>(s.acks_sent),
+      static_cast<unsigned long long>(s.window_update_acks),
+      static_cast<unsigned long long>(s.rcv_buffer_drops),
+      static_cast<unsigned long long>(s.window_probes),
+      static_cast<unsigned long long>(s.out_of_window),
+      static_cast<unsigned long long>(s.corrupted_delivered));
+  return buf;
+}
+
+std::string fault_fingerprint(const fault::FaultCounters& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "seen=%llu f=%llu u=%llu b=%llu c=%llu corrupt=%llu "
+                "dup=%llu reord=%llu flap=%llu",
+                static_cast<unsigned long long>(c.frames_seen),
+                static_cast<unsigned long long>(c.drops_forced),
+                static_cast<unsigned long long>(c.drops_uniform),
+                static_cast<unsigned long long>(c.drops_burst),
+                static_cast<unsigned long long>(c.drops_carrier),
+                static_cast<unsigned long long>(c.corruptions),
+                static_cast<unsigned long long>(c.duplicates),
+                static_cast<unsigned long long>(c.reorders),
+                static_cast<unsigned long long>(c.flaps));
+  return buf;
+}
+
+SoakOutcome run_soak(const SoakConfig& cfg) {
+  core::Testbed tb;
+  auto tuning = cfg.wan ? core::TuningProfile::with_big_windows(9000)
+                        : core::TuningProfile::lan_tuned(9000);
+  if (cfg.host_csum) tuning.csum_offload = false;
+  auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning);
+  link::LinkSpec wire_spec;
+  if (cfg.wan) {
+    wire_spec.propagation = sim::usec(2500);  // 5 ms RTT bottleneck
+    wire_spec.queue_limit_bytes = 2u << 20;
+  }
+  auto& wire = tb.connect(a, b, wire_spec);
+  wire.set_fault_plan(cfg.plan);
+
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+
+  sim::Watchdog::Options wopt;
+  wopt.interval = sim::msec(100);
+  wopt.stalled_ticks = 100;  // 10 s with no progress = stalled
+  sim::Watchdog dog(tb.simulator(), wopt);
+  dog.watch_progress("acked", [&]() {
+    return conn.client->stats().bytes_acked;
+  });
+  dog.watch_progress("delivered", [&]() {
+    return conn.server->stats().bytes_delivered;
+  });
+  dog.watch_progress("client_segments", [&]() {
+    return conn.client->stats().segments_sent +
+           conn.client->stats().segments_received;
+  });
+  dog.add_invariant("client", [&]() {
+    return conn.client->invariant_violation();
+  });
+  dog.add_invariant("server", [&]() {
+    return conn.server->invariant_violation();
+  });
+  dog.arm();
+
+  tools::NttcpOptions opt;
+  opt.payload = cfg.payload;
+  opt.count = cfg.count;
+  opt.timeout = sim::sec(600);
+  const auto result = tools::run_nttcp(tb, conn, a, b, opt);
+
+  SoakOutcome out;
+  out.completed = result.completed;
+
+  // Every connection must reach a clean teardown, faults notwithstanding.
+  if (result.completed && !dog.tripped()) {
+    conn.client->close();
+    conn.server->close();
+    for (int i = 0; i < 600 && !dog.tripped(); ++i) {
+      if (conn.client->closed() && conn.server->closed()) break;
+      tb.run_for(sim::msec(100));
+    }
+  }
+  dog.disarm();
+
+  out.client_closed = conn.client->closed();
+  out.server_closed = conn.server->closed();
+  out.tripped = dog.tripped();
+  out.diagnosis = dog.diagnosis();
+  out.integrity = fault::verify_stream_integrity(
+      conn.client->stats(), conn.server->stats(),
+      static_cast<std::uint64_t>(cfg.payload) * cfg.count,
+      /*checksums_on=*/true);
+  out.fingerprint = "client{" + stats_fingerprint(conn.client->stats()) +
+                    "} server{" + stats_fingerprint(conn.server->stats()) +
+                    "} faults{" + fault_fingerprint(wire.fault_counters()) +
+                    "} csum_drops=" + std::to_string(b.kernel().csum_drops());
+  return out;
+}
+
+fault::GilbertElliott lan_burst() {
+  fault::GilbertElliott ge;
+  ge.p_enter_bad = 5e-4;
+  ge.p_exit_bad = 0.25;
+  ge.loss_bad = 1.0;
+  return ge;
+}
+
+std::vector<SoakConfig> soak_matrix() {
+  using fault::FaultPlan;
+  std::vector<SoakConfig> configs;
+  auto lan = [&](const std::string& name, const FaultPlan& plan,
+                 bool host_csum = false) {
+    SoakConfig c;
+    c.name = name;
+    c.plan = plan;
+    c.host_csum = host_csum;
+    configs.push_back(c);
+  };
+  auto wan = [&](const std::string& name, const FaultPlan& plan,
+                 bool host_csum = false) {
+    SoakConfig c;
+    c.name = name;
+    c.plan = plan;
+    c.wan = true;
+    c.host_csum = host_csum;
+    c.count = 400;
+    configs.push_back(c);
+  };
+
+  // Control: no faults at all; everything else must look this clean.
+  lan("lan-clean", FaultPlan{});
+
+  lan("lan-uniform-1pct-s1", FaultPlan{}.with_seed(1).with_loss(0.01));
+  lan("lan-uniform-1pct-s2", FaultPlan{}.with_seed(2).with_loss(0.01));
+  lan("lan-uniform-3pct-s3", FaultPlan{}.with_seed(3).with_loss(0.03));
+  lan("lan-ack-loss-s4", FaultPlan{}.with_seed(4).with_loss(0.02));
+  lan("lan-burst-s5", FaultPlan{}.with_seed(5).with_burst(lan_burst()));
+  lan("lan-burst-s6", FaultPlan{}.with_seed(6).with_burst(lan_burst()));
+  lan("lan-corrupt-s7", FaultPlan{}.with_seed(7).with_corruption(0.003),
+      /*host_csum=*/true);
+  lan("lan-corrupt-s8", FaultPlan{}.with_seed(8).with_corruption(0.01),
+      /*host_csum=*/true);
+  lan("lan-dup-s9", FaultPlan{}.with_seed(9).with_duplication(0.02));
+  lan("lan-reorder-s10",
+      FaultPlan{}.with_seed(10).with_reordering(0.05, sim::usec(100)));
+  lan("lan-dup-reorder-s11",
+      FaultPlan{}.with_seed(11).with_duplication(0.01).with_reordering(
+          0.03, sim::usec(100)));
+  lan("lan-flap-s12",
+      FaultPlan{}.with_seed(12).with_flap(sim::msec(40), sim::msec(140)));
+  lan("lan-flap-loss-s13",
+      FaultPlan{}.with_seed(13).with_loss(0.01).with_flap(sim::msec(60),
+                                                          sim::msec(160)));
+  lan("lan-kitchen-s14",
+      FaultPlan{}
+          .with_seed(14)
+          .with_loss(0.005)
+          .with_burst(lan_burst())
+          .with_duplication(0.005)
+          .with_reordering(0.01, sim::usec(100))
+          .with_corruption(0.002),
+      /*host_csum=*/true);
+  lan("lan-kitchen-s15",
+      FaultPlan{}
+          .with_seed(15)
+          .with_loss(0.005)
+          .with_burst(lan_burst())
+          .with_duplication(0.005)
+          .with_reordering(0.01, sim::usec(100))
+          .with_corruption(0.002),
+      /*host_csum=*/true);
+
+  wan("wan-uniform-halfpct-s16", FaultPlan{}.with_seed(16).with_loss(0.005));
+  wan("wan-uniform-1pct-s17", FaultPlan{}.with_seed(17).with_loss(0.01));
+  wan("wan-burst-s18", FaultPlan{}.with_seed(18).with_burst(lan_burst()));
+  wan("wan-reorder-s19",
+      FaultPlan{}.with_seed(19).with_reordering(0.1, sim::usec(500)));
+  wan("wan-dup-reorder-s20",
+      FaultPlan{}.with_seed(20).with_duplication(0.01).with_reordering(
+          0.05, sim::usec(500)));
+  wan("wan-kitchen-s21",
+      FaultPlan{}
+          .with_seed(21)
+          .with_loss(0.003)
+          .with_burst(lan_burst())
+          .with_duplication(0.005)
+          .with_reordering(0.02, sim::usec(500))
+          .with_corruption(0.001),
+      /*host_csum=*/true);
+  wan("wan-flap-s22",
+      FaultPlan{}.with_seed(22).with_flap(sim::msec(80), sim::msec(280)));
+  return configs;
+}
+
+TEST(ChaosSoak, EveryPlanDeliversExactlyOnceAndReproducesBitIdentically) {
+  const auto configs = soak_matrix();
+  ASSERT_GE(configs.size(), 21u);  // >= 20 fault plans + the clean control
+  for (const auto& cfg : configs) {
+    SCOPED_TRACE(cfg.name + " [" + fault::describe(cfg.plan) + "]");
+    const SoakOutcome first = run_soak(cfg);
+    ASSERT_FALSE(first.tripped) << first.diagnosis;
+    ASSERT_TRUE(first.completed);
+    EXPECT_TRUE(first.integrity.ok) << first.integrity.detail;
+    EXPECT_TRUE(first.client_closed);
+    EXPECT_TRUE(first.server_closed);
+
+    const SoakOutcome rerun = run_soak(cfg);
+    EXPECT_EQ(first.fingerprint, rerun.fingerprint)
+        << "same plan, same traffic, different stats — determinism broke";
+  }
+}
+
+// The same soak discipline through a switch whose fabric misbehaves: the
+// switch-hosted injector must be just as recoverable and countable.
+TEST(ChaosSoak, SwitchHostedFaultsRecover) {
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::lan_tuned(9000);
+  auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning);
+  auto& sw = tb.add_switch();
+  tb.connect_to_switch(a, sw);
+  tb.connect_to_switch(b, sw);
+  fault::FaultPlan plan;
+  plan.seed = 31;
+  plan.loss_rate = 0.01;
+  plan.duplicate_rate = 0.01;
+  sw.set_fault_plan(plan);
+
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = 8948;
+  opt.count = 500;
+  opt.timeout = sim::sec(600);
+  const auto r = tools::run_nttcp(tb, conn, a, b, opt);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, 8948ull * 500ull);
+  EXPECT_GT(sw.fault_counters().drops_uniform, 0u);
+  const auto verdict = fault::verify_stream_integrity(
+      conn.client->stats(), conn.server->stats(), 8948ull * 500ull, true);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+}
+
+// And through a flaky adapter MAC: the NIC-hosted injector sits in front of
+// the receive ring, so losses there look like wire losses to TCP.
+TEST(ChaosSoak, AdapterHostedFaultsRecover) {
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::lan_tuned(9000);
+  auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning);
+  auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning);
+  tb.connect(a, b);
+  fault::FaultPlan plan;
+  plan.seed = 32;
+  plan.loss_rate = 0.01;
+  b.adapter().set_rx_fault_plan(plan);
+
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  tools::NttcpOptions opt;
+  opt.payload = 8948;
+  opt.count = 500;
+  opt.timeout = sim::sec(600);
+  const auto r = tools::run_nttcp(tb, conn, a, b, opt);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, 8948ull * 500ull);
+  EXPECT_GT(b.adapter().rx_fault_counters().drops_uniform, 0u);
+  const auto verdict = fault::verify_stream_integrity(
+      conn.client->stats(), conn.server->stats(), 8948ull * 500ull, true);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+}
+
+}  // namespace
+}  // namespace xgbe
