@@ -18,6 +18,7 @@ Host::Host(sim::Simulator& simulator, const hw::SystemSpec& system,
   kc.txqueuelen = tuning.txqueuelen;
   kc.header_splitting = tuning.header_splitting;
   kernel_ = std::make_unique<os::Kernel>(simulator, system_, kc);
+  kernel_->set_host_faults(&host_faults_);
   add_adapter(adapter);
 }
 
@@ -34,6 +35,7 @@ std::size_t Host::add_adapter(const nic::AdapterSpec& spec) {
       sim_, s, system_.pcix, system_.memory, mmrbc, kernel_->membus(),
       name_ + "/eth" + std::to_string(index)));
   nic::Adapter* raw = adapters_.back().get();
+  raw->set_host_faults(&host_faults_);
   raw->set_rx_handler([this, raw](std::vector<net::Packet> batch) {
     kernel_->rx_interrupt(std::move(batch), raw->spec().csum_offload,
                           [this](const net::Packet& pkt) { demux(pkt); });
@@ -73,13 +75,30 @@ void Host::raw_transmit(const net::Packet& pkt, std::size_t adapter_index) {
 }
 
 void Host::demux(const net::Packet& pkt) {
+  ++frames_demuxed_;
   if (packet_tap) packet_tap(pkt);
   if (pkt.protocol == net::Protocol::kTcp) {
     const auto it = endpoints_.find(pkt.flow);
-    if (it != endpoints_.end()) it->second->on_packet(pkt);
+    if (it != endpoints_.end()) {
+      it->second->on_packet(pkt);
+    } else {
+      ++frames_unclaimed_;
+    }
     return;
   }
-  if (raw_sink) raw_sink(pkt);
+  if (raw_sink) {
+    raw_sink(pkt);
+  } else {
+    ++frames_unclaimed_;
+  }
+}
+
+std::uint64_t Host::sockbuf_drops() const {
+  std::uint64_t drops = 0;
+  for (const auto& [flow, ep] : endpoints_) {
+    drops += ep->stats().rcv_buffer_drops;
+  }
+  return drops;
 }
 
 }  // namespace xgbe::core

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/tuning.hpp"
+#include "fault/host_fault.hpp"
 #include "hw/system.hpp"
 #include "net/packet.hpp"
 #include "nic/adapter.hpp"
@@ -36,7 +37,11 @@ class Host {
   const TuningProfile& tuning() const { return tuning_; }
 
   os::Kernel& kernel() { return *kernel_; }
+  const os::Kernel& kernel() const { return *kernel_; }
   nic::Adapter& adapter(std::size_t i = 0) { return *adapters_.at(i); }
+  const nic::Adapter& adapter(std::size_t i = 0) const {
+    return *adapters_.at(i);
+  }
   std::size_t adapter_count() const { return adapters_.size(); }
 
   /// Adds another adapter on its own PCI-X bus (the paper's dual-adapter
@@ -66,6 +71,28 @@ class Host {
   double cpu_load() const { return kernel_->cpu_load(); }
   void mark_load_window() { kernel_->mark_load_window(); }
 
+  // --- Host-path fault injection -------------------------------------------
+  /// Arms a host-resource fault plan: the kernel and every adapter on this
+  /// host share one injector (one seeded RNG, per-cause counters). An
+  /// inactive plan (the default) changes nothing, bit for bit.
+  void set_host_fault_plan(const fault::HostFaultPlan& plan) {
+    host_faults_.set_plan(plan);
+  }
+  fault::HostFaultInjector& host_faults() { return host_faults_; }
+  const fault::HostFaultCounters& host_fault_counters() const {
+    return host_faults_.counters();
+  }
+
+  // --- Drop-ledger accounting ----------------------------------------------
+  /// Frames that completed kernel receive processing and reached demux —
+  /// the host-boundary "delivered" term of the conservation identity.
+  std::uint64_t frames_demuxed() const { return frames_demuxed_; }
+  /// Demuxed frames no endpoint or raw sink claimed.
+  std::uint64_t frames_unclaimed() const { return frames_unclaimed_; }
+  /// TCP-level receive-buffer drops summed across this host's endpoints
+  /// (post-delivery discards, recovered by retransmission).
+  std::uint64_t sockbuf_drops() const;
+
  private:
   void demux(const net::Packet& pkt);
 
@@ -77,6 +104,9 @@ class Host {
   std::unique_ptr<os::Kernel> kernel_;
   std::vector<std::unique_ptr<nic::Adapter>> adapters_;
   std::unordered_map<net::FlowId, std::unique_ptr<tcp::Endpoint>> endpoints_;
+  fault::HostFaultInjector host_faults_;
+  std::uint64_t frames_demuxed_ = 0;
+  std::uint64_t frames_unclaimed_ = 0;
 };
 
 }  // namespace xgbe::core

@@ -57,6 +57,14 @@ void Adapter::dma_next_tx() {
     tx_dma_active_ = false;
     return;
   }
+  // Host fault: no transmit descriptors are being posted — DMA pauses and
+  // the driver queue grows until the stall window ends.
+  if (host_faults_active() && host_faults_->tx_ring_stalled(sim_.now())) {
+    tx_dma_active_ = false;
+    host_faults_->count_tx_stall();
+    arm_tx_stall_recovery();
+    return;
+  }
   // Stall DMA while the on-board FIFO is full (wire slower than the bus).
   if (tx_fifo_used_ + tx_queue_.front().frame_bytes > spec_.tx_fifo_bytes) {
     tx_dma_active_ = false;
@@ -67,9 +75,11 @@ void Adapter::dma_next_tx() {
   tx_queue_.pop_front();
 
   const sim::SimTime bus_time =
-      spec_.on_mch
-          ? hw::bus_time(mem_spec_, pkt.frame_bytes, 1) + sim::nsec(150)
-          : hw::dma_read_service_time(bus_spec_, pkt.frame_bytes, mmrbc_);
+      (spec_.on_mch
+           ? hw::bus_time(mem_spec_, pkt.frame_bytes, 1) + sim::nsec(150)
+           : hw::dma_read_service_time(bus_spec_, pkt.frame_bytes,
+                                       effective_mmrbc_now())) +
+      dma_freeze_now();
   // The DMA read traverses host memory once; account the contention.
   membus_.submit(hw::bus_time(mem_spec_, pkt.frame_bytes, 1));
   pci_.submit(bus_time, [this, pkt]() mutable {
@@ -135,15 +145,21 @@ void Adapter::deliver(const net::Packet& arrived) {
 void Adapter::receive_frame(const net::Packet& arrived) {
   if (rx_ring_used_ >= spec_.rx_ring) {
     ++rx_dropped_ring_;
+    // Attribute the drop when a replenish stall (not plain overload) is
+    // what kept the ring full.
+    if (host_faults_active() && rx_ring_unreplenished_ > 0) {
+      host_faults_->count_ring_stall_drop();
+    }
     return;
   }
   ++rx_ring_used_;
   net::Packet pkt = arrived;
   if (pkt.trace.enabled) pkt.trace.t_rx_arrive = sim_.now();
   const sim::SimTime bus_time =
-      spec_.on_mch
-          ? hw::bus_time(mem_spec_, pkt.frame_bytes, 1) + sim::nsec(100)
-          : hw::dma_write_service_time(bus_spec_, pkt.frame_bytes);
+      (spec_.on_mch
+           ? hw::bus_time(mem_spec_, pkt.frame_bytes, 1) + sim::nsec(100)
+           : hw::dma_write_service_time(bus_spec_, pkt.frame_bytes)) +
+      dma_freeze_now();
   // The DMA write traverses host memory once.
   membus_.submit(hw::bus_time(mem_spec_, pkt.frame_bytes, 1));
   pci_.submit(bus_time, [this, pkt]() mutable {
@@ -154,34 +170,113 @@ void Adapter::receive_frame(const net::Packet& arrived) {
     }
     ++rx_frames_;
     rx_batch_.push_back(std::move(pkt));
-    if (spec_.intr_delay == 0 ||
+    // An irq-storm window forces coalescing off: one interrupt per frame.
+    const bool storm =
+        host_faults_active() && host_faults_->irq_storm(sim_.now());
+    if (spec_.intr_delay == 0 || storm ||
         rx_batch_.size() >= spec_.max_coalesce) {
       if (rx_timer_armed_) {
         sim_.cancel(rx_timer_);
         rx_timer_armed_ = false;
       }
-      raise_interrupt();
+      try_raise_interrupt();
     } else if (!rx_timer_armed_) {
       rx_timer_armed_ = true;
       rx_timer_ = sim_.schedule(spec_.intr_delay, [this]() {
         rx_timer_armed_ = false;
-        raise_interrupt();
+        try_raise_interrupt();
       });
     }
   });
 }
 
+void Adapter::try_raise_interrupt() {
+  if (rx_batch_.empty()) return;
+  if (host_faults_active()) {
+    if (host_faults_->interrupt_missed(sim_.now())) {
+      // The IRQ line never asserts; DMA'd frames sit in host memory until
+      // the next interrupt raises the batch or the recovery poll fires.
+      arm_irq_recovery_poll();
+      return;
+    }
+    if (host_faults_->irq_storm(sim_.now())) {
+      host_faults_->count_storm_interrupt();
+    }
+  }
+  raise_interrupt();
+}
+
 void Adapter::raise_interrupt() {
   if (rx_batch_.empty()) return;
   ++interrupts_;
-  // The driver refills the ring as it pulls the batch in the ISR.
-  rx_ring_used_ -= static_cast<std::uint32_t>(rx_batch_.size());
+  // The driver refills the ring as it pulls the batch in the ISR — unless a
+  // replenish stall is in force, in which case the consumed slots stay
+  // consumed until the window ends.
+  const auto batch_slots = static_cast<std::uint32_t>(rx_batch_.size());
+  if (host_faults_active() && host_faults_->rx_ring_stalled(sim_.now())) {
+    rx_ring_unreplenished_ += batch_slots;
+    arm_rx_replenish_recovery();
+  } else {
+    rx_ring_used_ -= batch_slots;
+  }
   std::vector<net::Packet> batch;
   batch.swap(rx_batch_);
   for (net::Packet& p : batch) {
     if (p.trace.enabled) p.trace.t_irq = sim_.now();
   }
   if (rx_handler_) rx_handler_(std::move(batch));
+}
+
+std::uint32_t Adapter::effective_mmrbc_now() {
+  if (host_faults_active() && host_faults_->dma_throttled(sim_.now())) {
+    const std::uint32_t clamp = host_faults_->plan().dma_mmrbc;
+    if (hw::is_valid_mmrbc(clamp) && clamp < mmrbc_) return clamp;
+  }
+  return mmrbc_;
+}
+
+sim::SimTime Adapter::dma_freeze_now() {
+  if (host_faults_active() && host_faults_->dma_throttled(sim_.now())) {
+    host_faults_->count_dma_throttled();
+    return host_faults_->plan().dma_freeze;
+  }
+  return 0;
+}
+
+void Adapter::arm_tx_stall_recovery() {
+  if (tx_stall_recovery_armed_) return;
+  const sim::SimTime end = host_faults_->tx_stall_end(sim_.now());
+  if (end <= sim_.now()) return;
+  tx_stall_recovery_armed_ = true;
+  sim_.schedule(end - sim_.now(), [this]() {
+    tx_stall_recovery_armed_ = false;
+    if (!tx_dma_active_) dma_next_tx();
+  });
+}
+
+void Adapter::arm_rx_replenish_recovery() {
+  if (rx_replenish_armed_) return;
+  const sim::SimTime end = host_faults_->rx_stall_end(sim_.now());
+  if (end <= sim_.now()) return;
+  rx_replenish_armed_ = true;
+  sim_.schedule(end - sim_.now(), [this]() {
+    rx_replenish_armed_ = false;
+    // The driver's refill path catches up on every deferred slot at once.
+    rx_ring_used_ -= std::min(rx_ring_used_, rx_ring_unreplenished_);
+    rx_ring_unreplenished_ = 0;
+  });
+}
+
+void Adapter::arm_irq_recovery_poll() {
+  if (irq_poll_armed_) return;
+  irq_poll_armed_ = true;
+  sim_.schedule(host_faults_->plan().irq_recovery_poll, [this]() {
+    irq_poll_armed_ = false;
+    if (!rx_batch_.empty()) {
+      host_faults_->count_irq_recovered();
+      raise_interrupt();
+    }
+  });
 }
 
 }  // namespace xgbe::nic

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/host_fault.hpp"
 #include "hw/memory.hpp"
 #include "hw/pcix.hpp"
 #include "link/device.hpp"
@@ -107,11 +108,30 @@ class Adapter : public link::NetDevice {
     return rx_fault_.counters();
   }
 
+  /// Arms (or clears) the host-path fault injector shared with the host's
+  /// kernel. The adapter consults it for descriptor-ring stalls, missed /
+  /// storming interrupts, and PCI-X DMA throttling; null or inactive means
+  /// zero behavioral change.
+  void set_host_faults(fault::HostFaultInjector* injector) {
+    host_faults_ = injector;
+  }
+
  private:
   void receive_frame(const net::Packet& arrived);
   void dma_next_tx();
   void emit_wire_frames(const net::Packet& pkt);
+  void try_raise_interrupt();
   void raise_interrupt();
+  bool host_faults_active() const {
+    return host_faults_ != nullptr && host_faults_->active();
+  }
+  /// Extra PCI-X service time while a DMA-throttle window is open, and the
+  /// MMRBC clamp it imposes (identity outside a window).
+  std::uint32_t effective_mmrbc_now();
+  sim::SimTime dma_freeze_now();
+  void arm_tx_stall_recovery();
+  void arm_rx_replenish_recovery();
+  void arm_irq_recovery_poll();
 
   sim::Simulator& sim_;
   AdapterSpec spec_;
@@ -124,6 +144,7 @@ class Adapter : public link::NetDevice {
   bool side_a_ = true;
   sim::Rng corruption_rng_;
   fault::FaultInjector rx_fault_;
+  fault::HostFaultInjector* host_faults_ = nullptr;
   RxHandler rx_handler_;
 
   std::deque<net::Packet> tx_queue_;  // awaiting DMA
@@ -134,6 +155,13 @@ class Adapter : public link::NetDevice {
   sim::EventId rx_timer_{};
   bool rx_timer_armed_ = false;
   std::uint32_t rx_ring_used_ = 0;
+
+  // Host-fault bookkeeping: ring slots consumed but not replenished during
+  // an rx-ring stall, and the one-shot recovery events that undo each fault.
+  std::uint32_t rx_ring_unreplenished_ = 0;
+  bool rx_replenish_armed_ = false;
+  bool tx_stall_recovery_armed_ = false;
+  bool irq_poll_armed_ = false;
 
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;

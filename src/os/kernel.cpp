@@ -44,6 +44,33 @@ void Kernel::copy_job(sim::Resource& cpu, sim::SimTime cpu_cost,
 
 void Kernel::app_write(std::uint64_t payload_bytes, int nsegs,
                        std::uint32_t seg_block_bytes, Done done) {
+  if (host_faults_active()) {
+    // A descheduled writer cannot enter the kernel until it runs again.
+    const sim::SimTime resume = host_faults_->sched_resume_at(sim_.now());
+    if (resume > sim_.now()) {
+      host_faults_->count_sched_defer();
+      sim_.schedule(resume - sim_.now(),
+                    [this, payload_bytes, nsegs, seg_block_bytes,
+                     done = std::move(done)]() mutable {
+                      app_write(payload_bytes, nsegs, seg_block_bytes,
+                                std::move(done));
+                    });
+      return;
+    }
+    // kmalloc under pressure: -ENOBUFS, the blocked writer backs off and
+    // retries. Nothing is lost; the transfer just slows down.
+    const std::uint32_t block =
+        config_.header_splitting ? 256u : seg_block_bytes;
+    if (host_faults_->alloc_fails(block, /*rx=*/false)) {
+      sim_.schedule(host_faults_->plan().alloc_retry_backoff,
+                    [this, payload_bytes, nsegs, seg_block_bytes,
+                     done = std::move(done)]() mutable {
+                      app_write(payload_bytes, nsegs, seg_block_bytes,
+                                std::move(done));
+                    });
+      return;
+    }
+  }
   const double f = mode_factor();
   const auto nseg_t = static_cast<sim::SimTime>(std::max(nsegs, 1));
   if (config_.header_splitting) {
@@ -134,6 +161,20 @@ void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
   auto cb = std::make_shared<Deliver>(std::move(deliver));
   for (std::size_t i = 0; i < shared->size(); ++i) {
     const net::Packet& pkt = (*shared)[i];
+    // Host-path fault: no replacement skb for the ring slot — the driver
+    // drops the frame and TCP retransmission recovers it. The failed
+    // allocation attempt still burns IRQ-CPU time.
+    if (host_faults_active() && pkt.payload_bytes > 0) {
+      const std::uint32_t block =
+          config_.header_splitting
+              ? 256u
+              : kmalloc_block(pkt.frame_bytes + kSkbDataPad);
+      if (host_faults_->alloc_fails(block, /*rx=*/true)) {
+        irq_cpu().submit(static_cast<sim::SimTime>(
+            static_cast<double>(costs_.alloc_cost(block)) * mode_factor()));
+        continue;
+      }
+    }
     const sim::SimTime cost = per_packet_rx_cost(pkt, csum_offloaded);
     // Power-of-2 allocation slack becomes real memory-bus traffic
     // (allocator stress, write-allocate on oversized blocks): this is why
@@ -159,6 +200,20 @@ void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
 }
 
 void Kernel::app_read(std::uint64_t payload_bytes, Done done) {
+  if (host_faults_active()) {
+    // A descheduled reader stops draining the socket: the receive buffer
+    // fills, the advertised window closes, and the peer's persist probes
+    // take over until the process runs again.
+    const sim::SimTime resume = host_faults_->sched_resume_at(sim_.now());
+    if (resume > sim_.now()) {
+      host_faults_->count_sched_defer();
+      sim_.schedule(resume - sim_.now(),
+                    [this, payload_bytes, done = std::move(done)]() mutable {
+                      app_read(payload_bytes, std::move(done));
+                    });
+      return;
+    }
+  }
   const double f = mode_factor();
   const auto fixed =
       static_cast<sim::SimTime>(static_cast<double>(costs_.syscall) * f);

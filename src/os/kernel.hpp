@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/host_fault.hpp"
 #include "hw/system.hpp"
 #include "net/packet.hpp"
 #include "os/config.hpp"
@@ -76,6 +77,13 @@ class Kernel {
   /// Frames dropped because the software checksum caught corruption.
   std::uint64_t csum_drops() const { return csum_drops_; }
 
+  /// Arms (or clears) the host-path fault injector shared with the host's
+  /// adapters. The kernel consults it for skb-allocation failures and
+  /// scheduler pauses; null or inactive means zero behavioral change.
+  void set_host_faults(fault::HostFaultInjector* injector) {
+    host_faults_ = injector;
+  }
+
   const KernelCosts& costs() const { return costs_; }
   const KernelConfig& config() const { return config_; }
   const hw::SystemSpec& system() const { return spec_; }
@@ -89,6 +97,9 @@ class Kernel {
   double mode_factor() const { return costs_.mode_factor(config_.mode); }
   sim::SimTime per_packet_rx_cost(const net::Packet& pkt,
                                   bool csum_offloaded) const;
+  bool host_faults_active() const {
+    return host_faults_ != nullptr && host_faults_->active();
+  }
 
   sim::Simulator& sim_;
   hw::SystemSpec spec_;
@@ -97,6 +108,7 @@ class Kernel {
   sim::Resource membus_;
   std::vector<std::unique_ptr<sim::Resource>> cpus_;
   std::uint64_t csum_drops_ = 0;
+  fault::HostFaultInjector* host_faults_ = nullptr;
 };
 
 }  // namespace xgbe::os

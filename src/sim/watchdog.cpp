@@ -58,6 +58,10 @@ void Watchdog::tick() {
 
 void Watchdog::trip(std::string why) {
   tripped_ = true;
+  for (const Context& ctx : contexts_) {
+    const std::string snapshot = ctx.fn();
+    if (!snapshot.empty()) why += "; " + ctx.name + ": " + snapshot;
+  }
   diagnosis_ = std::move(why);
   if (on_trip) on_trip(diagnosis_);
   if (options_.stop_simulation) sim_.stop();

@@ -56,6 +56,13 @@ class Watchdog {
     invariants_.push_back({std::move(name), std::move(fn)});
   }
 
+  /// Registers a diagnostic context provider: its string is appended to the
+  /// diagnosis line when the watchdog trips (e.g. a fault-counter snapshot
+  /// naming the injected causes of the stall). Evaluated only on trip.
+  void add_context(std::string name, std::function<std::string()> fn) {
+    contexts_.push_back({std::move(name), std::move(fn)});
+  }
+
   /// Starts ticking. The pending tick keeps the event queue non-empty, so
   /// disarm() (or destruction) is required before expecting run() to drain.
   void arm();
@@ -82,6 +89,10 @@ class Watchdog {
     std::string name;
     std::function<std::string()> fn;
   };
+  struct Context {
+    std::string name;
+    std::function<std::string()> fn;
+  };
 
   void tick();
   void trip(std::string why);
@@ -90,6 +101,7 @@ class Watchdog {
   Options options_;
   std::vector<Counter> counters_;
   std::vector<Invariant> invariants_;
+  std::vector<Context> contexts_;
   EventId pending_{};
   bool armed_ = false;
   bool tripped_ = false;

@@ -1,0 +1,88 @@
+#include "tools/drop_report.hpp"
+
+namespace xgbe::tools {
+
+namespace {
+
+void add_entry(std::vector<DropReport::Entry>& entries,
+               const std::string& cause, std::uint64_t count) {
+  if (count == 0) return;
+  for (DropReport::Entry& e : entries) {
+    if (e.cause == cause) {
+      e.count += count;
+      return;
+    }
+  }
+  entries.push_back({cause, count});
+}
+
+}  // namespace
+
+void DropReport::add_drop(const std::string& cause, std::uint64_t count) {
+  add_entry(drops, cause, count);
+}
+
+void DropReport::add_tcp_discard(const std::string& cause,
+                                 std::uint64_t count) {
+  add_entry(tcp_discards, cause, count);
+}
+
+std::uint64_t DropReport::total_drops() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : drops) total += e.count;
+  return total;
+}
+
+std::int64_t DropReport::unaccounted() const {
+  return static_cast<std::int64_t>(offered) -
+         static_cast<std::int64_t>(delivered) -
+         static_cast<std::int64_t>(total_drops());
+}
+
+void DropReport::add_host(const core::Host& host) {
+  delivered += host.frames_demuxed();
+  const std::string prefix = host.name() + "/";
+  for (std::size_t i = 0; i < host.adapter_count(); ++i) {
+    const nic::Adapter& ad = host.adapter(i);
+    offered += ad.tx_frames();
+    const fault::FaultCounters& rxf = ad.rx_fault_counters();
+    offered += rxf.duplicates;  // injected at the MAC, never transmitted
+    add_drop(prefix + "adapter-rx-fault", rxf.total_drops());
+    add_drop(prefix + "rx-ring-full", ad.rx_dropped_ring());
+  }
+  add_drop(prefix + "alloc-fail-rx", host.host_fault_counters().alloc_fail_rx);
+  add_drop(prefix + "csum-reject", host.kernel().csum_drops());
+  add_tcp_discard(prefix + "sockbuf-full", host.sockbuf_drops());
+}
+
+void DropReport::add_link(const link::Link& wire) {
+  const fault::FaultCounters f = wire.fault_counters();
+  offered += f.duplicates;
+  add_drop(wire.name() + "/wire-fault", f.total_drops());
+  add_drop(wire.name() + "/queue-overflow", wire.drops_queue());
+}
+
+void DropReport::add_switch(const link::EthernetSwitch& sw) {
+  const fault::FaultCounters& f = sw.fault_counters();
+  offered += f.duplicates;
+  add_drop("switch/fabric-fault", f.total_drops());
+  add_drop("switch/no-route", sw.dropped_no_route());
+  add_drop("switch/port-buffer-full", sw.dropped_queue_full());
+}
+
+std::string DropReport::render() const {
+  std::string out = "drop ledger: offered=" + std::to_string(offered) +
+                    " delivered=" + std::to_string(delivered) +
+                    " drops=" + std::to_string(total_drops()) +
+                    " unaccounted=" + std::to_string(unaccounted()) +
+                    (conserved() ? " (conserved)" : " (LEAK)");
+  for (const Entry& e : drops) {
+    out += "\n  drop " + e.cause + " = " + std::to_string(e.count);
+  }
+  for (const Entry& e : tcp_discards) {
+    out += "\n  tcp-recovered " + e.cause + " = " + std::to_string(e.count);
+  }
+  return out;
+}
+
+}  // namespace xgbe::tools

@@ -1,0 +1,68 @@
+// Per-cause drop ledger: every frame offered to the network must be either
+// delivered or accounted to a named drop cause.
+//
+// The conservation identity is evaluated at the host demux boundary:
+//
+//   offered == delivered + sum(per-cause drops)
+//
+// where `offered` is every frame the hosts' adapters put on the wire plus
+// every frame injected along the path (fault-layer duplicates), and
+// `delivered` is every frame that completed kernel receive processing and
+// reached Host::demux. Discards after that boundary (TCP receive-buffer
+// overflow) are recovered by retransmission and reported separately; they
+// are not identity terms. The identity only holds at quiescence — drain the
+// simulator after the transfer closes before harvesting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/host.hpp"
+#include "link/link.hpp"
+#include "link/switch.hpp"
+
+namespace xgbe::tools {
+
+/// Accumulates offered/delivered counts and named drop causes from the
+/// components of a testbed, then checks and renders the conservation
+/// identity. Harvest every host, link, and switch a frame could traverse;
+/// a missing component shows up as a nonzero `unaccounted()`.
+struct DropReport {
+  struct Entry {
+    std::string cause;
+    std::uint64_t count = 0;
+  };
+
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::vector<Entry> drops;         // pre-delivery losses: identity terms
+  std::vector<Entry> tcp_discards;  // post-delivery, recovered by TCP
+
+  /// Adds `count` to the named cause (merging repeat causes); zero counts
+  /// are dropped so reports only show what actually happened.
+  void add_drop(const std::string& cause, std::uint64_t count);
+  void add_tcp_discard(const std::string& cause, std::uint64_t count);
+
+  std::uint64_t total_drops() const;
+  /// offered - delivered - total_drops: zero iff every frame is accounted.
+  std::int64_t unaccounted() const;
+  bool conserved() const { return unaccounted() == 0; }
+
+  /// Harvests one host: its adapters' transmitted frames into `offered`,
+  /// frames demuxed into `delivered`, and the receive-side drop causes
+  /// (adapter rx faults, ring overflow, failed skb allocations, software
+  /// checksum rejects) plus TCP sockbuf discards.
+  void add_host(const core::Host& host);
+  /// Harvests one link: fault drops and queue tail-drops from both
+  /// directions; injected duplicates count as offered.
+  void add_link(const link::Link& wire);
+  /// Harvests one switch: fabric fault drops, unroutable frames, and port
+  /// buffer tail-drops; injected duplicates count as offered.
+  void add_switch(const link::EthernetSwitch& sw);
+
+  /// One line per fact, identity verdict first.
+  std::string render() const;
+};
+
+}  // namespace xgbe::tools

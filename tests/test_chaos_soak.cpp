@@ -1,23 +1,35 @@
 // Chaos soak: drives NTTCP transfers across LAN and WAN-profile links under
-// >= 20 seeded fault plans (uniform and bursty loss, payload corruption,
-// duplication, reordering, carrier flaps, and combinations), asserting for
-// every plan that
+// >= 20 seeded wire-fault plans (uniform and bursty loss, payload
+// corruption, duplication, reordering, carrier flaps, and combinations) and
+// >= 15 seeded host-fault plans (skb allocation failure, descriptor-ring
+// stalls, missed/storming interrupts, DMA throttling, scheduler pauses, and
+// wire+host combinations), asserting for every plan that
 //   - every byte is delivered exactly once, in order (integrity oracle),
 //   - nothing is silently corrupted while checksums are on,
 //   - the connection always reaches a clean teardown,
+//   - the drop ledger reconciles exactly: every frame offered to the
+//     network is delivered or accounted to a named drop cause,
 //   - a rerun of the same plan reproduces bit-identical statistics,
 // with a watchdog checking endpoint invariants and forward progress at
 // every tick, so a stall or a broken invariant becomes a readable failure
-// instead of a hang.
+// instead of a hang. A fault that can never recover (a permanent ring
+// stall) must trip the watchdog with an autopsy naming the injected cause.
+//
+// Set XGBE_CHAOS_SEED to decorrelate every plan's RNG seed (the value is
+// XOR-folded into each seed); the active seeds are echoed in every failure
+// message so a CI hit is reproducible locally.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "fault/host_fault.hpp"
 #include "fault/oracle.hpp"
 #include "sim/watchdog.hpp"
+#include "tools/drop_report.hpp"
 #include "tools/nttcp.hpp"
 
 namespace xgbe {
@@ -25,11 +37,15 @@ namespace {
 
 struct SoakConfig {
   std::string name;
-  fault::FaultPlan plan;
+  fault::FaultPlan plan;           // wire faults (link-hosted)
+  fault::HostFaultPlan host_rx;    // host faults armed on the receiver
+  fault::HostFaultPlan host_tx;    // host faults armed on the sender
   bool wan = false;        // long-propagation bottleneck profile
   bool host_csum = false;  // software checksums (required for corruption)
   std::uint32_t payload = 8948;
   std::uint32_t count = 600;
+  std::uint32_t rx_ring = 0;  // override adapter ring depth (0 = default)
+  sim::SimTime timeout = sim::sec(600);
 };
 
 struct SoakOutcome {
@@ -37,10 +53,20 @@ struct SoakOutcome {
   bool client_closed = false;
   bool server_closed = false;
   bool tripped = false;
+  bool conserved = false;
   std::string diagnosis;
+  std::string ledger;
   fault::IntegrityReport integrity;
   std::string fingerprint;
 };
+
+/// XGBE_CHAOS_SEED, parsed once per call; returns false when unset.
+bool chaos_seed_override(std::uint64_t& seed) {
+  const char* env = std::getenv("XGBE_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return false;
+  seed = std::strtoull(env, nullptr, 0);
+  return true;
+}
 
 std::string stats_fingerprint(const tcp::EndpointStats& s) {
   char buf[512];
@@ -86,13 +112,55 @@ std::string fault_fingerprint(const fault::FaultCounters& c) {
   return buf;
 }
 
+std::string host_fault_fingerprint(const fault::HostFaultCounters& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "seen=%llu afrx=%llu aftx=%llu rstall=%llu tstall=%llu "
+                "im=%llu ir=%llu storm=%llu dma=%llu sched=%llu",
+                static_cast<unsigned long long>(c.allocs_seen),
+                static_cast<unsigned long long>(c.alloc_fail_rx),
+                static_cast<unsigned long long>(c.alloc_fail_tx),
+                static_cast<unsigned long long>(c.ring_stall_drops),
+                static_cast<unsigned long long>(c.tx_ring_stalls),
+                static_cast<unsigned long long>(c.irq_missed),
+                static_cast<unsigned long long>(c.irq_recovered),
+                static_cast<unsigned long long>(c.irq_storm_interrupts),
+                static_cast<unsigned long long>(c.dma_throttled),
+                static_cast<unsigned long long>(c.sched_defers));
+  return buf;
+}
+
+/// One SCOPED_TRACE line that reproduces the run: plan name, the active
+/// seeds (after any XGBE_CHAOS_SEED fold), and every armed fault knob.
+std::string trace_line(const SoakConfig& cfg) {
+  std::string line = cfg.name + " [wire seed=" +
+                     std::to_string(cfg.plan.seed) + " " +
+                     fault::describe(cfg.plan) + "]";
+  if (cfg.host_rx.active()) {
+    line += " [host-rx " + fault::describe(cfg.host_rx) + "]";
+  }
+  if (cfg.host_tx.active()) {
+    line += " [host-tx " + fault::describe(cfg.host_tx) + "]";
+  }
+  std::uint64_t s = 0;
+  if (chaos_seed_override(s)) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " [XGBE_CHAOS_SEED=0x%llx]",
+                  static_cast<unsigned long long>(s));
+    line += buf;
+  }
+  return line;
+}
+
 SoakOutcome run_soak(const SoakConfig& cfg) {
   core::Testbed tb;
   auto tuning = cfg.wan ? core::TuningProfile::with_big_windows(9000)
                         : core::TuningProfile::lan_tuned(9000);
   if (cfg.host_csum) tuning.csum_offload = false;
-  auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning);
-  auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning);
+  nic::AdapterSpec aspec = nic::intel_pro10gbe();
+  if (cfg.rx_ring != 0) aspec.rx_ring = cfg.rx_ring;
+  auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning, aspec);
+  auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning, aspec);
   link::LinkSpec wire_spec;
   if (cfg.wan) {
     wire_spec.propagation = sim::usec(2500);  // 5 ms RTT bottleneck
@@ -100,6 +168,8 @@ SoakOutcome run_soak(const SoakConfig& cfg) {
   }
   auto& wire = tb.connect(a, b, wire_spec);
   wire.set_fault_plan(cfg.plan);
+  if (cfg.host_tx.active()) a.set_host_fault_plan(cfg.host_tx);
+  if (cfg.host_rx.active()) b.set_host_fault_plan(cfg.host_rx);
 
   auto conn =
       tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
@@ -124,12 +194,30 @@ SoakOutcome run_soak(const SoakConfig& cfg) {
   dog.add_invariant("server", [&]() {
     return conn.server->invariant_violation();
   });
+  // The autopsy line names the injected causes: fault-counter snapshots of
+  // both hosts plus whatever piled up at the receiver's ring.
+  dog.add_context("tx-host-faults", [&]() {
+    return a.host_faults().active()
+               ? fault::describe(a.host_fault_counters())
+               : std::string();
+  });
+  dog.add_context("rx-host-faults", [&]() {
+    return b.host_faults().active()
+               ? fault::describe(b.host_fault_counters())
+               : std::string();
+  });
+  dog.add_context("rx-ring", [&]() {
+    return b.adapter().rx_dropped_ring() > 0
+               ? std::to_string(b.adapter().rx_dropped_ring()) +
+                     " frames dropped at full ring"
+               : std::string();
+  });
   dog.arm();
 
   tools::NttcpOptions opt;
   opt.payload = cfg.payload;
   opt.count = cfg.count;
-  opt.timeout = sim::sec(600);
+  opt.timeout = cfg.timeout;
   const auto result = tools::run_nttcp(tb, conn, a, b, opt);
 
   SoakOutcome out;
@@ -145,6 +233,16 @@ SoakOutcome run_soak(const SoakConfig& cfg) {
     }
   }
   dog.disarm();
+  // Drain in-flight frames (reorder hold-backs, duplicate copies, recovery
+  // polls, trailing ACKs) so the drop ledger sees a quiescent network.
+  tb.run_for(sim::sec(2));
+
+  tools::DropReport ledger;
+  ledger.add_host(a);
+  ledger.add_host(b);
+  ledger.add_link(wire);
+  out.conserved = ledger.conserved();
+  out.ledger = ledger.render();
 
   out.client_closed = conn.client->closed();
   out.server_closed = conn.server->closed();
@@ -157,8 +255,22 @@ SoakOutcome run_soak(const SoakConfig& cfg) {
   out.fingerprint = "client{" + stats_fingerprint(conn.client->stats()) +
                     "} server{" + stats_fingerprint(conn.server->stats()) +
                     "} faults{" + fault_fingerprint(wire.fault_counters()) +
-                    "} csum_drops=" + std::to_string(b.kernel().csum_drops());
+                    "} host_tx{" + host_fault_fingerprint(a.host_fault_counters()) +
+                    "} host_rx{" + host_fault_fingerprint(b.host_fault_counters()) +
+                    "} ring_drops=" + std::to_string(b.adapter().rx_dropped_ring()) +
+                    " csum_drops=" + std::to_string(b.kernel().csum_drops());
   return out;
+}
+
+/// Shared assertion battery: exactly-once in-order delivery, clean
+/// teardown, conserved ledger, no watchdog trip.
+void expect_clean_soak(const SoakOutcome& out) {
+  ASSERT_FALSE(out.tripped) << out.diagnosis;
+  ASSERT_TRUE(out.completed);
+  EXPECT_TRUE(out.integrity.ok) << out.integrity.detail;
+  EXPECT_TRUE(out.client_closed);
+  EXPECT_TRUE(out.server_closed);
+  EXPECT_TRUE(out.conserved) << out.ledger;
 }
 
 fault::GilbertElliott lan_burst() {
@@ -167,6 +279,18 @@ fault::GilbertElliott lan_burst() {
   ge.p_exit_bad = 0.25;
   ge.loss_bad = 1.0;
   return ge;
+}
+
+/// Folds the CI-provided override into every plan seed so one env var
+/// re-randomizes the whole matrix without touching the source.
+void fold_seed_override(std::vector<SoakConfig>& configs) {
+  std::uint64_t s = 0;
+  if (!chaos_seed_override(s)) return;
+  for (SoakConfig& c : configs) {
+    c.plan.seed ^= s;
+    c.host_rx.seed ^= s;
+    c.host_tx.seed ^= s;
+  }
 }
 
 std::vector<SoakConfig> soak_matrix() {
@@ -253,6 +377,125 @@ std::vector<SoakConfig> soak_matrix() {
       /*host_csum=*/true);
   wan("wan-flap-s22",
       FaultPlan{}.with_seed(22).with_flap(sim::msec(80), sim::msec(280)));
+  fold_seed_override(configs);
+  return configs;
+}
+
+/// Host-resource fault matrix: each class alone (several severities and
+/// seeds), the host kitchen sink, and wire+host combinations.
+std::vector<SoakConfig> host_soak_matrix() {
+  using fault::FaultPlan;
+  using fault::HostFaultPlan;
+  std::vector<SoakConfig> configs;
+  auto add = [&](const std::string& name, const HostFaultPlan& rx,
+                 const HostFaultPlan& tx = HostFaultPlan{}) -> SoakConfig& {
+    SoakConfig c;
+    c.name = name;
+    c.host_rx = rx;
+    c.host_tx = tx;
+    configs.push_back(c);
+    return configs.back();
+  };
+
+  // (1) allocation failure: receive-side drops recovered by retransmission,
+  // a budgeted burst of pressure, and transmit-side -ENOBUFS retries.
+  add("host-alloc-rx-1pct-s41",
+      HostFaultPlan{}.with_seed(41).with_alloc_failure(0.01));
+  add("host-alloc-rx-5pct-s42",
+      HostFaultPlan{}.with_seed(42).with_alloc_failure(0.05));
+  add("host-alloc-rx-budget-s43",
+      HostFaultPlan{}.with_seed(43).with_alloc_failure(0.25, /*budget=*/25));
+  add("host-alloc-rx-bigblocks-s44",
+      HostFaultPlan{}.with_seed(44).with_alloc_failure(0.02, -1,
+                                                       /*min_block=*/8192));
+  add("host-alloc-tx-s45", HostFaultPlan{},
+      HostFaultPlan{}.with_seed(45).with_alloc_failure(0.02));
+
+  // (2) descriptor-ring stalls: a shallow ring plus sustained 10GbE traffic
+  // makes the stall window overflow the ring and forces real drops.
+  {
+    auto& c = add("host-rxring-stall-s46",
+                  HostFaultPlan{}.with_seed(46).with_rx_ring_stall(
+                      sim::msec(4), sim::msec(9)));
+    c.rx_ring = 128;
+    c.count = 3000;
+  }
+  {
+    auto& c = add("host-rxring-double-stall-s47",
+                  HostFaultPlan{}
+                      .with_seed(47)
+                      .with_rx_ring_stall(sim::msec(3), sim::msec(6))
+                      .with_rx_ring_stall(sim::msec(12), sim::msec(15)));
+    c.rx_ring = 128;
+    c.count = 3000;
+  }
+  add("host-txring-stall-s48", HostFaultPlan{},
+      HostFaultPlan{}.with_seed(48).with_tx_ring_stall(sim::msec(2),
+                                                       sim::msec(5)));
+
+  // (3) interrupt faults: missed interrupts rescued by the recovery poll,
+  // and a coalescing-off storm window.
+  add("host-irqmiss-s49",
+      HostFaultPlan{}.with_seed(49).with_irq_miss(0.05));
+  add("host-irqmiss-heavy-s50",
+      HostFaultPlan{}.with_seed(50).with_irq_miss(0.3, sim::msec(1)));
+  add("host-irqstorm-s51",
+      HostFaultPlan{}.with_seed(51).with_irq_storm(sim::msec(1),
+                                                   sim::msec(4)));
+
+  // (4) DMA throttling: sender-side MMRBC degradation (512-byte bursts) and
+  // receiver-side arbitration freezes.
+  add("host-dma-mmrbc-s52", HostFaultPlan{},
+      HostFaultPlan{}.with_seed(52).with_dma_throttle(0, sim::msec(20),
+                                                      /*mmrbc=*/512));
+  add("host-dma-freeze-s53",
+      HostFaultPlan{}.with_seed(53).with_dma_throttle(
+          sim::msec(1), sim::msec(6), /*mmrbc=*/4096,
+          /*freeze=*/sim::usec(3)));
+
+  // (5) scheduler pauses: the receiver stops draining (sockbuf pressure,
+  // shrinking window) or the sender stops feeding.
+  add("host-sched-pause-rx-s54",
+      HostFaultPlan{}.with_seed(54).with_sched_pause(sim::msec(2),
+                                                     sim::msec(120)));
+  add("host-sched-pause-tx-s55", HostFaultPlan{},
+      HostFaultPlan{}.with_seed(55).with_sched_pause(sim::msec(2),
+                                                     sim::msec(60)));
+
+  // Everything at once on the receiving host.
+  {
+    auto& c = add("host-kitchen-s56",
+                  HostFaultPlan{}
+                      .with_seed(56)
+                      .with_alloc_failure(0.005)
+                      .with_irq_miss(0.02)
+                      .with_rx_ring_stall(sim::msec(5), sim::msec(8))
+                      .with_dma_throttle(sim::msec(10), sim::msec(14),
+                                         /*mmrbc=*/4096,
+                                         /*freeze=*/sim::usec(2)));
+    c.rx_ring = 128;
+    c.count = 3000;
+  }
+
+  // Wire + host combinations: loss on the link while the host is also
+  // starved; the two fault domains must compose without double counting.
+  {
+    SoakConfig c;
+    c.name = "combo-wireloss-hostalloc-s57";
+    c.plan = FaultPlan{}.with_seed(57).with_loss(0.01);
+    c.host_rx = HostFaultPlan{}.with_seed(57).with_alloc_failure(0.01);
+    configs.push_back(c);
+  }
+  {
+    SoakConfig c;
+    c.name = "combo-wireburst-irqmiss-schedtx-s58";
+    c.plan = FaultPlan{}.with_seed(58).with_burst(lan_burst());
+    c.host_rx = HostFaultPlan{}.with_seed(58).with_irq_miss(0.05);
+    c.host_tx = HostFaultPlan{}.with_seed(59).with_sched_pause(
+        sim::msec(2), sim::msec(40));
+    configs.push_back(c);
+  }
+  fold_seed_override(configs);
   return configs;
 }
 
@@ -260,13 +503,9 @@ TEST(ChaosSoak, EveryPlanDeliversExactlyOnceAndReproducesBitIdentically) {
   const auto configs = soak_matrix();
   ASSERT_GE(configs.size(), 21u);  // >= 20 fault plans + the clean control
   for (const auto& cfg : configs) {
-    SCOPED_TRACE(cfg.name + " [" + fault::describe(cfg.plan) + "]");
+    SCOPED_TRACE(trace_line(cfg));
     const SoakOutcome first = run_soak(cfg);
-    ASSERT_FALSE(first.tripped) << first.diagnosis;
-    ASSERT_TRUE(first.completed);
-    EXPECT_TRUE(first.integrity.ok) << first.integrity.detail;
-    EXPECT_TRUE(first.client_closed);
-    EXPECT_TRUE(first.server_closed);
+    expect_clean_soak(first);
 
     const SoakOutcome rerun = run_soak(cfg);
     EXPECT_EQ(first.fingerprint, rerun.fingerprint)
@@ -274,16 +513,70 @@ TEST(ChaosSoak, EveryPlanDeliversExactlyOnceAndReproducesBitIdentically) {
   }
 }
 
+TEST(ChaosSoak, HostFaultPlansDegradeGracefullyAndReproduceBitIdentically) {
+  const auto configs = host_soak_matrix();
+  ASSERT_GE(configs.size(), 15u);  // every class alone + combinations
+  for (const auto& cfg : configs) {
+    SCOPED_TRACE(trace_line(cfg));
+    const SoakOutcome first = run_soak(cfg);
+    expect_clean_soak(first);
+
+    const SoakOutcome rerun = run_soak(cfg);
+    EXPECT_EQ(first.fingerprint, rerun.fingerprint)
+        << "same plan, same traffic, different stats — determinism broke";
+  }
+}
+
+// The no-plan control is the bit-identity gate: arming nothing must leave
+// every statistic byte-for-byte identical to a build that never heard of
+// host faults. (The benches assert the same property against their golden
+// outputs; this keeps the gate inside the test suite too.)
+TEST(ChaosSoak, UnarmedHostFaultsChangeNothing) {
+  SoakConfig clean;
+  clean.name = "control";
+  const SoakOutcome first = run_soak(clean);
+  expect_clean_soak(first);
+  EXPECT_NE(first.fingerprint.find("host_rx{seen=0"), std::string::npos)
+      << "inactive injector consumed RNG draws or counted faults: "
+      << first.fingerprint;
+  const SoakOutcome rerun = run_soak(clean);
+  EXPECT_EQ(first.fingerprint, rerun.fingerprint);
+}
+
+// A fault that can never recover must not hang: the watchdog has to trip
+// with a one-line autopsy that names the injected cause. A receive ring
+// that is never replenished starves the connection completely once the
+// ring's slots are consumed.
+TEST(ChaosSoak, PermanentRxRingStallTripsWatchdogWithAutopsy) {
+  SoakConfig cfg;
+  cfg.name = "host-rxring-permanent-s60";
+  cfg.host_rx = fault::HostFaultPlan{}.with_seed(60).with_rx_ring_stall(
+      sim::msec(5), sim::sec(3600));
+  cfg.rx_ring = 128;
+  cfg.count = 3000;
+  cfg.timeout = sim::sec(60);
+  SCOPED_TRACE(trace_line(cfg));
+  const SoakOutcome out = run_soak(cfg);
+  ASSERT_TRUE(out.tripped)
+      << "permanent ring stall neither tripped the watchdog nor hung";
+  EXPECT_FALSE(out.completed);
+  EXPECT_NE(out.diagnosis.find("no forward progress"), std::string::npos)
+      << out.diagnosis;
+  EXPECT_NE(out.diagnosis.find("ring"), std::string::npos)
+      << "autopsy does not name the injected cause: " << out.diagnosis;
+}
+
 // The same soak discipline through a switch whose fabric misbehaves: the
-// switch-hosted injector must be just as recoverable and countable.
+// switch-hosted injector must be just as recoverable and countable, and the
+// ledger must reconcile across the extra hop.
 TEST(ChaosSoak, SwitchHostedFaultsRecover) {
   core::Testbed tb;
   const auto tuning = core::TuningProfile::lan_tuned(9000);
   auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning);
   auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning);
   auto& sw = tb.add_switch();
-  tb.connect_to_switch(a, sw);
-  tb.connect_to_switch(b, sw);
+  auto& wire_a = tb.connect_to_switch(a, sw);
+  auto& wire_b = tb.connect_to_switch(b, sw);
   fault::FaultPlan plan;
   plan.seed = 31;
   plan.loss_rate = 0.01;
@@ -303,6 +596,15 @@ TEST(ChaosSoak, SwitchHostedFaultsRecover) {
   const auto verdict = fault::verify_stream_integrity(
       conn.client->stats(), conn.server->stats(), 8948ull * 500ull, true);
   EXPECT_TRUE(verdict.ok) << verdict.detail;
+
+  tb.run_for(sim::sec(2));  // quiesce before reconciling
+  tools::DropReport ledger;
+  ledger.add_host(a);
+  ledger.add_host(b);
+  ledger.add_link(wire_a);
+  ledger.add_link(wire_b);
+  ledger.add_switch(sw);
+  EXPECT_TRUE(ledger.conserved()) << ledger.render();
 }
 
 // And through a flaky adapter MAC: the NIC-hosted injector sits in front of
@@ -312,7 +614,7 @@ TEST(ChaosSoak, AdapterHostedFaultsRecover) {
   const auto tuning = core::TuningProfile::lan_tuned(9000);
   auto& a = tb.add_host("tx", hw::presets::pe2650(), tuning);
   auto& b = tb.add_host("rx", hw::presets::pe2650(), tuning);
-  tb.connect(a, b);
+  auto& wire = tb.connect(a, b);
   fault::FaultPlan plan;
   plan.seed = 32;
   plan.loss_rate = 0.01;
@@ -331,6 +633,13 @@ TEST(ChaosSoak, AdapterHostedFaultsRecover) {
   const auto verdict = fault::verify_stream_integrity(
       conn.client->stats(), conn.server->stats(), 8948ull * 500ull, true);
   EXPECT_TRUE(verdict.ok) << verdict.detail;
+
+  tb.run_for(sim::sec(2));
+  tools::DropReport ledger;
+  ledger.add_host(a);
+  ledger.add_host(b);
+  ledger.add_link(wire);
+  EXPECT_TRUE(ledger.conserved()) << ledger.render();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/host_fault.hpp"
 #include "sim/random.hpp"
 
 namespace xgbe {
@@ -87,7 +88,9 @@ TEST(FaultInjector, LossOnlyPlanMatchesRawRngDrawSequence) {
     const bool expect_drop = reference.chance(0.01);
     const auto d = inj.decide(data_frame(), 0);
     ASSERT_EQ(d.drop, expect_drop) << "frame " << i;
-    if (d.drop) EXPECT_EQ(d.cause, fault::DropCause::kUniform);
+    if (d.drop) {
+      EXPECT_EQ(d.cause, fault::DropCause::kUniform);
+    }
   }
   EXPECT_EQ(inj.counters().drops_uniform, inj.counters().total_drops());
 }
@@ -227,6 +230,132 @@ TEST(FaultCounters, AggregationSumsEveryField) {
   EXPECT_EQ(a.duplicates, 4u);
   EXPECT_EQ(a.flaps, 1u);
   EXPECT_EQ(a.total_drops(), 5u);
+}
+
+// --- Host-path fault injector ------------------------------------------------
+
+TEST(HostFaultInjector, InactivePlanNeverDrawsOrCounts) {
+  fault::HostFaultInjector inj;
+  EXPECT_FALSE(inj.active());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.alloc_fails(16384, /*rx=*/true));
+    EXPECT_FALSE(inj.interrupt_missed(sim::usec(i)));
+    EXPECT_FALSE(inj.rx_ring_stalled(sim::usec(i)));
+    EXPECT_FALSE(inj.dma_throttled(sim::usec(i)));
+    EXPECT_EQ(inj.sched_resume_at(sim::usec(i)), 0);
+  }
+  EXPECT_EQ(inj.counters().allocs_seen, 0u);
+}
+
+TEST(HostFaultInjector, AllocBudgetCapsFailures) {
+  fault::HostFaultPlan plan;
+  plan.with_seed(7).with_alloc_failure(1.0, /*budget=*/3);
+  fault::HostFaultInjector inj(plan);
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (inj.alloc_fails(16384, /*rx=*/true)) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(inj.counters().alloc_fail_rx, 3u);
+  EXPECT_EQ(inj.counters().allocs_seen, 50u);
+}
+
+TEST(HostFaultInjector, AllocMinBlockSparesSmallOrders) {
+  fault::HostFaultPlan plan;
+  plan.with_seed(8).with_alloc_failure(1.0, -1, /*min_block=*/8192);
+  fault::HostFaultInjector inj(plan);
+  EXPECT_FALSE(inj.alloc_fails(256, /*rx=*/true));
+  EXPECT_FALSE(inj.alloc_fails(4096, /*rx=*/false));
+  EXPECT_TRUE(inj.alloc_fails(8192, /*rx=*/true));
+  EXPECT_TRUE(inj.alloc_fails(16384, /*rx=*/false));
+  EXPECT_EQ(inj.counters().alloc_fail_rx, 1u);
+  EXPECT_EQ(inj.counters().alloc_fail_tx, 1u);
+}
+
+TEST(HostFaultInjector, WindowsAreHalfOpenAndPure) {
+  fault::HostFaultPlan plan;
+  plan.with_rx_ring_stall(sim::msec(10), sim::msec(20))
+      .with_dma_throttle(sim::msec(30), sim::msec(40))
+      .with_sched_pause(sim::msec(50), sim::msec(60));
+  fault::HostFaultInjector inj(plan);
+  EXPECT_FALSE(inj.rx_ring_stalled(sim::msec(10) - 1));
+  EXPECT_TRUE(inj.rx_ring_stalled(sim::msec(10)));
+  EXPECT_TRUE(inj.rx_ring_stalled(sim::msec(20) - 1));
+  EXPECT_FALSE(inj.rx_ring_stalled(sim::msec(20)));
+  EXPECT_EQ(inj.rx_stall_end(sim::msec(15)), sim::msec(20));
+  EXPECT_EQ(inj.rx_stall_end(sim::msec(25)), 0);
+  EXPECT_TRUE(inj.dma_throttled(sim::msec(35)));
+  EXPECT_FALSE(inj.dma_throttled(sim::msec(45)));
+  EXPECT_EQ(inj.sched_resume_at(sim::msec(55)), sim::msec(60));
+  EXPECT_EQ(inj.sched_resume_at(sim::msec(65)), 0);
+}
+
+TEST(HostFaultInjector, SameSeedSamePlanSameDecisions) {
+  fault::HostFaultPlan plan;
+  plan.with_seed(99).with_alloc_failure(0.3).with_irq_miss(0.2);
+  fault::HostFaultInjector x(plan);
+  fault::HostFaultInjector y(plan);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(x.alloc_fails(16384, i % 2 == 0),
+              y.alloc_fails(16384, i % 2 == 0));
+    EXPECT_EQ(x.interrupt_missed(sim::usec(i)),
+              y.interrupt_missed(sim::usec(i)));
+  }
+  EXPECT_EQ(x.counters().alloc_fail_rx, y.counters().alloc_fail_rx);
+  EXPECT_EQ(x.counters().irq_missed, y.counters().irq_missed);
+}
+
+TEST(HostFaultInjector, SetPlanResetsCountersBudgetAndRng) {
+  fault::HostFaultPlan plan;
+  plan.with_seed(5).with_alloc_failure(1.0, /*budget=*/2);
+  fault::HostFaultInjector inj(plan);
+  while (inj.alloc_fails(16384, true)) {
+  }
+  EXPECT_EQ(inj.counters().alloc_fail_rx, 2u);
+  inj.set_plan(plan);  // re-arm: budget and counters start over
+  EXPECT_EQ(inj.counters().alloc_fail_rx, 0u);
+  EXPECT_TRUE(inj.alloc_fails(16384, true));
+}
+
+TEST(HostFaultCounters, AggregationSumsEveryField) {
+  fault::HostFaultCounters a;
+  a.allocs_seen = 10;
+  a.alloc_fail_rx = 2;
+  a.irq_missed = 1;
+  fault::HostFaultCounters b;
+  b.allocs_seen = 5;
+  b.alloc_fail_tx = 3;
+  b.ring_stall_drops = 4;
+  b.sched_defers = 6;
+  a += b;
+  EXPECT_EQ(a.allocs_seen, 15u);
+  EXPECT_EQ(a.alloc_fail_rx, 2u);
+  EXPECT_EQ(a.alloc_fail_tx, 3u);
+  EXPECT_EQ(a.ring_stall_drops, 4u);
+  EXPECT_EQ(a.irq_missed, 1u);
+  EXPECT_EQ(a.sched_defers, 6u);
+}
+
+TEST(HostFaultDescribe, RendersPlansAndCounters) {
+  fault::HostFaultPlan plan;
+  EXPECT_FALSE(fault::describe(plan).empty());
+  plan.with_alloc_failure(0.01, 10)
+      .with_rx_ring_stall(0, sim::msec(1))
+      .with_irq_miss(0.05)
+      .with_sched_pause(0, sim::msec(1));
+  const std::string text = fault::describe(plan);
+  EXPECT_NE(text.find("alloc-fail"), std::string::npos);
+  EXPECT_NE(text.find("rx-ring"), std::string::npos);
+  EXPECT_NE(text.find("irq-miss"), std::string::npos);
+  EXPECT_NE(text.find("sched"), std::string::npos);
+
+  fault::HostFaultCounters c;
+  EXPECT_EQ(fault::describe(c), "clean");
+  c.alloc_fail_rx = 2;
+  c.irq_missed = 1;
+  const std::string counters = fault::describe(c);
+  EXPECT_NE(counters.find("alloc-fail-rx"), std::string::npos);
+  EXPECT_NE(counters.find("irq missed"), std::string::npos);
 }
 
 TEST(FaultDescribe, RendersPlansAndCounters) {

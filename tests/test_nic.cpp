@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "fault/host_fault.hpp"
 #include "hw/presets.hpp"
 #include "link/link.hpp"
 #include "net/headers.hpp"
@@ -190,6 +191,123 @@ TEST_F(AdapterFixture, TxFifoBackpressureStallsDma) {
   sim_.run();
   EXPECT_EQ(peer.packets.size(), 50u);
   EXPECT_EQ(nic.tx_frames(), 50u);
+}
+
+// --- Host-path faults at the device layer ------------------------------------
+
+TEST_F(AdapterFixture, RxRingStallDropsThenRecovers) {
+  AdapterSpec s = spec_;
+  s.rx_ring = 8;
+  s.intr_delay = sim::usec(5);
+  s.max_coalesce = 4;
+  Adapter nic(sim_, s, sys_.pcix, sys_.memory, 4096, membus_, "eth0");
+  fault::HostFaultPlan plan;
+  plan.with_rx_ring_stall(0, sim::usec(200));
+  fault::HostFaultInjector inj(plan);
+  nic.set_host_faults(&inj);
+  std::size_t delivered = 0;
+  nic.set_rx_handler([&](std::vector<net::Packet> batch) {
+    delivered += batch.size();
+  });
+  // Fill the ring during the stall: consumed slots are not replenished...
+  for (int i = 0; i < 8; ++i) {
+    sim_.schedule(sim::usec(i), [&] { nic.deliver(data_packet(1448)); });
+  }
+  // ...so these arrivals find the ring full and drop.
+  for (int i = 0; i < 6; ++i) {
+    sim_.schedule(sim::usec(20 + i), [&] { nic.deliver(data_packet(1448)); });
+  }
+  // After the window the refill catches up and frames flow again.
+  for (int i = 0; i < 4; ++i) {
+    sim_.schedule(sim::usec(300 + i), [&] { nic.deliver(data_packet(1448)); });
+  }
+  sim_.run();
+  EXPECT_EQ(nic.rx_dropped_ring(), 6u);
+  EXPECT_EQ(inj.counters().ring_stall_drops, 6u);
+  EXPECT_EQ(delivered, 12u);  // everything that reached the ring
+}
+
+TEST_F(AdapterFixture, TxRingStallPausesDmaThenRecovers) {
+  auto nic = make(4096);
+  link::Link wire(sim_, link::LinkSpec{}, "w");
+  SinkDevice peer;
+  nic->connect(&wire, true);
+  wire.attach_b(&peer);
+  fault::HostFaultPlan plan;
+  plan.with_tx_ring_stall(0, sim::usec(100));
+  fault::HostFaultInjector inj(plan);
+  nic->set_host_faults(&inj);
+
+  for (int i = 0; i < 3; ++i) nic->transmit(data_packet(8948));
+  sim_.run_until(sim::usec(50));
+  EXPECT_EQ(peer.packets.size(), 0u);  // DMA paused mid-stall
+  EXPECT_EQ(nic->tx_backlog(), 3u);
+  EXPECT_GT(inj.counters().tx_ring_stalls, 0u);
+  sim_.run();
+  EXPECT_EQ(peer.packets.size(), 3u);  // recovery drains the backlog
+}
+
+TEST_F(AdapterFixture, MissedInterruptRescuedByRecoveryPoll) {
+  auto nic = make(4096, sim::usec(5));
+  fault::HostFaultPlan plan;
+  plan.with_irq_miss(1.0, sim::msec(2));
+  fault::HostFaultInjector inj(plan);
+  nic->set_host_faults(&inj);
+  sim::SimTime irq_at = -1;
+  std::size_t delivered = 0;
+  nic->set_rx_handler([&](std::vector<net::Packet> batch) {
+    irq_at = sim_.now();
+    delivered += batch.size();
+  });
+  nic->deliver(data_packet(1448));
+  sim_.run();
+  EXPECT_EQ(delivered, 1u);  // the frame is late, never lost
+  EXPECT_GE(irq_at, sim::msec(2));
+  EXPECT_GE(inj.counters().irq_missed, 1u);
+  EXPECT_EQ(inj.counters().irq_recovered, 1u);
+}
+
+TEST_F(AdapterFixture, IrqStormForcesPerFrameInterrupts) {
+  auto nic = make(4096, sim::usec(5));  // coalescing normally batches these
+  fault::HostFaultPlan plan;
+  plan.with_irq_storm(0, sim::msec(10));
+  fault::HostFaultInjector inj(plan);
+  nic->set_host_faults(&inj);
+  std::vector<std::size_t> batch_sizes;
+  nic->set_rx_handler([&](std::vector<net::Packet> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  for (int i = 0; i < 3; ++i) {
+    sim_.schedule(sim::usec(i), [&] { nic->deliver(data_packet(1448)); });
+  }
+  sim_.run();
+  EXPECT_EQ(batch_sizes.size(), 3u);
+  EXPECT_EQ(nic->interrupts_raised(), 3u);
+  EXPECT_EQ(inj.counters().irq_storm_interrupts, 3u);
+}
+
+TEST_F(AdapterFixture, DmaThrottleClampsMmrbcAndAddsFreeze) {
+  auto nic = make(4096);
+  link::Link wire(sim_, link::LinkSpec{}, "w");
+  SinkDevice peer;
+  nic->connect(&wire, true);
+  wire.attach_b(&peer);
+  fault::HostFaultPlan plan;
+  plan.with_dma_throttle(0, sim::msec(10), /*mmrbc=*/512,
+                         /*freeze=*/sim::usec(5));
+  fault::HostFaultInjector inj(plan);
+  nic->set_host_faults(&inj);
+
+  const net::Packet p = data_packet(8948);
+  nic->transmit(p);
+  sim_.run();
+  ASSERT_EQ(peer.packets.size(), 1u);
+  // Degraded service: the 512-byte-burst read plus the arbitration freeze.
+  EXPECT_EQ(nic->pci_bus().busy_time(),
+            hw::dma_read_service_time(sys_.pcix, p.frame_bytes, 512) +
+                sim::usec(5));
+  EXPECT_EQ(inj.counters().dma_throttled, 1u);
+  EXPECT_EQ(nic->mmrbc(), 4096u);  // the register itself is untouched
 }
 
 TEST(AdapterSpecs, GbeVsTenGig) {

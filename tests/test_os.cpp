@@ -2,6 +2,7 @@
 // kernel cost model, kernel runtime paths.
 #include <gtest/gtest.h>
 
+#include "fault/host_fault.hpp"
 #include "hw/presets.hpp"
 #include "net/headers.hpp"
 #include "os/costs.hpp"
@@ -186,6 +187,82 @@ TEST_F(KernelFixture, RxInterruptDeliversInOrder) {
   });
   sim_.run();
   EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST_F(KernelFixture, RxAllocFailureDropsFrameWithAccounting) {
+  auto k = make(KernelMode::kUniprocessor);
+  fault::HostFaultPlan plan;
+  plan.with_alloc_failure(1.0, /*budget=*/1);  // exactly one kmalloc NULL
+  fault::HostFaultInjector inj(plan);
+  k.set_host_faults(&inj);
+  std::vector<std::uint64_t> seen;
+  std::vector<net::Packet> batch(3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    batch[i].id = i;
+    batch[i].protocol = net::Protocol::kTcp;
+    batch[i].payload_bytes = 1448;
+    batch[i].frame_bytes = 1518;
+  }
+  k.rx_interrupt(batch, true, [&](const net::Packet& p) {
+    seen.push_back(p.id);
+  });
+  sim_.run();
+  // The first frame hits the failed allocation and is dropped; the rest
+  // flow once the budget is spent. Order is preserved.
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(inj.counters().alloc_fail_rx, 1u);
+}
+
+TEST_F(KernelFixture, TxAllocFailureBacksOffAndRetries) {
+  auto k = make(KernelMode::kUniprocessor);
+  fault::HostFaultPlan plan;
+  plan.with_alloc_failure(1.0, /*budget=*/2);
+  plan.alloc_retry_backoff = sim::usec(50);
+  fault::HostFaultInjector inj(plan);
+  k.set_host_faults(&inj);
+  sim::SimTime done_at = -1;
+  k.app_write(65536, 8, 16384, [&] { done_at = sim_.now(); });
+  sim_.run();
+  // Nothing is lost: the write completes, delayed by two backoff rounds.
+  EXPECT_GE(done_at, sim::usec(100));
+  EXPECT_EQ(inj.counters().alloc_fail_tx, 2u);
+}
+
+TEST_F(KernelFixture, SchedPauseDefersReaderAndWriter) {
+  auto k = make(KernelMode::kUniprocessor);
+  fault::HostFaultPlan plan;
+  plan.with_sched_pause(0, sim::msec(5));
+  fault::HostFaultInjector inj(plan);
+  k.set_host_faults(&inj);
+  sim::SimTime write_done = -1;
+  sim::SimTime read_done = -1;
+  k.app_write(8948, 1, 16384, [&] { write_done = sim_.now(); });
+  k.app_read(8948, [&] { read_done = sim_.now(); });
+  sim_.run();
+  // Both syscalls enter the kernel only after the process runs again.
+  EXPECT_GE(write_done, sim::msec(5));
+  EXPECT_GE(read_done, sim::msec(5));
+  EXPECT_EQ(inj.counters().sched_defers, 2u);
+}
+
+TEST_F(KernelFixture, InactiveHostFaultsLeaveTimingBitIdentical) {
+  auto charge = [&](bool armed) {
+    Kernel k = make(KernelMode::kUniprocessor);
+    fault::HostFaultInjector inj;  // default plan: inactive
+    if (armed) k.set_host_faults(&inj);
+    bool done = false;
+    k.app_write(65536, 8, 16384, [&] { done = true; });
+    net::Packet p;
+    p.protocol = net::Protocol::kTcp;
+    p.payload_bytes = 8948;
+    p.frame_bytes = 9014;
+    k.rx_interrupt({p}, true, [](const net::Packet&) {});
+    sim_.run();
+    EXPECT_TRUE(done);
+    return k.app_cpu().busy_time() + k.irq_cpu().busy_time() +
+           k.membus().busy_time();
+  };
+  EXPECT_EQ(charge(true), charge(false));
 }
 
 TEST_F(KernelFixture, ChecksumOffloadSavesCpu) {

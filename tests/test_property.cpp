@@ -5,6 +5,7 @@
 #include "core/testbed.hpp"
 #include "hw/pcix.hpp"
 #include "hw/presets.hpp"
+#include "net/headers.hpp"
 #include "os/kmalloc.hpp"
 #include "tools/nttcp.hpp"
 
@@ -39,6 +40,61 @@ INSTANTIATE_TEST_SUITE_P(Sizes, KmallocSweep,
                                            2048u, 2049u, 4095u, 4096u, 7502u,
                                            8174u, 8192u, 8193u, 9014u, 16018u,
                                            131072u, 200000u));
+
+TEST(KmallocProperties, TruesizeIsMonotonicInFrameSize) {
+  // A bigger frame can never be charged less against the socket: truesize
+  // (and the underlying data block) is non-decreasing across the whole
+  // range the adapters can produce.
+  std::uint32_t prev_truesize = 0;
+  std::uint32_t prev_block = 0;
+  for (std::uint32_t frame = 1; frame <= 17000; ++frame) {
+    const std::uint32_t block = os::rx_data_block(frame);
+    const std::uint32_t truesize = os::skb_truesize(frame);
+    EXPECT_GE(block, prev_block) << "frame=" << frame;
+    EXPECT_GE(truesize, prev_truesize) << "frame=" << frame;
+    EXPECT_EQ(truesize, block + os::kSkbStructBytes) << "frame=" << frame;
+    prev_block = block;
+    prev_truesize = truesize;
+  }
+}
+
+TEST(KmallocProperties, BlockRoundingAtTheMtuBoundaries) {
+  // The three MTUs the paper sweeps (§3.3, Fig 5), as full Ethernet frames
+  // with the driver's 16-byte skb pad:
+  //   8160 -> 8174-byte frame -> 8190 bytes needed -> 8 KB block, 2 spare,
+  //   9000 -> 9014-byte frame -> spills into the 16 KB block (~7 KB slack),
+  //  16000 -> 16014-byte frame -> fills the 16 KB block snugly again.
+  const std::uint32_t frame8160 = 8160 + net::kEthHeaderBytes;
+  const std::uint32_t frame9000 = 9000 + net::kEthHeaderBytes;
+  const std::uint32_t frame16000 = 16000 + net::kEthHeaderBytes;
+  EXPECT_EQ(os::rx_data_block(frame8160), 8192u);
+  EXPECT_EQ(os::rx_data_block(frame9000), 16384u);
+  EXPECT_EQ(os::rx_data_block(frame16000), 16384u);
+  // The exact cliff: frame + pad crosses 8192 at a 8176-byte frame.
+  EXPECT_EQ(os::rx_data_block(8192u - os::kSkbDataPad), 8192u);
+  EXPECT_EQ(os::rx_data_block(8192u - os::kSkbDataPad + 1), 16384u);
+  // The waste the paper quantifies: "roughly 7000 bytes" for 9000-MTU,
+  // nearly none for 8160 or 16000.
+  EXPECT_LT(os::rx_alloc_waste(frame8160), 16u);
+  EXPECT_GT(os::rx_alloc_waste(frame9000), 7000u);
+  EXPECT_LT(os::rx_alloc_waste(frame9000), 7500u);
+  EXPECT_LT(os::rx_alloc_waste(frame16000), 512u);
+}
+
+TEST(KmallocProperties, AllocWasteIsConsistentWithTheBlock) {
+  // waste == block - (frame + pad), and the block is minimal: using half
+  // the block would not have fit the frame.
+  for (std::uint32_t frame = 60; frame <= 16014; frame += 7) {
+    const std::uint32_t need = frame + os::kSkbDataPad;
+    const std::uint32_t block = os::rx_data_block(frame);
+    const std::uint32_t waste = os::rx_alloc_waste(frame);
+    ASSERT_EQ(waste + need, block) << "frame=" << frame;
+    EXPECT_LT(waste, block) << "frame=" << frame;
+    if (block > os::kKmallocMinBlock) {
+      EXPECT_LT(block / 2, need) << "frame=" << frame;
+    }
+  }
+}
 
 // --- AIMD model invariants ---------------------------------------------------
 
