@@ -139,6 +139,9 @@ void Ablation_MmrbcSweep(benchmark::State& state) {
   }
   const auto& r = result_for(Family::kMmrbc, state.range(0));
   state.counters["Gb/s"] = r.thr.throughput_gbps();
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Ablation_MmrbcSweep",
+                                     {{"mmrbc", state.range(0)}}));
 }
 
 void Ablation_CoalescingSweep(benchmark::State& state) {
@@ -149,6 +152,9 @@ void Ablation_CoalescingSweep(benchmark::State& state) {
   state.counters["Gb/s"] = r.thr.throughput_gbps();
   state.counters["latency_us"] = r.lat.latency_us;
   state.counters["cpu_rx"] = r.thr.receiver_load;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Ablation_CoalescingSweep",
+                                     {{"rx_usecs", state.range(0)}}));
 }
 
 void Ablation_NapiVsOldApi(benchmark::State& state) {
@@ -158,6 +164,9 @@ void Ablation_NapiVsOldApi(benchmark::State& state) {
   const auto& r = result_for(Family::kNapi, state.range(0));
   state.counters["Gb/s"] = r.thr.throughput_gbps();
   state.counters["cpu_rx"] = r.thr.receiver_load;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Ablation_NapiVsOldApi",
+                                     {{"napi", state.range(0)}}));
 }
 
 void Ablation_ChecksumOffload(benchmark::State& state) {
@@ -167,6 +176,9 @@ void Ablation_ChecksumOffload(benchmark::State& state) {
   const auto& r = result_for(Family::kCsum, state.range(0));
   state.counters["Gb/s"] = r.thr.throughput_gbps();
   state.counters["cpu_rx"] = r.thr.receiver_load;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Ablation_ChecksumOffload",
+                                     {{"offload", state.range(0)}}));
 }
 
 void Ablation_Tso(benchmark::State& state) {
@@ -176,6 +188,9 @@ void Ablation_Tso(benchmark::State& state) {
   const auto& r = result_for(Family::kTso, state.range(0));
   state.counters["Gb/s"] = r.thr.throughput_gbps();
   state.counters["cpu_tx"] = r.thr.sender_load;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Ablation_Tso",
+                                     {{"tso", state.range(0)}}));
 }
 
 void Ablation_SwsRounding(benchmark::State& state) {
@@ -184,6 +199,9 @@ void Ablation_SwsRounding(benchmark::State& state) {
   }
   const auto& r = result_for(Family::kSws, state.range(0));
   state.counters["Gb/s"] = r.thr.throughput_gbps();
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Ablation_SwsRounding",
+                                     {{"round", state.range(0)}}));
 }
 
 void Ablation_Timestamps(benchmark::State& state) {
@@ -192,6 +210,9 @@ void Ablation_Timestamps(benchmark::State& state) {
   }
   const auto& r = result_for(Family::kTimestamps, state.range(0));
   state.counters["Gb/s"] = r.thr.throughput_gbps();
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Ablation_Timestamps",
+                                     {{"timestamps", state.range(0)}}));
 }
 
 }  // namespace
@@ -249,4 +270,4 @@ BENCHMARK(Ablation_Timestamps)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

@@ -7,14 +7,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <functional>
+#include <initializer_list>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/testbed.hpp"
 #include "fault/fault.hpp"
 #include "link/wan.hpp"
+#include "obs/registry.hpp"
 #include "tools/iperf.hpp"
 #include "tools/netpipe.hpp"
 #include "tools/nttcp.hpp"
@@ -22,6 +30,136 @@
 #include "tools/stream.hpp"
 
 namespace xgbe::bench {
+
+/// Machine-readable bench results (`--json out.json`): every reported
+/// benchmark row plus full metrics-registry snapshots of the testbeds the
+/// helpers below built. The rendering is deterministic — no wall-clock
+/// timestamps, doubles via shortest-round-trip formatting, snapshots sorted
+/// by (label, content) so parallel_sweep's thread scheduling cannot reorder
+/// the file. Disabled (the default) it records nothing.
+class ResultLog {
+ public:
+  static ResultLog& instance() {
+    static ResultLog log;
+    return log;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Strips `--json <path>` / `--json=<path>` from argv before
+  /// benchmark::Initialize sees (and rejects) it. Returns the new argc.
+  int consume_json_flag(int argc, char** argv) {
+    if (argc > 0) {
+      const char* slash = std::strrchr(argv[0], '/');
+      binary_ = slash != nullptr ? slash + 1 : argv[0];
+    }
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    return out;
+  }
+
+  void add_point(const std::string& name,
+                 const benchmark::UserCounters& counters) {
+    if (!enabled()) return;
+    Point p;
+    p.name = name;
+    for (const auto& [key, counter] : counters) {  // std::map: sorted keys
+      p.counters.emplace_back(key, counter.value);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    points_.push_back(std::move(p));
+  }
+
+  void add_snapshot(const std::string& label, const obs::Snapshot& snap) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshots_.emplace_back(label, snap.to_json());
+  }
+
+  /// Renders and writes the log; false on I/O failure. No-op when disabled.
+  bool write() {
+    if (!enabled()) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::sort(snapshots_.begin(), snapshots_.end());
+    std::string out = "{\"schema\":\"xgbe-bench/1\",\"binary\":\"" +
+                      obs::json_escape(binary_) + "\",\"points\":[";
+    bool first = true;
+    for (const Point& p : points_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"" + obs::json_escape(p.name) + "\",\"counters\":{";
+      bool fc = true;
+      for (const auto& [key, value] : p.counters) {
+        if (!fc) out += ',';
+        fc = false;
+        out += "\"" + obs::json_escape(key) +
+               "\":" + obs::format_double(value);
+      }
+      out += "}}";
+    }
+    out += "],\"snapshots\":[";
+    first = true;
+    for (const auto& [label, json] : snapshots_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"label\":\"" + obs::json_escape(label) +
+             "\",\"snapshot\":" + json + "}";
+    }
+    out += "]}\n";
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  struct Point {
+    std::string name;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  // parallel_sweep workers call add_snapshot concurrently.
+  std::mutex mu_;
+  std::string path_;
+  std::string binary_;
+  std::vector<Point> points_;
+  std::vector<std::pair<std::string, std::string>> snapshots_;
+};
+
+/// Builds a stable point name, e.g. point_name("Fig3", {{"mtu", 1500},
+/// {"payload", 128}}) -> "Fig3/mtu:1500/payload:128".
+inline std::string point_name(
+    const char* base,
+    std::initializer_list<std::pair<const char*, std::int64_t>> args = {}) {
+  std::string name = base;
+  for (const auto& [key, value] : args) {
+    name += "/";
+    name += key;
+    name += ":" + std::to_string(value);
+  }
+  return name;
+}
+
+/// Records the state's counters under `name` (no-op unless --json is live).
+inline void log_point(benchmark::State& state, const std::string& name) {
+  ResultLog::instance().add_point(name, state.counters);
+}
+
+/// Snapshots every metric the testbed exposes (no-op unless --json is live).
+inline void maybe_snapshot(const std::string& label, core::Testbed& tb) {
+  if (!ResultLog::instance().enabled()) return;
+  obs::Registry reg;
+  tb.register_metrics(reg);
+  ResultLog::instance().add_snapshot(label, reg.snapshot());
+}
 
 /// The payload sweep used by the Fig 3-5 curves (NTTCP "packet sizes").
 inline std::vector<std::int64_t> payload_sweep() {
@@ -47,7 +185,9 @@ inline tools::NttcpResult nttcp_pair(const hw::SystemSpec& sys,
   tools::NttcpOptions opt;
   opt.payload = payload;
   opt.count = count;
-  return tools::run_nttcp(tb, conn, a, b, opt);
+  auto result = tools::run_nttcp(tb, conn, a, b, opt);
+  maybe_snapshot(point_name("nttcp", {{"payload", payload}}), tb);
+  return result;
 }
 
 /// NetPipe latency, back-to-back or through the FastIron switch (Fig 2b).
@@ -70,36 +210,58 @@ inline tools::NetpipeResult netpipe_pair(const hw::SystemSpec& sys,
   tools::NetpipeOptions opt;
   opt.payload = payload;
   opt.iterations = 60;
-  return tools::run_netpipe(tb, conn, opt);
+  auto result = tools::run_netpipe(tb, conn, opt);
+  maybe_snapshot(point_name("netpipe", {{"payload", payload},
+                                        {"switch", through_switch ? 1 : 0}}),
+                 tb);
+  return result;
 }
 
 /// Aggregate iperf-style throughput of several flows for a fixed window.
-/// The connections must already exist in `tb`.
+/// The connections must already exist in `tb`. Returns 0.0 — never a
+/// division by zero — when the clock fails to advance (empty event queue:
+/// every flow wedged before the window opened) or no bytes moved; when
+/// `progressed` is non-null it reports whether the window saw any progress,
+/// so callers can distinguish "0 Gb/s measured" from "nothing ran".
 inline double drive_flows_gbps(core::Testbed& tb,
                                std::vector<core::Testbed::Connection>& conns,
                                sim::SimTime warmup = sim::msec(30),
-                               sim::SimTime window = sim::msec(150)) {
+                               sim::SimTime window = sim::msec(150),
+                               bool* progressed = nullptr) {
+  if (progressed != nullptr) *progressed = false;
   for (auto& conn : conns) {
     if (!tb.run_until_established(conn)) return 0.0;
   }
   auto consumed = std::make_shared<std::uint64_t>(0);
+  // The continuations capture the writer weakly: a strong self-capture
+  // would make each std::function own itself and leak. `writers` keeps
+  // them alive through the measurement; once it goes out of scope any
+  // still-queued completion locks a dead weak_ptr and the flow stops.
+  std::vector<std::shared_ptr<std::function<void()>>> writers;
+  writers.reserve(conns.size());
   for (auto& conn : conns) {
     conn.server->on_consumed = [consumed](std::uint64_t b) { *consumed += b; };
     auto writer = std::make_shared<std::function<void()>>();
     auto* client = conn.client;
-    *writer = [writer, client]() {
-      client->app_send(65536, [writer]() { (*writer)(); });
+    std::weak_ptr<std::function<void()>> weak = writer;
+    *writer = [weak, client]() {
+      client->app_send(65536, [weak]() {
+        if (auto w = weak.lock()) (*w)();
+      });
     };
     (*writer)();
+    writers.push_back(std::move(writer));
   }
   tb.run_for(warmup);
   const std::uint64_t base = *consumed;
   const sim::SimTime t0 = tb.now();
   tb.run_for(window);
-  const double gbps = static_cast<double>(*consumed - base) * 8.0 /
-                      sim::to_seconds(tb.now() - t0) / 1e9;
   for (auto& conn : conns) conn.server->on_consumed = nullptr;
-  return gbps;
+  const sim::SimTime elapsed = tb.now() - t0;
+  const std::uint64_t moved = *consumed - base;
+  if (elapsed <= 0 || moved == 0) return 0.0;
+  if (progressed != nullptr) *progressed = true;
+  return static_cast<double>(moved) * 8.0 / sim::to_seconds(elapsed) / 1e9;
 }
 
 /// N GbE clients fanned through the FastIron into (or out of) a 10GbE head
@@ -124,7 +286,12 @@ inline double multiflow_gbps(const hw::SystemSpec& head_sys, int nclients,
     conns.push_back(to_head ? tb.open_connection(c, head, cc, hc)
                             : tb.open_connection(head, c, hc, cc));
   }
-  return drive_flows_gbps(tb, conns);
+  const double gbps = drive_flows_gbps(tb, conns);
+  maybe_snapshot(point_name("multiflow", {{"clients", nclients},
+                                          {"to_head", to_head ? 1 : 0},
+                                          {"mtu", mtu}}),
+                 tb);
+  return gbps;
 }
 
 /// The Fig 9 WAN testbed: Sunnyvale host -> OC-192 -> Chicago -> OC-48 ->
@@ -206,7 +373,30 @@ inline WanRun wan_run(std::uint32_t buffer_bytes,
     run.circuit_drops += c->drops_queue();
     run.faults += c->fault_counters();
   }
+  maybe_snapshot(
+      point_name("wan", {{"buffer", static_cast<std::int64_t>(buffer_bytes)},
+                         {"streams", streams}}),
+      tb);
   return run;
 }
 
 }  // namespace xgbe::bench
+
+/// Replacement for BENCHMARK_MAIN() that understands `--json out.json`
+/// (written via bench::ResultLog). The flag is stripped before
+/// benchmark::Initialize, which rejects unknown arguments.
+#define XGBE_BENCH_MAIN()                                                   \
+  int main(int argc, char** argv) {                                         \
+    argc = ::xgbe::bench::ResultLog::instance().consume_json_flag(argc,     \
+                                                                  argv);    \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    if (!::xgbe::bench::ResultLog::instance().write()) {                    \
+      std::fprintf(stderr, "failed to write --json result log\n");          \
+      return 1;                                                             \
+    }                                                                       \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "")

@@ -59,6 +59,9 @@ void Fig3_StockTcp(benchmark::State& state) {
   state.counters["Gb/s"] = r.throughput_gbps();
   state.counters["cpu_tx"] = r.sender_load;
   state.counters["cpu_rx"] = r.receiver_load;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Fig3_StockTcp",
+                                     {{"mtu", mtu}, {"payload", payload}}));
 }
 
 }  // namespace
@@ -69,4 +72,4 @@ BENCHMARK(Fig3_StockTcp)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

@@ -76,6 +76,11 @@ void Fig4_Ladder(benchmark::State& state) {
   state.counters["Gb/s"] = r.throughput_gbps();
   state.counters["cpu_tx"] = r.sender_load;
   state.counters["cpu_rx"] = r.receiver_load;
+  xgbe::bench::log_point(
+      state,
+      xgbe::bench::point_name(
+          "Fig4_Ladder",
+          {{"rung", rung_index}, {"mtu", mtu}, {"payload", payload}}));
 }
 
 }  // namespace
@@ -87,4 +92,4 @@ BENCHMARK(Fig4_Ladder)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

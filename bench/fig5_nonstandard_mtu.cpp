@@ -59,6 +59,9 @@ void Fig5_NonStandardMtu(benchmark::State& state) {
   state.counters["Gb/s"] = r.throughput_gbps();
   state.counters["cpu_tx"] = r.sender_load;
   state.counters["cpu_rx"] = r.receiver_load;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Fig5_NonStandardMtu",
+                                     {{"mtu", mtu}, {"payload", payload}}));
 }
 
 // The horizontal reference lines of Fig 5 (hardware limits).
@@ -68,6 +71,8 @@ void Fig5_ReferenceLines(benchmark::State& state) {
   state.counters["GbE_theoretical"] = 1.0;
   state.counters["Myrinet_theoretical"] = 2.0;
   state.counters["QsNet_theoretical"] = 3.2;
+  xgbe::bench::log_point(state,
+                         xgbe::bench::point_name("Fig5_ReferenceLines"));
 }
 
 }  // namespace
@@ -80,4 +85,4 @@ BENCHMARK(Fig5_NonStandardMtu)
 
 BENCHMARK(Fig5_ReferenceLines)->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

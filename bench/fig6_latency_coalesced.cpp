@@ -19,6 +19,11 @@ void Fig6_LatencyCoalesced(benchmark::State& state) {
   }
   state.counters["latency_us"] = r.latency_us;
   state.counters["rtt_us"] = r.rtt_us;
+  xgbe::bench::log_point(
+      state,
+      xgbe::bench::point_name("Fig6_LatencyCoalesced",
+                              {{"switch", through_switch ? 1 : 0},
+                               {"payload", payload}}));
 }
 
 }  // namespace
@@ -30,4 +35,4 @@ BENCHMARK(Fig6_LatencyCoalesced)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

@@ -18,6 +18,11 @@ void Fig7_LatencyUncoalesced(benchmark::State& state) {
   }
   state.counters["latency_us"] = r.latency_us;
   state.counters["rtt_us"] = r.rtt_us;
+  xgbe::bench::log_point(
+      state,
+      xgbe::bench::point_name("Fig7_LatencyUncoalesced",
+                              {{"switch", through_switch ? 1 : 0},
+                               {"payload", payload}}));
 }
 
 }  // namespace
@@ -29,4 +34,4 @@ BENCHMARK(Fig7_LatencyUncoalesced)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

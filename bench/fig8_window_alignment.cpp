@@ -25,6 +25,11 @@ void Fig8_WindowAlignment(benchmark::State& state) {
   state.counters["receiver_B"] = w.receiver_window;
   state.counters["sender_B"] = w.sender_window;
   state.counters["efficiency"] = w.end_to_end_efficiency;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Fig8_WindowAlignment",
+                                     {{"ideal", ideal},
+                                      {"rcv_mss", rcv_mss},
+                                      {"snd_mss", snd_mss}}));
 }
 
 // Live cross-check: the advertised window of a real connection with default
@@ -50,6 +55,8 @@ void Fig8_LiveAdvertisedWindow(benchmark::State& state) {
   state.counters["advertised_B"] = advertised;
   state.counters["mss_estimate"] = mss;
   state.counters["mss_aligned"] = (mss != 0 && advertised % mss == 0) ? 1 : 0;
+  xgbe::bench::log_point(
+      state, xgbe::bench::point_name("Fig8_LiveAdvertisedWindow"));
 }
 
 }  // namespace
@@ -68,4 +75,4 @@ BENCHMARK(Fig8_LiveAdvertisedWindow)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

@@ -28,6 +28,8 @@ void Wan_LandSpeedRecord(benchmark::State& state) {
   state.counters["efficiency"] = gbps / 2.40;
   // Hours to move one terabyte at the achieved rate.
   state.counters["TB_hours"] = gbps > 0 ? 8e12 / (gbps * 1e9) / 3600.0 : 0.0;
+  xgbe::bench::log_point(state,
+                         xgbe::bench::point_name("Wan_LandSpeedRecord"));
 }
 
 // The multi-stream record variant: two parallel streams sharing the OC-48
@@ -40,6 +42,8 @@ void Wan_MultiStream(benchmark::State& state) {
   }
   state.counters["Gb/s"] = run.result.throughput_gbps();
   state.counters["retransmits"] = static_cast<double>(run.retransmits);
+  xgbe::bench::log_point(state,
+                         xgbe::bench::point_name("Wan_MultiStream"));
 }
 
 // A lossy transatlantic variant: Gilbert–Elliott bursty loss on the OC-48
@@ -62,6 +66,8 @@ void Wan_LossyGeneva(benchmark::State& state) {
   state.counters["Gb/s"] = run.result.throughput_gbps();
   state.counters["retransmits"] = static_cast<double>(run.retransmits);
   state.counters["burst_drops"] = static_cast<double>(run.faults.drops_burst);
+  xgbe::bench::log_point(state,
+                         xgbe::bench::point_name("Wan_LossyGeneva"));
 }
 
 void Wan_OversizedBuffersCounterfactual(benchmark::State& state) {
@@ -72,6 +78,8 @@ void Wan_OversizedBuffersCounterfactual(benchmark::State& state) {
   state.counters["Gb/s"] = run.result.throughput_gbps();
   state.counters["retransmits"] = static_cast<double>(run.retransmits);
   state.counters["congestion_drops"] = static_cast<double>(run.circuit_drops);
+  xgbe::bench::log_point(state,
+                         xgbe::bench::point_name("Wan_OversizedBuffersCounterfactual"));
 }
 
 void Wan_UndersizedBuffers(benchmark::State& state) {
@@ -82,6 +90,8 @@ void Wan_UndersizedBuffers(benchmark::State& state) {
   // Window-limited well below the circuit: ~12 MB window / 176 ms.
   state.counters["Gb/s"] = run.result.throughput_gbps();
   state.counters["retransmits"] = static_cast<double>(run.retransmits);
+  xgbe::bench::log_point(state,
+                         xgbe::bench::point_name("Wan_UndersizedBuffers"));
 }
 
 }  // namespace
@@ -94,4 +104,4 @@ BENCHMARK(Wan_OversizedBuffersCounterfactual)
     ->Iterations(1);
 BENCHMARK(Wan_UndersizedBuffers)->Unit(benchmark::kMillisecond)->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

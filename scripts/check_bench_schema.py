@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a bench --json result log against the xgbe-bench/1 contract.
+
+Stdlib-only (no jsonschema dependency): this script hand-implements the
+checks that bench/results.schema.json documents, so CI can run it on a
+bare python3. Exits non-zero with one line per violation.
+
+Usage: check_bench_schema.py result.json [result2.json ...]
+"""
+
+import json
+import sys
+
+NUMERIC_SENTINELS = {"nan", "inf", "-inf"}
+METRIC_KINDS = {"counter", "gauge", "distribution"}
+
+
+def _err(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def _check_number(errors, path, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        if not (isinstance(value, str) and value in NUMERIC_SENTINELS):
+            _err(errors, path, f"expected number or nan/inf sentinel, got {value!r}")
+
+
+def _check_metric(errors, path, metric):
+    if not isinstance(metric, dict):
+        _err(errors, path, "metric must be an object")
+        return
+    mpath = metric.get("path")
+    if not isinstance(mpath, str) or not mpath:
+        _err(errors, path, "missing non-empty 'path'")
+    kind = metric.get("kind")
+    if kind not in METRIC_KINDS:
+        _err(errors, path, f"bad kind {kind!r}")
+        return
+    if kind == "counter":
+        if not isinstance(metric.get("value"), int) or isinstance(metric.get("value"), bool):
+            _err(errors, path, "counter 'value' must be an integer")
+    elif kind == "gauge":
+        _check_number(errors, path + ".value", metric.get("value"))
+    else:  # distribution
+        if not isinstance(metric.get("count"), int):
+            _err(errors, path, "distribution 'count' must be an integer")
+        for key in ("mean", "min", "max", "stddev"):
+            _check_number(errors, f"{path}.{key}", metric.get(key))
+
+
+def validate(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("schema") != "xgbe-bench/1":
+        _err(errors, "schema", f"expected 'xgbe-bench/1', got {doc.get('schema')!r}")
+    if not isinstance(doc.get("binary"), str) or not doc.get("binary"):
+        _err(errors, "binary", "must be a non-empty string")
+
+    points = doc.get("points")
+    if not isinstance(points, list):
+        _err(errors, "points", "must be an array")
+        points = []
+    for i, point in enumerate(points):
+        where = f"points[{i}]"
+        if not isinstance(point, dict):
+            _err(errors, where, "must be an object")
+            continue
+        if not isinstance(point.get("name"), str) or not point.get("name"):
+            _err(errors, where, "missing non-empty 'name'")
+        counters = point.get("counters")
+        if not isinstance(counters, dict):
+            _err(errors, where, "missing 'counters' object")
+            continue
+        for key, value in counters.items():
+            _check_number(errors, f"{where}.counters[{key!r}]", value)
+
+    snapshots = doc.get("snapshots")
+    if not isinstance(snapshots, list):
+        _err(errors, "snapshots", "must be an array")
+        snapshots = []
+    labels = [s.get("label") for s in snapshots if isinstance(s, dict)]
+    if labels != sorted(labels):
+        _err(errors, "snapshots", "labels must be sorted (determinism contract)")
+    for i, snap in enumerate(snapshots):
+        where = f"snapshots[{i}]"
+        if not isinstance(snap, dict):
+            _err(errors, where, "must be an object")
+            continue
+        if not isinstance(snap.get("label"), str) or not snap.get("label"):
+            _err(errors, where, "missing non-empty 'label'")
+        inner = snap.get("snapshot")
+        if not isinstance(inner, dict) or not isinstance(inner.get("metrics"), list):
+            _err(errors, where, "missing 'snapshot.metrics' array")
+            continue
+        metrics = inner["metrics"]
+        paths = [m.get("path") for m in metrics if isinstance(m, dict)]
+        if paths != sorted(paths):
+            _err(errors, f"{where}.snapshot.metrics",
+                 "paths must be sorted (determinism contract)")
+        for j, metric in enumerate(metrics):
+            _check_metric(errors, f"{where}.snapshot.metrics[{j}]", metric)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for filename in argv[1:]:
+        try:
+            with open(filename, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{filename}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        errors = validate(doc)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{filename}: {error}", file=sys.stderr)
+        else:
+            npoints = len(doc.get("points", []))
+            nsnaps = len(doc.get("snapshots", []))
+            print(f"{filename}: OK ({npoints} points, {nsnaps} snapshots)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

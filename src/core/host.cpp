@@ -1,5 +1,8 @@
 #include "core/host.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace xgbe::core {
 
 Host::Host(sim::Simulator& simulator, const hw::SystemSpec& system,
@@ -36,6 +39,7 @@ std::size_t Host::add_adapter(const nic::AdapterSpec& spec) {
       name_ + "/eth" + std::to_string(index)));
   nic::Adapter* raw = adapters_.back().get();
   raw->set_host_faults(&host_faults_);
+  if (trace_) raw->set_trace(trace_, node_);
   raw->set_rx_handler([this, raw](std::vector<net::Packet> batch) {
     kernel_->rx_interrupt(std::move(batch), raw->spec().csum_offload,
                           [this](const net::Packet& pkt) { demux(pkt); });
@@ -67,7 +71,32 @@ tcp::Endpoint& Host::create_endpoint(const tcp::EndpointConfig& config,
   };
   auto [it, inserted] = endpoints_.emplace(
       flow, std::make_unique<tcp::Endpoint>(sim_, config, std::move(hooks)));
+  if (trace_) it->second->set_trace(trace_);
   return *it->second;
+}
+
+void Host::set_trace(obs::TraceSink* sink) {
+  trace_ = sink;
+  kernel_->set_trace(sink, node_);
+  for (auto& adapter : adapters_) adapter->set_trace(sink, node_);
+  for (auto& [flow, ep] : endpoints_) ep->set_trace(sink);
+}
+
+void Host::register_metrics(obs::Registry& reg,
+                            const std::string& prefix) const {
+  kernel_->register_metrics(reg, prefix + "/kernel");
+  for (std::size_t i = 0; i < adapters_.size(); ++i) {
+    adapters_[i]->register_metrics(reg, prefix + "/nic" + std::to_string(i));
+  }
+  // Unordered-map iteration order is arbitrary, but paths are unique per
+  // flow and the registry sorts by path, so snapshots stay deterministic.
+  for (const auto& [flow, ep] : endpoints_) {
+    ep->register_metrics(reg, prefix + "/tcp/flow" + std::to_string(flow));
+  }
+  fault::register_metrics(reg, prefix + "/host_fault", host_faults_);
+  reg.counter(prefix + "/frames_demuxed", [this] { return frames_demuxed_; });
+  reg.counter(prefix + "/frames_unclaimed",
+              [this] { return frames_unclaimed_; });
 }
 
 void Host::raw_transmit(const net::Packet& pkt, std::size_t adapter_index) {

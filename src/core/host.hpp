@@ -83,6 +83,17 @@ class Host {
     return host_faults_.counters();
   }
 
+  // --- Observability --------------------------------------------------------
+  /// Arms the trace sink on the kernel, every adapter, and every endpoint —
+  /// existing and future (components created later inherit the sink).
+  void set_trace(obs::TraceSink* sink);
+
+  /// Registers the whole host under `prefix`: kernel at "/kernel", adapters
+  /// at "/nic<i>", endpoints at "/tcp/flow<id>", plus host-fault counters
+  /// and demux accounting. Endpoints created after this call are not
+  /// captured; register after the topology settles (Testbed does).
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
+
   // --- Drop-ledger accounting ----------------------------------------------
   /// Frames that completed kernel receive processing and reached demux —
   /// the host-boundary "delivered" term of the conservation identity.
@@ -105,6 +116,7 @@ class Host {
   std::vector<std::unique_ptr<nic::Adapter>> adapters_;
   std::unordered_map<net::FlowId, std::unique_ptr<tcp::Endpoint>> endpoints_;
   fault::HostFaultInjector host_faults_;
+  obs::TraceSink* trace_ = nullptr;
   std::uint64_t frames_demuxed_ = 0;
   std::uint64_t frames_unclaimed_ = 0;
 };

@@ -1,5 +1,8 @@
 #include "core/testbed.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace xgbe::core {
 
 Host& Testbed::add_host(const std::string& name,
@@ -8,6 +11,7 @@ Host& Testbed::add_host(const std::string& name,
                         const nic::AdapterSpec& adapter) {
   hosts_.push_back(std::make_unique<Host>(sim_, system, tuning, adapter,
                                           next_node(), name));
+  if (trace_) hosts_.back()->set_trace(trace_);
   return *hosts_.back();
 }
 
@@ -16,6 +20,7 @@ link::Link& Testbed::connect(Host& a, Host& b, const link::LinkSpec& spec,
   links_.push_back(std::make_unique<link::Link>(
       sim_, spec, a.name() + "<->" + b.name()));
   link::Link* wire = links_.back().get();
+  if (trace_) wire->set_trace(trace_);
   a.adapter(a_adapter).connect(wire, /*side_a=*/true);
   b.adapter(b_adapter).connect(wire, /*side_a=*/false);
   return *wire;
@@ -24,6 +29,7 @@ link::Link& Testbed::connect(Host& a, Host& b, const link::LinkSpec& spec,
 link::EthernetSwitch& Testbed::add_switch(const link::SwitchSpec& spec) {
   switches_.push_back(std::make_unique<link::EthernetSwitch>(
       sim_, spec, "switch" + std::to_string(switches_.size())));
+  if (trace_) switches_.back()->set_trace(trace_);
   return *switches_.back();
 }
 
@@ -33,6 +39,7 @@ link::Link& Testbed::connect_to_switch(Host& host, link::EthernetSwitch& sw,
   links_.push_back(std::make_unique<link::Link>(
       sim_, spec, host.name() + "<->switch"));
   link::Link* wire = links_.back().get();
+  if (trace_) wire->set_trace(trace_);
   host.adapter(adapter_index).connect(wire, /*side_a=*/true);
   const int port = sw.add_port(wire, /*side_a=*/false);
   sw.learn(host.node(), port);
@@ -62,6 +69,7 @@ std::vector<link::Link*> Testbed::build_wan_path(
     links_.push_back(std::make_unique<link::Link>(
         sim_, circuits[i], "circuit" + std::to_string(i)));
     link::Link* wire = links_.back().get();
+    if (trace_) wire->set_trace(trace_);
     const int lo_port = routers[i]->add_port(wire, /*side_a=*/true);
     const int hi_port = routers[i + 1]->add_port(wire, /*side_a=*/false);
     // Teach every router the direction of each host.
@@ -96,6 +104,45 @@ bool Testbed::run_until_established(const Connection& conn,
     sim_.run_until(std::min(deadline, sim_.now() + step));
   }
   return conn.client->established() && conn.server->established();
+}
+
+void Testbed::set_trace_sink(obs::TraceSink* sink) {
+  trace_ = sink;
+  if (sink == nullptr) return;
+  for (auto& host : hosts_) host->set_trace(sink);
+  for (auto& wire : links_) wire->set_trace(sink);
+  for (auto& sw : switches_) sw->set_trace(sink);
+}
+
+namespace {
+
+/// Uniquifies duplicate component names: the first occurrence keeps its
+/// name, later ones get "#<i>" appended so registry paths never collide.
+class NameDedup {
+ public:
+  std::string unique(const std::string& name) {
+    const int n = seen_[name]++;
+    if (n == 0) return name;
+    return name + "#" + std::to_string(n);
+  }
+
+ private:
+  std::map<std::string, int> seen_;
+};
+
+}  // namespace
+
+void Testbed::register_metrics(obs::Registry& reg) const {
+  NameDedup hosts, links, switches;
+  for (const auto& host : hosts_) {
+    host->register_metrics(reg, hosts.unique(host->name()));
+  }
+  for (const auto& wire : links_) {
+    wire->register_metrics(reg, "link/" + links.unique(wire->name()));
+  }
+  for (const auto& sw : switches_) {
+    sw->register_metrics(reg, "switch/" + switches.unique(sw->name()));
+  }
 }
 
 }  // namespace xgbe::core

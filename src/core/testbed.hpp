@@ -73,6 +73,20 @@ class Testbed {
 
   net::NodeId next_node() { return node_counter_++; }
 
+  // --- Observability --------------------------------------------------------
+  /// Arms the trace sink across the whole testbed: every existing host,
+  /// link, and switch, and everything created afterwards. Null disarms
+  /// future components but does not revisit existing ones with null;
+  /// disarm before teardown by not using the sink instead.
+  void set_trace_sink(obs::TraceSink* sink);
+  obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Registers the whole testbed: hosts by name, links under
+  /// "link/<name>", switches under "switch/<name>" (duplicate names get a
+  /// "#<i>" suffix so paths stay unique). Call after the topology and
+  /// connections exist.
+  void register_metrics(obs::Registry& reg) const;
+
  private:
   sim::Simulator sim_;
   std::vector<std::unique_ptr<Host>> hosts_;
@@ -80,6 +94,7 @@ class Testbed {
   std::vector<std::unique_ptr<link::EthernetSwitch>> switches_;
   net::NodeId node_counter_ = 1;
   net::FlowId flow_counter_ = 1;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace xgbe::core

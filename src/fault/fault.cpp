@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/registry.hpp"
+
 namespace xgbe::fault {
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
@@ -182,6 +184,34 @@ std::string describe(const FaultCounters& c) {
                 static_cast<unsigned long long>(c.flaps));
   out += buf;
   return out;
+}
+
+const char* cause_name(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNone: return "none";
+    case DropCause::kForced: return "forced";
+    case DropCause::kUniform: return "uniform";
+    case DropCause::kBurst: return "burst";
+    case DropCause::kCarrier: return "carrier";
+  }
+  return "?";
+}
+
+void register_metrics(obs::Registry& reg, const std::string& prefix,
+                      const FaultInjector& inj) {
+  auto field = [&](const char* name, std::uint64_t FaultCounters::* member) {
+    reg.counter(prefix + "/" + name,
+                [&inj, member] { return inj.counters().*member; });
+  };
+  field("frames_seen", &FaultCounters::frames_seen);
+  field("drops_forced", &FaultCounters::drops_forced);
+  field("drops_uniform", &FaultCounters::drops_uniform);
+  field("drops_burst", &FaultCounters::drops_burst);
+  field("drops_carrier", &FaultCounters::drops_carrier);
+  field("corruptions", &FaultCounters::corruptions);
+  field("duplicates", &FaultCounters::duplicates);
+  field("reorders", &FaultCounters::reorders);
+  field("flaps", &FaultCounters::flaps);
 }
 
 }  // namespace xgbe::fault

@@ -176,4 +176,21 @@ std::string describe(const FaultPlan& plan);
 /// One-line counter rendering ("7 drops (2 uniform, 5 burst), 1 corrupt").
 std::string describe(const FaultCounters& c);
 
+/// Short stable name for a drop cause ("uniform", "burst", ...); used by
+/// trace annotations and capture lines.
+const char* cause_name(DropCause cause);
+
+}  // namespace xgbe::fault
+
+namespace xgbe::obs {
+class Registry;
+}
+
+namespace xgbe::fault {
+
+/// Registers every FaultCounters field under `prefix` (e.g.
+/// "link/a<->b/fault"). The injector must outlive the registry's probes.
+void register_metrics(obs::Registry& reg, const std::string& prefix,
+                      const FaultInjector& inj);
+
 }  // namespace xgbe::fault

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/registry.hpp"
+
 namespace xgbe::fault {
 namespace {
 
@@ -176,6 +178,25 @@ std::string describe(const HostFaultCounters& c) {
   part(c.sched_defers, "sched defers");
   if (first) out = "clean";
   return out;
+}
+
+void register_metrics(obs::Registry& reg, const std::string& prefix,
+                      const HostFaultInjector& inj) {
+  auto field = [&](const char* name,
+                   std::uint64_t HostFaultCounters::* member) {
+    reg.counter(prefix + "/" + name,
+                [&inj, member] { return inj.counters().*member; });
+  };
+  field("allocs_seen", &HostFaultCounters::allocs_seen);
+  field("alloc_fail_rx", &HostFaultCounters::alloc_fail_rx);
+  field("alloc_fail_tx", &HostFaultCounters::alloc_fail_tx);
+  field("ring_stall_drops", &HostFaultCounters::ring_stall_drops);
+  field("tx_ring_stalls", &HostFaultCounters::tx_ring_stalls);
+  field("irq_missed", &HostFaultCounters::irq_missed);
+  field("irq_recovered", &HostFaultCounters::irq_recovered);
+  field("irq_storm_interrupts", &HostFaultCounters::irq_storm_interrupts);
+  field("dma_throttled", &HostFaultCounters::dma_throttled);
+  field("sched_defers", &HostFaultCounters::sched_defers);
 }
 
 }  // namespace xgbe::fault

@@ -218,3 +218,16 @@ std::string describe(const HostFaultPlan& plan);
 std::string describe(const HostFaultCounters& c);
 
 }  // namespace xgbe::fault
+
+namespace xgbe::obs {
+class Registry;
+}
+
+namespace xgbe::fault {
+
+/// Registers every HostFaultCounters field under `prefix` (e.g.
+/// "host/tx/fault"). The injector must outlive the registry's probes.
+void register_metrics(obs::Registry& reg, const std::string& prefix,
+                      const HostFaultInjector& inj);
+
+}  // namespace xgbe::fault

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "net/headers.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace xgbe::link {
 
@@ -79,6 +81,10 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
   if (spec_.queue_limit_bytes != 0 &&
       dir.backlog_bytes + pkt.frame_bytes > spec_.queue_limit_bytes) {
     ++drops_queue_;
+    if (trace_) {
+      trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
+                            name_.c_str(), "queue-full");
+    }
     if (tx_done) sim_.schedule(0, std::move(tx_done));
     return;
   }
@@ -114,6 +120,17 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
       }
     }
   }
+  // One trace event per frame, emitted after the verdict so drops carry
+  // their cause. The sink consumes no randomness, so emission position
+  // cannot perturb the fault RNG sequence.
+  if (trace_) {
+    if (verdict.drop) {
+      trace_->record_packet(obs::EventType::kWireDrop, now, pkt,
+                            name_.c_str(), fault::cause_name(verdict.cause));
+    } else {
+      trace_->record_packet(obs::EventType::kWireTx, now, pkt, name_.c_str());
+    }
+  }
   if (verdict.drop) return;
 
   if (sink != nullptr) {
@@ -129,6 +146,28 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
                        [sink, out]() { sink->deliver(out); });
     }
   }
+}
+
+void Link::register_metrics(obs::Registry& reg,
+                            const std::string& prefix) const {
+  reg.counter(prefix + "/frames_delivered", [this] { return frames_; });
+  reg.counter(prefix + "/bytes_delivered", [this] { return bytes_; });
+  reg.counter(prefix + "/drops_queue", [this] { return drops_queue_; });
+  // Aggregate of the scripted injector and both directional injectors.
+  auto field = [&](const char* name,
+                   std::uint64_t fault::FaultCounters::* member) {
+    reg.counter(prefix + "/fault/" + name,
+                [this, member] { return fault_counters().*member; });
+  };
+  field("frames_seen", &fault::FaultCounters::frames_seen);
+  field("drops_forced", &fault::FaultCounters::drops_forced);
+  field("drops_uniform", &fault::FaultCounters::drops_uniform);
+  field("drops_burst", &fault::FaultCounters::drops_burst);
+  field("drops_carrier", &fault::FaultCounters::drops_carrier);
+  field("corruptions", &fault::FaultCounters::corruptions);
+  field("duplicates", &fault::FaultCounters::duplicates);
+  field("reorders", &fault::FaultCounters::reorders);
+  field("flaps", &fault::FaultCounters::flaps);
 }
 
 }  // namespace xgbe::link

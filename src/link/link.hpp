@@ -12,6 +12,11 @@
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
+namespace xgbe::obs {
+class Registry;
+class TraceSink;
+}
+
 namespace xgbe::link {
 
 enum class Framing : std::uint8_t {
@@ -113,8 +118,18 @@ class Link {
   std::uint32_t backlog(const NetDevice* from) const;
 
   /// Wire tap: invoked for every frame as it begins serialization (before
-  /// any loss), with the direction. tcpdump-style captures attach here.
+  /// any loss), with the direction. Some recovery tests attach here; the
+  /// capture tool now rides the trace sink instead.
   std::function<void(const net::Packet&, bool from_side_a)> tap;
+
+  // --- Observability --------------------------------------------------------
+  /// Arms (or disarms, with null) the trace sink. Every frame offered to
+  /// the wire emits exactly one event: kWireTx when it serializes, or
+  /// kWireDrop with the cause when it is lost.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Registers this link's delivery and fault counters under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   struct Direction {
@@ -141,6 +156,7 @@ class Link {
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t drops_queue_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace xgbe::link

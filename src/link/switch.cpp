@@ -1,5 +1,8 @@
 #include "link/switch.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace xgbe::link {
 
 /// One switch port: receives frames from its link and forwards them into
@@ -62,12 +65,23 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
   fault::FaultDecision verdict;
   if (fault_.active()) {
     verdict = fault_.decide(pkt, sim_.now());
-    if (verdict.drop) return;
+    if (verdict.drop) {
+      if (trace_) {
+        trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
+                              name_.c_str(),
+                              fault::cause_name(verdict.cause));
+      }
+      return;
+    }
     if (verdict.corrupt) frame.corrupted = true;
   }
   const auto it = fdb_.find(frame.dst);
   if (it == fdb_.end()) {
     ++dropped_no_route_;
+    if (trace_) {
+      trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
+                            name_.c_str(), "no-route");
+    }
     return;
   }
   const int egress = it->second;
@@ -89,10 +103,24 @@ void EthernetSwitch::egress_frame(int port, const net::Packet& pkt) {
   Port& out = *ports_.at(static_cast<std::size_t>(port));
   if (out.queued() + pkt.frame_bytes > spec_.port_buffer_bytes) {
     ++dropped_queue_full_;  // tail drop
+    if (trace_) {
+      trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
+                            name_.c_str(), "port-buffer-full");
+    }
     return;
   }
   ++forwarded_;
   out.send(pkt);
+}
+
+void EthernetSwitch::register_metrics(obs::Registry& reg,
+                                      const std::string& prefix) const {
+  reg.counter(prefix + "/forwarded", [this] { return forwarded_; });
+  reg.counter(prefix + "/dropped_no_route",
+              [this] { return dropped_no_route_; });
+  reg.counter(prefix + "/dropped_queue_full",
+              [this] { return dropped_queue_full_; });
+  fault::register_metrics(reg, prefix + "/fault", fault_);
 }
 
 }  // namespace xgbe::link

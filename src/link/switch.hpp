@@ -47,6 +47,7 @@ class EthernetSwitch {
   void learn(net::NodeId node, int port);
 
   const SwitchSpec& spec() const { return spec_; }
+  const std::string& name() const { return name_; }
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
   std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }
@@ -59,6 +60,14 @@ class EthernetSwitch {
   const fault::FaultCounters& fault_counters() const {
     return fault_.counters();
   }
+
+  // --- Observability --------------------------------------------------------
+  /// Arms the trace sink: fabric fault drops, no-route drops, and egress
+  /// tail drops emit kWireDrop events annotated with this switch's name.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Registers forwarding and fault counters under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   class Port;
@@ -75,6 +84,7 @@ class EthernetSwitch {
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_no_route_ = 0;
   std::uint64_t dropped_queue_full_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace xgbe::link

@@ -2,6 +2,8 @@
 
 #include "hw/memory.hpp"
 #include "net/headers.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace xgbe::nic {
 
@@ -25,12 +27,30 @@ Adapter::Adapter(sim::Simulator& simulator, const AdapterSpec& spec,
                  std::uint32_t mmrbc, sim::Resource& membus, std::string name)
     : sim_(simulator),
       spec_(spec),
+      name_(std::move(name)),
       bus_spec_(bus),
       mem_spec_(mem),
       mmrbc_(mmrbc),
-      pci_(simulator, name + "/pcix"),
+      pci_(simulator, name_ + "/pcix"),
       membus_(membus),
       corruption_rng_(spec.corruption_seed) {}
+
+namespace {
+
+obs::TraceEvent ring_event(obs::EventType type, sim::SimTime at,
+                           net::NodeId node, std::uint32_t slots,
+                           const char* where, const char* detail) {
+  obs::TraceEvent ev;
+  ev.at = at;
+  ev.type = type;
+  ev.src = node;
+  ev.len = slots;
+  ev.where = where;
+  ev.detail = detail;
+  return ev;
+}
+
+}  // namespace
 
 void Adapter::connect(link::Link* wire, bool side_a) {
   wire_ = wire;
@@ -62,6 +82,12 @@ void Adapter::dma_next_tx() {
   if (host_faults_active() && host_faults_->tx_ring_stalled(sim_.now())) {
     tx_dma_active_ = false;
     host_faults_->count_tx_stall();
+    if (trace_) {
+      trace_->record(ring_event(
+          obs::EventType::kRingStall, sim_.now(), trace_node_,
+          static_cast<std::uint32_t>(tx_queue_.size()), name_.c_str(),
+          "tx-ring"));
+    }
     arm_tx_stall_recovery();
     return;
   }
@@ -150,6 +176,10 @@ void Adapter::receive_frame(const net::Packet& arrived) {
     if (host_faults_active() && rx_ring_unreplenished_ > 0) {
       host_faults_->count_ring_stall_drop();
     }
+    if (trace_) {
+      trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), arrived,
+                            name_.c_str(), "rx-ring-full");
+    }
     return;
   }
   ++rx_ring_used_;
@@ -215,6 +245,11 @@ void Adapter::raise_interrupt() {
   const auto batch_slots = static_cast<std::uint32_t>(rx_batch_.size());
   if (host_faults_active() && host_faults_->rx_ring_stalled(sim_.now())) {
     rx_ring_unreplenished_ += batch_slots;
+    if (trace_) {
+      trace_->record(ring_event(obs::EventType::kRingStall, sim_.now(),
+                                trace_node_, batch_slots, name_.c_str(),
+                                "rx-ring"));
+    }
     arm_rx_replenish_recovery();
   } else {
     rx_ring_used_ -= batch_slots;
@@ -262,9 +297,26 @@ void Adapter::arm_rx_replenish_recovery() {
   sim_.schedule(end - sim_.now(), [this]() {
     rx_replenish_armed_ = false;
     // The driver's refill path catches up on every deferred slot at once.
-    rx_ring_used_ -= std::min(rx_ring_used_, rx_ring_unreplenished_);
+    const std::uint32_t refilled =
+        std::min(rx_ring_used_, rx_ring_unreplenished_);
+    rx_ring_used_ -= refilled;
     rx_ring_unreplenished_ = 0;
+    if (trace_) {
+      trace_->record(ring_event(obs::EventType::kRingRefill, sim_.now(),
+                                trace_node_, refilled, name_.c_str(),
+                                "rx-ring"));
+    }
   });
+}
+
+void Adapter::register_metrics(obs::Registry& reg,
+                               const std::string& prefix) const {
+  reg.counter(prefix + "/tx_frames", [this] { return tx_frames_; });
+  reg.counter(prefix + "/rx_frames", [this] { return rx_frames_; });
+  reg.counter(prefix + "/rx_dropped_ring",
+              [this] { return rx_dropped_ring_; });
+  reg.counter(prefix + "/interrupts", [this] { return interrupts_; });
+  fault::register_metrics(reg, prefix + "/rx_fault", rx_fault_);
 }
 
 void Adapter::arm_irq_recovery_poll() {

@@ -18,6 +18,11 @@
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
+namespace xgbe::obs {
+class Registry;
+class TraceSink;
+}
+
 namespace xgbe::nic {
 
 struct AdapterSpec {
@@ -116,6 +121,19 @@ class Adapter : public link::NetDevice {
     host_faults_ = injector;
   }
 
+  // --- Observability --------------------------------------------------------
+  /// Arms the trace sink: ring-full drops emit kSegDrop ("rx-ring-full"),
+  /// replenish stalls emit kRingStall/kRingRefill. `node` identifies this
+  /// adapter's host in the events.
+  void set_trace(obs::TraceSink* sink, net::NodeId node) {
+    trace_ = sink;
+    trace_node_ = node;
+  }
+
+  /// Registers frame/interrupt counters and the rx fault tally under
+  /// `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
+
  private:
   void receive_frame(const net::Packet& arrived);
   void dma_next_tx();
@@ -135,6 +153,7 @@ class Adapter : public link::NetDevice {
 
   sim::Simulator& sim_;
   AdapterSpec spec_;
+  std::string name_;
   hw::PcixSpec bus_spec_;
   hw::MemorySpec mem_spec_;
   std::uint32_t mmrbc_;
@@ -167,6 +186,9 @@ class Adapter : public link::NetDevice {
   std::uint64_t rx_frames_ = 0;
   std::uint64_t rx_dropped_ring_ = 0;
   std::uint64_t interrupts_ = 0;
+
+  obs::TraceSink* trace_ = nullptr;
+  net::NodeId trace_node_ = net::kInvalidNode;
 };
 
 }  // namespace xgbe::nic

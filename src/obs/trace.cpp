@@ -1,0 +1,179 @@
+#include "obs/trace.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/watchdog.hpp"
+
+namespace xgbe::obs {
+
+const char* event_name(EventType type) {
+  switch (type) {
+    case EventType::kWireTx: return "wire-tx";
+    case EventType::kWireDrop: return "wire-drop";
+    case EventType::kSegTx: return "seg-tx";
+    case EventType::kSegRx: return "seg-rx";
+    case EventType::kSegDrop: return "seg-drop";
+    case EventType::kRto: return "rto";
+    case EventType::kFastRetransmit: return "fast-retx";
+    case EventType::kWindowUpdate: return "window-update";
+    case EventType::kRingStall: return "ring-stall";
+    case EventType::kRingRefill: return "ring-refill";
+    case EventType::kFault: return "fault";
+  }
+  return "?";
+}
+
+void append_format(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  std::va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n < 0) return;  // encoding error: append nothing rather than garbage
+  if (static_cast<std::size_t>(n) < sizeof(buf)) {
+    out.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  // Truncated: re-run into a buffer of the exact required size.
+  std::string big(static_cast<std::size_t>(n), '\0');
+  va_start(args, fmt);
+  std::vsnprintf(big.data(), big.size() + 1, fmt, args);
+  va_end(args);
+  out += big;
+}
+
+TraceEvent packet_event(EventType type, sim::SimTime at,
+                        const net::Packet& pkt, const char* where,
+                        const char* detail) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.type = type;
+  ev.proto = static_cast<std::uint8_t>(pkt.protocol);
+  ev.src = pkt.src;
+  ev.dst = pkt.dst;
+  ev.flow = pkt.flow;
+  ev.seq = pkt.tcp.seq;
+  ev.ack = pkt.tcp.ack;
+  ev.len = pkt.payload_bytes;
+  ev.wire_len = pkt.frame_bytes;
+  ev.window = pkt.tcp.window;
+  ev.mss = pkt.tcp.mss_option;
+  ev.where = where;
+  ev.detail = detail;
+  if (pkt.tcp.flags.syn) ev.flags |= kFlagSyn;
+  if (pkt.tcp.flags.fin) ev.flags |= kFlagFin;
+  if (pkt.tcp.flags.ack) ev.flags |= kFlagAck;
+  if (pkt.tcp.push) ev.flags |= kFlagPush;
+  if (pkt.tcp.is_retransmit) ev.flags |= kFlagRetransmit;
+  if (pkt.corrupted) ev.flags |= kFlagCorrupt;
+  if (pkt.tcp.timestamps) ev.flags |= kFlagTimestamps;
+  if (pkt.tcp.wscale_present) ev.flags |= kFlagWscale;
+  return ev;
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceSink::record(const TraceEvent& ev) {
+  ++offered_;
+  if (filter && !filter(ev)) return;
+  ++recorded_;
+  ring_[next_] = ev;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  if (stream_ != nullptr) *stream_ << to_jsonl(ev) << '\n';
+  if (on_record) on_record(ev);
+}
+
+const TraceEvent& TraceSink::event(std::size_t i) const {
+  // Oldest retained event sits at next_ once the ring has wrapped.
+  const std::size_t start = size_ < ring_.size() ? 0 : next_;
+  return ring_[(start + i) % ring_.size()];
+}
+
+std::vector<TraceEvent> TraceSink::tail(std::size_t n) const {
+  const std::size_t take = n < size_ ? n : size_;
+  std::vector<TraceEvent> out;
+  out.reserve(take);
+  for (std::size_t i = size_ - take; i < size_; ++i) out.push_back(event(i));
+  return out;
+}
+
+void TraceSink::clear() {
+  next_ = 0;
+  size_ = 0;
+}
+
+std::string format_event(const TraceEvent& ev) {
+  std::string out;
+  append_format(out, "[%.6f] %s", sim::to_seconds(ev.at),
+                event_name(ev.type));
+  if (ev.where != nullptr && *ev.where != '\0') {
+    append_format(out, " @%s", ev.where);
+  }
+  if (ev.src != net::kInvalidNode || ev.dst != net::kInvalidNode) {
+    append_format(out, " %u>%u", ev.src, ev.dst);
+  }
+  if (ev.flow != 0) append_format(out, " flow%u", ev.flow);
+  if (ev.flags != 0) {
+    std::string f;
+    if (ev.flags & kFlagSyn) f += 'S';
+    if (ev.flags & kFlagFin) f += 'F';
+    if (ev.flags & kFlagAck) f += '.';
+    if (ev.flags & kFlagPush) f += 'P';
+    if (ev.flags & kFlagRetransmit) f += 'R';
+    if (ev.flags & kFlagCorrupt) f += 'C';
+    if (!f.empty()) append_format(out, " [%s]", f.c_str());
+  }
+  append_format(out, " seq=%u", ev.seq);
+  if (ev.flags & kFlagAck) append_format(out, " ack=%u", ev.ack);
+  if (ev.len != 0) append_format(out, " len=%u", ev.len);
+  if (ev.window != 0) append_format(out, " win=%u", ev.window);
+  if (ev.mss != 0) append_format(out, " mss=%u", ev.mss);
+  if (ev.detail != nullptr && *ev.detail != '\0') {
+    append_format(out, " (%s)", ev.detail);
+  }
+  return out;
+}
+
+std::string format_tail(const TraceSink& sink, std::size_t n) {
+  const std::vector<TraceEvent> events = sink.tail(n);
+  if (events.empty()) return "";
+  std::string out = "last " + std::to_string(events.size()) + " events: ";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out += " | ";
+    out += format_event(events[i]);
+  }
+  return out;
+}
+
+std::string to_jsonl(const TraceEvent& ev) {
+  std::string out;
+  append_format(out, "{\"at_ps\":%lld,\"type\":\"%s\"",
+                static_cast<long long>(ev.at), event_name(ev.type));
+  append_format(out, ",\"src\":%u,\"dst\":%u,\"flow\":%u", ev.src, ev.dst,
+                ev.flow);
+  append_format(out, ",\"seq\":%u,\"ack\":%u,\"len\":%u,\"win\":%u", ev.seq,
+                ev.ack, ev.len, ev.window);
+  if (ev.mss != 0) append_format(out, ",\"mss\":%u", ev.mss);
+  if (ev.flags != 0) append_format(out, ",\"flags\":%u", ev.flags);
+  if (ev.where != nullptr && *ev.where != '\0') {
+    append_format(out, ",\"where\":\"%s\"", ev.where);
+  }
+  if (ev.detail != nullptr && *ev.detail != '\0') {
+    append_format(out, ",\"detail\":\"%s\"", ev.detail);
+  }
+  out += '}';
+  return out;
+}
+
+void attach_flight_recorder(sim::Watchdog& dog, const TraceSink& sink,
+                            std::size_t events) {
+  dog.add_context("flight-recorder", [&sink, events]() {
+    return format_tail(sink, events);
+  });
+}
+
+}  // namespace xgbe::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "hw/memory.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "os/kmalloc.hpp"
 
 namespace xgbe::os {
@@ -172,6 +174,10 @@ void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
       if (host_faults_->alloc_fails(block, /*rx=*/true)) {
         irq_cpu().submit(static_cast<sim::SimTime>(
             static_cast<double>(costs_.alloc_cost(block)) * mode_factor()));
+        if (trace_) {
+          trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt,
+                                "kernel", "alloc-fail");
+        }
         continue;
       }
     }
@@ -193,6 +199,10 @@ void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
     if (!csum_offloaded && pkt.corrupted) {
       ++csum_drops_;
       irq_cpu().submit(cost);  // the verify work is still spent
+      if (trace_) {
+        trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt,
+                              "kernel", "csum");
+      }
       continue;
     }
     irq_cpu().submit(cost, [shared, cb, i]() { (*cb)((*shared)[i]); });
@@ -249,6 +259,12 @@ double Kernel::cpu_load() const {
 void Kernel::mark_load_window() {
   for (auto& cpu : cpus_) cpu->mark_window();
   membus_.mark_window();
+}
+
+void Kernel::register_metrics(obs::Registry& reg,
+                              const std::string& prefix) const {
+  reg.counter(prefix + "/csum_drops", [this] { return csum_drops_; });
+  reg.gauge(prefix + "/cpu_load", [this] { return cpu_load(); });
 }
 
 }  // namespace xgbe::os

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fault/host_fault.hpp"
@@ -13,6 +14,11 @@
 #include "os/costs.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
+
+namespace xgbe::obs {
+class Registry;
+class TraceSink;
+}
 
 namespace xgbe::os {
 
@@ -88,6 +94,18 @@ class Kernel {
   const KernelConfig& config() const { return config_; }
   const hw::SystemSpec& system() const { return spec_; }
 
+  // --- Observability --------------------------------------------------------
+  /// Arms the trace sink: receive-path frame discards (failed skb
+  /// allocation, software-checksum rejection) emit kSegDrop events tagged
+  /// with this host's node id.
+  void set_trace(obs::TraceSink* sink, net::NodeId node) {
+    trace_ = sink;
+    trace_node_ = node;
+  }
+
+  /// Registers checksum-drop and CPU-load probes under `prefix`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
+
   /// Schedules `done` when both a CPU job and a memory-bus job complete;
   /// models a memcpy occupying core and bus simultaneously.
   void copy_job(sim::Resource& cpu, sim::SimTime cpu_cost,
@@ -109,6 +127,8 @@ class Kernel {
   std::vector<std::unique_ptr<sim::Resource>> cpus_;
   std::uint64_t csum_drops_ = 0;
   fault::HostFaultInjector* host_faults_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  net::NodeId trace_node_ = net::kInvalidNode;
 };
 
 }  // namespace xgbe::os

@@ -1,9 +1,28 @@
 #include "sim/stats.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace xgbe::sim {
+
+#ifndef NDEBUG
+/// Debug canary: flags concurrent use of one SampleSet (e.g. sharing a set
+/// across bench/parallel_sweep.hpp workers). Every entry point takes the
+/// guard; two overlapping holders mean a data race the sanitizers may miss.
+struct SampleSetUseGuard {
+  explicit SampleSetUseGuard(const SampleSet& s) : set(s) {
+    const int prev = set.in_use_.fetch_add(1, std::memory_order_acq_rel);
+    assert(prev == 0 && "SampleSet used concurrently (see class comment)");
+    (void)prev;
+  }
+  ~SampleSetUseGuard() { set.in_use_.fetch_sub(1, std::memory_order_acq_rel); }
+  const SampleSet& set;
+};
+#define XGBE_SAMPLESET_GUARD(s) SampleSetUseGuard guard_(s)
+#else
+#define XGBE_SAMPLESET_GUARD(s) (void)0
+#endif
 
 void OnlineStats::add(double x) {
   ++n_;
@@ -23,21 +42,26 @@ double OnlineStats::variance() const {
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
 double SampleSet::quantile(double q) const {
+  XGBE_SAMPLESET_GUARD(*this);
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
   }
-  if (q <= 0.0) return samples_.front();
-  if (q >= 1.0) return samples_.back();
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
 }
 
 OnlineStats SampleSet::summary() const {
+  XGBE_SAMPLESET_GUARD(*this);
+  // Welford accumulation is order-sensitive in floating point; samples_ is
+  // never reordered, so this result is independent of quantile() calls.
   OnlineStats s;
   for (double x : samples_) s.add(x);
   return s;
@@ -47,14 +71,30 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {}
 
 void Histogram::add(double x) {
-  const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-  if (idx < 0) idx = 0;
-  if (idx >= static_cast<std::ptrdiff_t>(counts_.size()))
-    idx = static_cast<std::ptrdiff_t>(counts_.size()) - 1;
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  if (counts_.empty()) return;
+  const std::size_t last = counts_.size() - 1;
+  std::size_t idx = 0;
+  if (!std::isfinite(x)) {
+    // NaN and -inf clamp low, +inf clamps high: deterministic, no UB from
+    // casting an unrepresentable double.
+    idx = (x > 0.0) ? last : 0;
+  } else {
+    const double span = hi_ - lo_;
+    if (span > 0.0) {
+      const double pos = (x - lo_) / span * static_cast<double>(counts_.size());
+      if (pos <= 0.0) {
+        idx = 0;
+      } else if (pos >= static_cast<double>(counts_.size())) {
+        idx = last;
+      } else {
+        idx = static_cast<std::size_t>(pos);
+        if (idx > last) idx = last;  // guard FP edge at pos ~ size
+      }
+    }
+    // Zero/negative span (degenerate range): everything lands in bucket 0.
+  }
+  ++counts_[idx];
 }
 
 double Histogram::bucket_low(std::size_t i) const {

@@ -6,6 +6,10 @@
 #include <limits>
 #include <vector>
 
+#ifndef NDEBUG
+#include <atomic>
+#endif
+
 namespace xgbe::sim {
 
 /// Welford single-pass mean / variance accumulator.
@@ -33,11 +37,29 @@ class OnlineStats {
 
 /// Reservoir of samples with exact quantiles; suitable for the modest sample
 /// counts produced by these experiments (latency sweeps, per-flow rates).
+///
+/// NOT thread-safe, not even for const calls: quantile() lazily builds a
+/// mutable sorted cache. Under bench/parallel_sweep.hpp each sweep point
+/// must own its own SampleSet; sharing one across worker threads is a data
+/// race, and debug builds assert on any concurrent access. summary() reads
+/// the samples in insertion order regardless of whether quantile() has run,
+/// so its (order-sensitive) Welford result never depends on sort state.
 class SampleSet {
  public:
+  SampleSet() = default;
+  // Copies transfer the samples only; the sorted cache is rebuilt on demand
+  // and the debug-use canary starts fresh in the copy.
+  SampleSet(const SampleSet& other) : samples_(other.samples_) {}
+  SampleSet& operator=(const SampleSet& other) {
+    samples_ = other.samples_;
+    sorted_.clear();
+    sorted_valid_ = false;
+    return *this;
+  }
+
   void add(double x) {
     samples_.push_back(x);
-    sorted_ = false;
+    sorted_valid_ = false;
   }
 
   std::size_t count() const { return samples_.size(); }
@@ -46,8 +68,13 @@ class SampleSet {
   OnlineStats summary() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;  // insertion order, never reordered
+  mutable std::vector<double> sorted_;  // lazy cache for quantile()
+  mutable bool sorted_valid_ = false;
+#ifndef NDEBUG
+  mutable std::atomic<int> in_use_{0};  // concurrent-access canary
+#endif
+  friend struct SampleSetUseGuard;
 };
 
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the

@@ -5,6 +5,8 @@
 #include <cassert>
 
 #include "net/headers.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "os/kmalloc.hpp"
 
 namespace xgbe::tcp {
@@ -408,6 +410,10 @@ void Endpoint::send_segment(TxSegment& seg, bool retransmission) {
     ++stats_.retransmits;
   }
   stats_.segments_sent += seg.packets;
+  if (trace_) {
+    trace_->record_packet(obs::EventType::kSegTx, sim_.now(), pkt, "tcp",
+                          retransmission ? "retransmission" : "");
+  }
   hooks_.emit(pkt);
   if (!rto_armed_) arm_rto();
   if (cwnd_trace) cwnd_trace(sim_.now(), cc_.cwnd());
@@ -451,6 +457,18 @@ void Endpoint::on_rto() {
     return;
   }
   ++stats_.timeouts;
+  if (trace_) {
+    obs::TraceEvent ev;
+    ev.at = sim_.now();
+    ev.type = obs::EventType::kRto;
+    ev.src = hooks_.local_node;
+    ev.dst = hooks_.remote_node;
+    ev.flow = hooks_.flow;
+    ev.seq = snd_una_;
+    ev.len = flight_bytes();
+    ev.where = "tcp";
+    trace_->record(ev);
+  }
   cc_.on_timeout(flight_packets());
   rtt_.backoff();
   dupacks_ = 0;
@@ -554,6 +572,18 @@ void Endpoint::handle_ack(const net::Packet& pkt) {
       try_send();
     } else if (dupacks_ == 3) {
       ++stats_.fast_retransmits;
+      if (trace_) {
+        obs::TraceEvent ev;
+        ev.at = sim_.now();
+        ev.type = obs::EventType::kFastRetransmit;
+        ev.src = hooks_.local_node;
+        ev.dst = hooks_.remote_node;
+        ev.flow = hooks_.flow;
+        ev.seq = snd_una_;
+        ev.len = flight_bytes();
+        ev.where = "tcp";
+        trace_->record(ev);
+      }
       recover_ = snd_nxt_;
       cc_.on_fast_retransmit(flight_packets());
       retransmit_head();
@@ -598,6 +628,10 @@ void Endpoint::handle_data(const net::Packet& pkt) {
   if (wadv_.has_advertised() &&
       net::seq_ge(pkt.tcp.seq, wadv_.rcv_adv())) {
     ++stats_.out_of_window;
+    if (trace_) {
+      trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt, "tcp",
+                            "out-of-window");
+    }
     send_ack(false);
     return;
   }
@@ -608,10 +642,17 @@ void Endpoint::handle_data(const net::Packet& pkt) {
   }
   if (!rxbuf_.charge_frame(pkt.frame_bytes, pkt.payload_bytes)) {
     ++stats_.rcv_buffer_drops;
+    if (trace_) {
+      trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt, "tcp",
+                            "sockbuf-full");
+    }
     send_ack(false);  // re-advertise the (closed) window
     return;
   }
   if (pkt.corrupted) ++stats_.corrupted_delivered;
+  if (trace_) {
+    trace_->record_packet(obs::EventType::kSegRx, sim_.now(), pkt, "tcp");
+  }
   // Linux tcp_measure_rcv_mss: track the largest segment recently seen.
   rcv_mss_est_ = std::max(rcv_mss_est_, pkt.payload_bytes);
 
@@ -658,7 +699,13 @@ void Endpoint::send_ack(bool window_update) {
   pkt.tcp.ack = reasm_.rcv_nxt();
   pkt.tcp.window = compute_window();
   ++stats_.acks_sent;
-  if (window_update) ++stats_.window_update_acks;
+  if (window_update) {
+    ++stats_.window_update_acks;
+    if (trace_) {
+      trace_->record_packet(obs::EventType::kWindowUpdate, sim_.now(), pkt,
+                            "tcp");
+    }
+  }
   hooks_.emit(pkt);
 }
 
@@ -822,6 +869,38 @@ void Endpoint::on_packet(const net::Packet& pkt) {
   } else if (pkt.tcp.flags.ack) {
     handle_ack(pkt);
   }
+}
+
+void Endpoint::register_metrics(obs::Registry& reg,
+                                const std::string& prefix) const {
+  auto field = [&](const char* name,
+                   std::uint64_t EndpointStats::* member) {
+    reg.counter(prefix + "/" + name,
+                [this, member] { return stats_.*member; });
+  };
+  field("segments_sent", &EndpointStats::segments_sent);
+  field("segments_received", &EndpointStats::segments_received);
+  field("bytes_sent", &EndpointStats::bytes_sent);
+  field("bytes_acked", &EndpointStats::bytes_acked);
+  field("bytes_delivered", &EndpointStats::bytes_delivered);
+  field("bytes_consumed", &EndpointStats::bytes_consumed);
+  field("retransmits", &EndpointStats::retransmits);
+  field("fast_retransmits", &EndpointStats::fast_retransmits);
+  field("timeouts", &EndpointStats::timeouts);
+  field("dupacks_received", &EndpointStats::dupacks_received);
+  field("dupacks_sent", &EndpointStats::dupacks_sent);
+  field("acks_sent", &EndpointStats::acks_sent);
+  field("window_update_acks", &EndpointStats::window_update_acks);
+  field("rcv_buffer_drops", &EndpointStats::rcv_buffer_drops);
+  field("window_probes", &EndpointStats::window_probes);
+  field("out_of_window", &EndpointStats::out_of_window);
+  field("corrupted_delivered", &EndpointStats::corrupted_delivered);
+  reg.gauge(prefix + "/cwnd_segments",
+            [this] { return static_cast<double>(cwnd_segments()); });
+  reg.gauge(prefix + "/flight_bytes",
+            [this] { return static_cast<double>(flight_bytes()); });
+  reg.gauge(prefix + "/srtt_us",
+            [this] { return sim::to_seconds(srtt()) * 1e6; });
 }
 
 }  // namespace xgbe::tcp

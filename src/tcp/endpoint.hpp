@@ -21,6 +21,11 @@
 #include "tcp/rtt.hpp"
 #include "tcp/window.hpp"
 
+namespace xgbe::obs {
+class Registry;
+class TraceSink;
+}
+
 namespace xgbe::tcp {
 
 struct EndpointStats {
@@ -107,6 +112,16 @@ class Endpoint {
   /// MAGNET sampling: every Nth data segment carries path timestamps
   /// (0 disables). Negligible simulation cost, like the real tool.
   void set_trace_sampling(std::uint32_t every_n) { trace_every_ = every_n; }
+
+  // --- Observability --------------------------------------------------------
+  /// Arms the trace sink: segment tx/rx/drop, RTO, fast retransmit, and
+  /// window-update events. Null disarms; an unarmed endpoint behaves
+  /// bit-identically to one built without tracing.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Registers every EndpointStats counter plus cwnd/flight/srtt gauges
+  /// under `prefix` (e.g. "host/tx/tcp/flow1").
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
   /// Hard congestion-window ceiling in segments (Linux snd_cwnd_clamp).
   void set_cwnd_clamp(std::uint32_t segments) { cc_.set_clamp(segments); }
@@ -257,6 +272,7 @@ class Endpoint {
   bool write_in_kernel_ = false;
   std::uint32_t trace_every_ = 0;
   std::uint64_t trace_counter_ = 0;
+  obs::TraceSink* trace_ = nullptr;
 
   // Receiver state.
   Reassembly reasm_;

@@ -1,65 +1,65 @@
 #include "tools/tcpdump.hpp"
 
-#include <cstdio>
-
 namespace xgbe::tools {
 
-std::string format_frame(sim::SimTime at, const net::Packet& pkt) {
-  char buf[256];
-  const double secs = sim::to_seconds(at);
-  int n = std::snprintf(buf, sizeof(buf), "%12.6f %u > %u: ", secs, pkt.src,
-                        pkt.dst);
-  std::string line(buf, static_cast<std::size_t>(n));
+std::string format_wire_event(const obs::TraceEvent& ev) {
+  std::string line;
+  obs::append_format(line, "%12.6f %u > %u: ", sim::to_seconds(ev.at),
+                     ev.src, ev.dst);
 
-  if (pkt.protocol == net::Protocol::kUdp) {
-    std::snprintf(buf, sizeof(buf), "UDP, length %u", pkt.payload_bytes);
-    return line + buf;
-  }
-  if (pkt.protocol == net::Protocol::kRaw) {
-    std::snprintf(buf, sizeof(buf), "RAW, length %u", pkt.frame_bytes);
-    return line + buf;
-  }
-
-  std::string flags;
-  if (pkt.tcp.flags.syn) flags += 'S';
-  if (pkt.tcp.flags.fin) flags += 'F';
-  if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn && !pkt.tcp.flags.fin &&
-      pkt.payload_bytes == 0) {
-    flags += '.';
-  } else if (pkt.tcp.flags.ack && (pkt.tcp.flags.syn || pkt.tcp.flags.fin)) {
-    flags += '.';
-  }
-  if (pkt.tcp.push) flags += 'P';
-  if (flags.empty()) flags = ".";
-  line += "Flags [" + flags + "], ";
-
-  if (pkt.payload_bytes > 0) {
-    std::snprintf(buf, sizeof(buf), "seq %u:%u, ", pkt.tcp.seq,
-                  pkt.tcp.seq + pkt.payload_bytes);
+  const auto proto = static_cast<net::Protocol>(ev.proto);
+  if (proto == net::Protocol::kUdp) {
+    obs::append_format(line, "UDP, length %u", ev.len);
+  } else if (proto == net::Protocol::kRaw) {
+    obs::append_format(line, "RAW, length %u", ev.wire_len);
   } else {
-    std::snprintf(buf, sizeof(buf), "seq %u, ", pkt.tcp.seq);
+    const bool syn = (ev.flags & obs::kFlagSyn) != 0;
+    const bool fin = (ev.flags & obs::kFlagFin) != 0;
+    const bool ack = (ev.flags & obs::kFlagAck) != 0;
+    std::string flags;
+    if (syn) flags += 'S';
+    if (fin) flags += 'F';
+    if (ack && !syn && !fin && ev.len == 0) {
+      flags += '.';
+    } else if (ack && (syn || fin)) {
+      flags += '.';
+    }
+    if ((ev.flags & obs::kFlagPush) != 0) flags += 'P';
+    if (flags.empty()) flags = ".";
+    line += "Flags [" + flags + "], ";
+
+    if (ev.len > 0) {
+      obs::append_format(line, "seq %u:%u, ", ev.seq, ev.seq + ev.len);
+    } else {
+      obs::append_format(line, "seq %u, ", ev.seq);
+    }
+    if (ack) obs::append_format(line, "ack %u, ", ev.ack);
+    obs::append_format(line, "win %u, ", ev.window);
+    if (syn) {
+      obs::append_format(line, "options [mss %u%s%s], ",
+                         static_cast<unsigned>(ev.mss),
+                         (ev.flags & obs::kFlagWscale) != 0 ? ",wscale" : "",
+                         (ev.flags & obs::kFlagTimestamps) != 0 ? ",TS" : "");
+    } else if ((ev.flags & obs::kFlagTimestamps) != 0) {
+      line += "options [TS], ";
+    }
+    if ((ev.flags & obs::kFlagRetransmit) != 0) line += "retransmission, ";
+    if ((ev.flags & obs::kFlagCorrupt) != 0) line += "corrupt, ";
+    obs::append_format(line, "length %u", ev.len);
   }
-  line += buf;
-  if (pkt.tcp.flags.ack) {
-    std::snprintf(buf, sizeof(buf), "ack %u, ", pkt.tcp.ack);
-    line += buf;
+
+  if (ev.type == obs::EventType::kWireDrop) {
+    obs::append_format(line, " ** dropped (%s)",
+                       ev.detail != nullptr && *ev.detail != '\0'
+                           ? ev.detail
+                           : "unknown");
   }
-  std::snprintf(buf, sizeof(buf), "win %u, ", pkt.tcp.window);
-  line += buf;
-  if (pkt.tcp.flags.syn) {
-    std::snprintf(buf, sizeof(buf), "options [mss %u%s%s], ",
-                  pkt.tcp.mss_option,
-                  pkt.tcp.wscale_present ? ",wscale" : "",
-                  pkt.tcp.timestamps ? ",TS" : "");
-    line += buf;
-  } else if (pkt.tcp.timestamps) {
-    line += "options [TS], ";
-  }
-  if (pkt.tcp.is_retransmit) line += "retransmission, ";
-  if (pkt.corrupted) line += "corrupt, ";
-  std::snprintf(buf, sizeof(buf), "length %u", pkt.payload_bytes);
-  line += buf;
   return line;
+}
+
+std::string format_frame(sim::SimTime at, const net::Packet& pkt) {
+  return format_wire_event(
+      obs::packet_event(obs::EventType::kWireTx, at, pkt));
 }
 
 std::string fault_summary(const link::Link& wire) {
@@ -85,19 +85,27 @@ std::unique_ptr<sim::Recorder> make_fault_recorder(sim::Simulator& simulator,
   return rec;
 }
 
-void Capture::attach(link::Link& wire) {
-  wire.tap = [this](const net::Packet& pkt, bool) { on_frame(pkt); };
+Capture::Capture(sim::Simulator& simulator, const CaptureOptions& options)
+    : sim_(simulator), options_(options), sink_(/*capacity=*/1) {
+  sink_.filter = [this](const obs::TraceEvent& ev) {
+    if (ev.type != obs::EventType::kWireTx &&
+        ev.type != obs::EventType::kWireDrop) {
+      return false;
+    }
+    ++seen_;
+    if (options_.filter && !options_.filter(ev)) return false;
+    ++recorded_;
+    return true;
+  };
+  sink_.on_record = [this](const obs::TraceEvent& ev) {
+    lines_.push_back(format_wire_event(ev));
+    while (lines_.size() > options_.max_lines) lines_.pop_front();
+  };
 }
 
-void Capture::detach(link::Link& wire) { wire.tap = nullptr; }
+void Capture::attach(link::Link& wire) { wire.set_trace(&sink_); }
 
-void Capture::on_frame(const net::Packet& pkt) {
-  ++seen_;
-  if (options_.filter && !options_.filter(pkt)) return;
-  ++recorded_;
-  lines_.push_back(format_frame(sim_.now(), pkt));
-  while (lines_.size() > options_.max_lines) lines_.pop_front();
-}
+void Capture::detach(link::Link& wire) { wire.set_trace(nullptr); }
 
 std::string Capture::text() const {
   std::string out;

@@ -2,8 +2,10 @@
 // for analyzing protocols at the wire level" — the paper used it alongside
 // MAGNET to diagnose the window/MSS pathologies of §3.5.1).
 //
-// A Capture attaches to a simulated Link's wire tap and records one
-// formatted line per frame, with optional filtering and a bounded ring.
+// A Capture is now a formatter over the observability trace: it owns an
+// obs::TraceSink, arms it on a Link, and renders each wire event as one
+// tcpdump-like line. Frames lost to fault injection appear with a
+// " ** dropped (<cause>)" suffix — the old wire tap never saw the verdict.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,7 @@
 
 #include "link/link.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/recorder.hpp"
 #include "sim/simulator.hpp"
 
@@ -23,13 +26,17 @@ struct CaptureOptions {
   /// Keep at most this many lines (oldest dropped first), like `tcpdump -c`
   /// but ring-buffered.
   std::size_t max_lines = 10000;
-  /// Only record frames matching this predicate (null = everything).
-  std::function<bool(const net::Packet&)> filter;
+  /// Only record wire events matching this predicate (null = everything).
+  std::function<bool(const obs::TraceEvent&)> filter;
 };
 
-/// Formats one frame as a tcpdump-like line, e.g.
+/// Formats one wire event as a tcpdump-like line, e.g.
 ///   "12.345678 1 > 2: Flags [S], seq 100021, win 65535, options [mss 8960,wscale 0,TS], length 0"
 ///   "12.345901 1 > 2: Flags [.], seq 100022:109970, ack 200025, win 62636, length 8948"
+/// kWireDrop events gain a trailing " ** dropped (<cause>)".
+std::string format_wire_event(const obs::TraceEvent& ev);
+
+/// Formats one frame directly (builds the trace event internally).
 std::string format_frame(sim::SimTime at, const net::Packet& pkt);
 
 /// One-line fault report for a link, `netstat -i`-style: the plan in force
@@ -46,15 +53,17 @@ std::unique_ptr<sim::Recorder> make_fault_recorder(sim::Simulator& simulator,
 
 class Capture {
  public:
-  Capture(sim::Simulator& simulator, const CaptureOptions& options = {})
-      : sim_(simulator), options_(options) {}
+  explicit Capture(sim::Simulator& simulator,
+                   const CaptureOptions& options = {});
 
-  /// Attaches to a link's tap (replacing any existing tap).
+  /// Arms this capture's sink on the link (replacing any sink already
+  /// armed there, like the old tap-stealing semantics).
   void attach(link::Link& wire);
-  /// Detaches (clears the link's tap).
+  /// Disarms the link's trace sink.
   void detach(link::Link& wire);
 
   const std::deque<std::string>& lines() const { return lines_; }
+  /// Wire events seen (transmissions and drops, before the filter).
   std::uint64_t frames_seen() const { return seen_; }
   std::uint64_t frames_recorded() const { return recorded_; }
   void clear() { lines_.clear(); }
@@ -62,11 +71,13 @@ class Capture {
   /// Convenience: concatenates all lines.
   std::string text() const;
 
- private:
-  void on_frame(const net::Packet& pkt);
+  /// The underlying sink (e.g. to hand to attach_flight_recorder).
+  obs::TraceSink& sink() { return sink_; }
 
+ private:
   sim::Simulator& sim_;
   CaptureOptions options_;
+  obs::TraceSink sink_;
   std::deque<std::string> lines_;
   std::uint64_t seen_ = 0;
   std::uint64_t recorded_ = 0;

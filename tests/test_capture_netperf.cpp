@@ -47,7 +47,7 @@ TEST(Capture, FilterAndRingLimit) {
 
   tools::CaptureOptions copt;
   copt.max_lines = 8;
-  copt.filter = [](const net::Packet& p) { return p.payload_bytes > 0; };
+  copt.filter = [](const obs::TraceEvent& ev) { return ev.len > 0; };
   tools::Capture cap(tb.simulator(), copt);
   cap.attach(wire);
 
@@ -78,6 +78,26 @@ TEST(Capture, FormatsRetransmissions) {
   EXPECT_NE(line.find("seq 1000:1100"), std::string::npos);
   EXPECT_NE(line.find("ack 2000"), std::string::npos);
   EXPECT_NE(line.find("retransmission"), std::string::npos);
+}
+
+TEST(Capture, LongLinesAreNotTruncated) {
+  // append_format used to drop everything past its 256-byte stack buffer
+  // because the snprintf return value was ignored.
+  std::string out = "prefix:";
+  const std::string big(1000, 'x');
+  obs::append_format(out, "[%s]%d", big.c_str(), 42);
+  EXPECT_EQ(out, "prefix:[" + big + "]42");
+
+  obs::TraceEvent ev;
+  ev.type = obs::EventType::kWireDrop;
+  ev.proto = static_cast<std::uint8_t>(net::Protocol::kTcp);
+  ev.src = 1;
+  ev.dst = 2;
+  ev.len = 100;
+  const std::string cause(400, 'c');
+  ev.detail = cause.c_str();
+  const std::string line = tools::format_wire_event(ev);
+  EXPECT_NE(line.find("** dropped (" + cause + ")"), std::string::npos);
 }
 
 TEST(Netperf, StreamCorrespondsToNttcp) {

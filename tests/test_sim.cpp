@@ -2,6 +2,7 @@
 // RNG, statistics.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -373,6 +374,94 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_EQ(h.bucket_count(9), 2u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bucket_low(5), 5.0);
+}
+
+TEST(Histogram, NonFiniteSamplesClampDeterministically) {
+  // Casting NaN or an out-of-range double to size_t is UB; these must land
+  // in the edge buckets instead.
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bucket_count(0), 2u);  // NaN and -inf clamp low
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +inf clamps high
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ZeroSpanRangeNeverDividesByZero) {
+  Histogram h(5.0, 5.0, 3);  // degenerate [5,5): span == 0
+  h.add(5.0);
+  h.add(4.0);
+  h.add(6.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.bucket_count(0), 4u);  // finite samples land in bucket 0
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ExactUpperEdgeStaysInRange) {
+  // x == hi maps to pos == buckets; the cast must clamp, not index
+  // one-past-the-end.
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(SampleSet, EmptyAndSingleSample) {
+  SampleSet empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.summary().count(), 0u);
+
+  SampleSet one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.summary().mean(), 42.0);
+}
+
+TEST(SampleSet, AllEqualSamples) {
+  SampleSet s;
+  for (int i = 0; i < 10; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.summary().stddev(), 0.0);
+}
+
+TEST(SampleSet, SummaryIsIndependentOfQuantileCalls) {
+  // summary() accumulates in insertion order; the lazy sorted cache that
+  // quantile() builds must never leak into the (order-sensitive) Welford
+  // result. Use values whose FP sums differ between orderings.
+  SampleSet a, b;
+  const std::vector<double> xs = {1e16, 3.14159, -1e16, 2.71828, 1.0, 1e-9};
+  for (double x : xs) {
+    a.add(x);
+    b.add(x);
+  }
+  (void)b.quantile(0.5);  // sorts b's cache
+  const OnlineStats sa = a.summary();
+  const OnlineStats sb = b.summary();
+  EXPECT_EQ(sa.mean(), sb.mean());
+  EXPECT_EQ(sa.variance(), sb.variance());
+  // And quantile still answers from sorted data after more adds.
+  b.add(-1e20);
+  EXPECT_DOUBLE_EQ(b.quantile(0.0), -1e20);
+}
+
+TEST(SampleSet, CopyDropsSortCacheButKeepsSamples) {
+  SampleSet a;
+  a.add(3.0);
+  a.add(1.0);
+  (void)a.quantile(0.5);  // build the cache
+  SampleSet b = a;
+  b.add(2.0);
+  EXPECT_DOUBLE_EQ(b.median(), 2.0);
+  SampleSet c;
+  c = a;
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
 }
 
 // Property sweep: resource completion time equals sum of costs regardless of

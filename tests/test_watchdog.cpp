@@ -5,6 +5,8 @@
 #include <string>
 
 #include "core/testbed.hpp"
+#include "fault/host_fault.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/watchdog.hpp"
 #include "tools/nttcp.hpp"
@@ -144,6 +146,58 @@ TEST(Watchdog, DeadCarrierConvertsHangIntoDiagnosticFailure) {
   // The endpoints were healthy — just cut off. The invariants held.
   EXPECT_EQ(conn.client->invariant_violation(), "");
   EXPECT_EQ(conn.server->invariant_violation(), "");
+}
+
+// A permanently stalled rx descriptor ring wedges the transfer; the trip
+// autopsy must carry the flight-recorder tail showing *what* was happening
+// at the wedge (ring-full drops at the receiver's NIC), not just "no
+// progress".
+TEST(Watchdog, AutopsyIncludesFlightRecorderTail) {
+  core::Testbed tb;
+  obs::TraceSink sink(64);
+  tb.set_trace_sink(&sink);
+
+  const auto tuning = core::TuningProfile::lan_tuned(9000);
+  auto& a = tb.add_host("a", hw::presets::pe2650(), tuning);
+  // A tiny rx ring on the receiver so the stall fills it within a handful
+  // of frames.
+  nic::AdapterSpec small;
+  small.rx_ring = 8;
+  auto& b = tb.add_host("b", hw::presets::pe2650(), tuning, small);
+  tb.connect(a, b);
+  auto conn =
+      tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
+  ASSERT_TRUE(tb.run_until_established(conn));
+
+  // The driver stops replenishing the receive ring from now on — forever.
+  fault::HostFaultPlan stall;
+  stall.with_rx_ring_stall(tb.now(), sim::sec(3600));
+  b.set_host_fault_plan(stall);
+
+  for (int i = 0; i < 64; ++i) conn.client->app_send(8948, nullptr);
+
+  sim::Watchdog::Options opt;
+  opt.interval = sim::msec(100);
+  opt.stalled_ticks = 20;
+  sim::Watchdog dog(tb.simulator(), opt);
+  dog.watch_progress("delivered", [&]() {
+    return conn.server->stats().bytes_delivered;
+  });
+  obs::attach_flight_recorder(dog, sink, 16);
+  dog.arm();
+
+  tb.run_for(sim::sec(120));
+  ASSERT_TRUE(dog.tripped());
+  const std::string& why = dog.diagnosis();
+  EXPECT_NE(why.find("no forward progress"), std::string::npos);
+  EXPECT_NE(why.find("flight-recorder"), std::string::npos);
+  // The tail names the mechanism: the retransmission loop slamming into the
+  // receiver NIC's full ring. (The one-shot kRingStall event from the stall
+  // onset has aged out of the tail by trip time — the tail shows the steady
+  // state, which is the point.)
+  EXPECT_NE(why.find("rx-ring-full"), std::string::npos) << why;
+  EXPECT_NE(why.find("retransmission"), std::string::npos) << why;
+  EXPECT_GT(b.adapter(0).rx_dropped_ring(), 0u);
 }
 
 // A healthy transfer under the same watchdog must never trip it and must
