@@ -23,6 +23,7 @@
 #include "fault/fault.hpp"
 #include "link/wan.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "tools/iperf.hpp"
 #include "tools/netpipe.hpp"
 #include "tools/nttcp.hpp"
@@ -84,12 +85,29 @@ class ResultLog {
     snapshots_.emplace_back(label, snap.to_json());
   }
 
+  /// Records a span-profiler stage breakdown under `label` (schema v2).
+  void add_breakdown(const std::string& label, const obs::SpanBreakdown& b) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    breakdowns_.emplace_back(label, obs::breakdown_json(b));
+  }
+
+  /// Records a flow-sampler time series under `label` (schema v2).
+  void add_timeseries(const std::string& label,
+                      const obs::FlowSampler& sampler) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    timeseries_.emplace_back(label, obs::series_json(sampler));
+  }
+
   /// Renders and writes the log; false on I/O failure. No-op when disabled.
   bool write() {
     if (!enabled()) return true;
     std::lock_guard<std::mutex> lock(mu_);
     std::sort(snapshots_.begin(), snapshots_.end());
-    std::string out = "{\"schema\":\"xgbe-bench/1\",\"binary\":\"" +
+    std::sort(breakdowns_.begin(), breakdowns_.end());
+    std::sort(timeseries_.begin(), timeseries_.end());
+    std::string out = "{\"schema\":\"xgbe-bench/2\",\"binary\":\"" +
                       obs::json_escape(binary_) + "\",\"points\":[";
     bool first = true;
     for (const Point& p : points_) {
@@ -113,6 +131,22 @@ class ResultLog {
       out += "{\"label\":\"" + obs::json_escape(label) +
              "\",\"snapshot\":" + json + "}";
     }
+    out += "],\"breakdowns\":[";
+    first = true;
+    for (const auto& [label, json] : breakdowns_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"label\":\"" + obs::json_escape(label) +
+             "\",\"breakdown\":" + json + "}";
+    }
+    out += "],\"timeseries\":[";
+    first = true;
+    for (const auto& [label, json] : timeseries_) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"label\":\"" + obs::json_escape(label) +
+             "\",\"series\":" + json + "}";
+    }
     out += "]}\n";
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) return false;
@@ -132,6 +166,8 @@ class ResultLog {
   std::string binary_;
   std::vector<Point> points_;
   std::vector<std::pair<std::string, std::string>> snapshots_;
+  std::vector<std::pair<std::string, std::string>> breakdowns_;
+  std::vector<std::pair<std::string, std::string>> timeseries_;
 };
 
 /// Builds a stable point name, e.g. point_name("Fig3", {{"mtu", 1500},
@@ -191,11 +227,16 @@ inline tools::NttcpResult nttcp_pair(const hw::SystemSpec& sys,
 }
 
 /// NetPipe latency, back-to-back or through the FastIron switch (Fig 2b).
+/// `spans` (optional) is armed across the testbed before the connection
+/// opens, so every measured segment is attributed; run_netpipe resets it
+/// at the warmup boundary.
 inline tools::NetpipeResult netpipe_pair(const hw::SystemSpec& sys,
                                          const core::TuningProfile& tuning,
                                          std::uint32_t payload,
-                                         bool through_switch) {
+                                         bool through_switch,
+                                         obs::SpanProfiler* spans = nullptr) {
   core::Testbed tb;
+  if (spans != nullptr) tb.set_span_profiler(spans);
   auto& a = tb.add_host("a", sys, tuning);
   auto& b = tb.add_host("b", sys, tuning);
   if (through_switch) {
@@ -210,6 +251,7 @@ inline tools::NetpipeResult netpipe_pair(const hw::SystemSpec& sys,
   tools::NetpipeOptions opt;
   opt.payload = payload;
   opt.iterations = 60;
+  opt.spans = spans;
   auto result = tools::run_netpipe(tb, conn, opt);
   maybe_snapshot(point_name("netpipe", {{"payload", payload},
                                         {"switch", through_switch ? 1 : 0}}),
@@ -307,13 +349,17 @@ struct WanRun {
 
 /// `fault` (when active) is installed on the transatlantic OC-48 — the
 /// bottleneck circuit — modelling the bursty loss and reordering real
-/// transcontinental paths exhibit.
+/// transcontinental paths exhibit. `sampler` (optional) records the primary
+/// stream's cwnd/srtt evolution; it is stopped before the testbed is torn
+/// down so its timer never outlives the simulator.
 inline WanRun wan_run(std::uint32_t buffer_bytes,
                       sim::SimTime warmup = sim::sec(8),
                       sim::SimTime duration = sim::sec(4),
                       int streams = 1,
-                      const fault::FaultPlan& fault = {}) {
+                      const fault::FaultPlan& fault = {},
+                      obs::FlowSampler* sampler = nullptr) {
   core::Testbed tb;
+  if (sampler != nullptr) tb.set_flow_sampler(sampler);
   const auto tuning = core::TuningProfile::wan(buffer_bytes);
   auto& a = tb.add_host("sunnyvale", hw::presets::wan_endpoint(), tuning);
   auto& b = tb.add_host("geneva", hw::presets::wan_endpoint(), tuning);
@@ -369,6 +415,9 @@ inline WanRun wan_run(std::uint32_t buffer_bytes,
     e.server->on_consumed = nullptr;
   }
   run.rtt_ms = sim::to_microseconds(conn.client->srtt()) / 1e3;
+  // The sampler's probes point at endpoints owned by this testbed; stop it
+  // here so its timer (and any future tick) dies with the run.
+  if (sampler != nullptr) sampler->stop();
   for (auto* c : circuits) {
     run.circuit_drops += c->drops_queue();
     run.faults += c->fault_counters();

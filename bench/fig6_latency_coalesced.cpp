@@ -11,19 +11,34 @@ namespace {
 void Fig6_LatencyCoalesced(benchmark::State& state) {
   const bool through_switch = state.range(0) != 0;
   const auto payload = static_cast<std::uint32_t>(state.range(1));
+  xgbe::obs::SpanProfiler spans;
   xgbe::tools::NetpipeResult r;
   for (auto _ : state) {
     r = xgbe::bench::netpipe_pair(
         xgbe::hw::presets::pe2650(),
-        xgbe::core::TuningProfile::lan_tuned(9000), payload, through_switch);
+        xgbe::core::TuningProfile::lan_tuned(9000), payload, through_switch,
+        &spans);
   }
   state.counters["latency_us"] = r.latency_us;
   state.counters["rtt_us"] = r.rtt_us;
-  xgbe::bench::log_point(
-      state,
+  const auto b = spans.breakdown();
+  for (std::size_t i = 0; i < xgbe::obs::kStageCount; ++i) {
+    const auto stage = static_cast<xgbe::obs::Stage>(i);
+    state.counters[std::string("stage/") + xgbe::obs::stage_name(stage) +
+                   "_us"] = b.stage_mean_us(stage);
+  }
+  state.counters["stage/end_to_end_us"] = b.end_to_end_mean_us();
+  const std::string name =
       xgbe::bench::point_name("Fig6_LatencyCoalesced",
                               {{"switch", through_switch ? 1 : 0},
-                               {"payload", payload}}));
+                               {"payload", payload}});
+  if (payload == 1) {
+    // The headline one-byte point: show where the microseconds go.
+    std::printf("\n%s\n%s", name.c_str(),
+                xgbe::obs::format_breakdown_table(b, r.latency_us).c_str());
+  }
+  xgbe::bench::ResultLog::instance().add_breakdown(name, b);
+  xgbe::bench::log_point(state, name);
 }
 
 }  // namespace

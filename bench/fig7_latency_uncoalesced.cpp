@@ -11,18 +11,33 @@ void Fig7_LatencyUncoalesced(benchmark::State& state) {
   const auto payload = static_cast<std::uint32_t>(state.range(1));
   auto tuning = xgbe::core::TuningProfile::lan_tuned(9000);
   tuning.intr_delay = 0;  // ethtool -C rx-usecs 0
+  xgbe::obs::SpanProfiler spans;
   xgbe::tools::NetpipeResult r;
   for (auto _ : state) {
     r = xgbe::bench::netpipe_pair(xgbe::hw::presets::pe2650(), tuning,
-                                  payload, through_switch);
+                                  payload, through_switch, &spans);
   }
   state.counters["latency_us"] = r.latency_us;
   state.counters["rtt_us"] = r.rtt_us;
-  xgbe::bench::log_point(
-      state,
+  const auto b = spans.breakdown();
+  for (std::size_t i = 0; i < xgbe::obs::kStageCount; ++i) {
+    const auto stage = static_cast<xgbe::obs::Stage>(i);
+    state.counters[std::string("stage/") + xgbe::obs::stage_name(stage) +
+                   "_us"] = b.stage_mean_us(stage);
+  }
+  state.counters["stage/end_to_end_us"] = b.end_to_end_mean_us();
+  const std::string name =
       xgbe::bench::point_name("Fig7_LatencyUncoalesced",
                               {{"switch", through_switch ? 1 : 0},
-                               {"payload", payload}}));
+                               {"payload", payload}});
+  if (payload == 1) {
+    // Compare the intr-coalesce row here against Fig 6's: the ~5 us the
+    // paper shaves by `ethtool -C rx-usecs 0` lands in that one stage.
+    std::printf("\n%s\n%s", name.c_str(),
+                xgbe::obs::format_breakdown_table(b, r.latency_us).c_str());
+  }
+  xgbe::bench::ResultLog::instance().add_breakdown(name, b);
+  xgbe::bench::log_point(state, name);
 }
 
 }  // namespace

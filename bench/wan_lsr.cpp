@@ -16,9 +16,16 @@
 namespace {
 
 void Wan_LandSpeedRecord(benchmark::State& state) {
+  // Sample the record stream's congestion state four times a second: the
+  // time series shows slow start ramping and then cwnd pinned flat by the
+  // flow window — the "implicit cap" the paper credits for the record.
+  xgbe::obs::FlowSampler sampler(xgbe::sim::msec(250));
   xgbe::bench::WanRun run;
   for (auto _ : state) {
-    run = xgbe::bench::wan_run(80u * 1024 * 1024);
+    sampler.reset();
+    run = xgbe::bench::wan_run(80u * 1024 * 1024, xgbe::sim::sec(8),
+                               xgbe::sim::sec(4), /*streams=*/1, {},
+                               &sampler);
   }
   const double gbps = run.result.throughput_gbps();
   state.counters["Gb/s"] = gbps;
@@ -28,6 +35,17 @@ void Wan_LandSpeedRecord(benchmark::State& state) {
   state.counters["efficiency"] = gbps / 2.40;
   // Hours to move one terabyte at the achieved rate.
   state.counters["TB_hours"] = gbps > 0 ? 8e12 / (gbps * 1e9) / 3600.0 : 0.0;
+  state.counters["cwnd_samples"] =
+      static_cast<double>(sampler.rows().size());
+  std::uint32_t cwnd_peak = 0;
+  for (const auto& row : sampler.rows()) {
+    cwnd_peak = std::max(cwnd_peak, row.sample.cwnd_segments);
+  }
+  state.counters["cwnd_peak_segments"] = static_cast<double>(cwnd_peak);
+  std::printf("\ncwnd time series (250 ms cadence):\n%s",
+              sampler.to_csv().c_str());
+  xgbe::bench::ResultLog::instance().add_timeseries(
+      xgbe::bench::point_name("Wan_LandSpeedRecord"), sampler);
   xgbe::bench::log_point(state,
                          xgbe::bench::point_name("Wan_LandSpeedRecord"));
 }

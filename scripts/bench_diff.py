@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Diff two bench --json result logs and fail on regressions.
+
+Compares the per-point counters of `current` against `baseline` (points are
+matched by name). Any counter whose value moved by more than the tolerance —
+or any baseline point/counter missing from `current` — is a regression and
+the script exits 1. Points or counters that exist only in `current` are
+reported but allowed: the schema grows additively.
+
+The simulator is deterministic, so the default tolerances are tight
+(rel 1e-6, abs 1e-9): a "diff" here means the model changed, not that the
+measurement was noisy. Loosen the tolerances when diffing across intentional
+model changes to see the magnitude of every shift.
+
+Stdlib-only so CI can run it on a bare python3.
+
+Usage:
+  bench_diff.py baseline.json current.json [--rel-tol R] [--abs-tol A]
+  bench_diff.py --self-test
+
+Exit codes: 0 = no regression, 1 = regression / missing data,
+2 = usage or I/O error.
+"""
+
+import argparse
+import json
+import sys
+
+SENTINELS = {"nan", "inf", "-inf"}
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _points_by_name(doc):
+    points = {}
+    for point in doc.get("points", []):
+        if isinstance(point, dict) and isinstance(point.get("name"), str):
+            points[point["name"]] = point.get("counters", {})
+    return points
+
+
+def _differs(base, cur, rel_tol, abs_tol):
+    """True when the two counter values are meaningfully different."""
+    if isinstance(base, str) or isinstance(cur, str):
+        # nan/inf sentinels: only an exact sentinel match is equal.
+        return base != cur
+    return abs(cur - base) > abs_tol + rel_tol * abs(base)
+
+
+def diff(baseline, current, rel_tol, abs_tol, out=sys.stdout):
+    """Returns the number of regressions; prints one line per finding."""
+    base_points = _points_by_name(baseline)
+    cur_points = _points_by_name(current)
+    regressions = 0
+
+    for name in sorted(base_points):
+        if name not in cur_points:
+            print(f"MISSING point {name!r} (present in baseline)", file=out)
+            regressions += 1
+            continue
+        base_counters = base_points[name]
+        cur_counters = cur_points[name]
+        for key in sorted(base_counters):
+            if key not in cur_counters:
+                print(f"MISSING counter {name!r}:{key!r}", file=out)
+                regressions += 1
+                continue
+            base_value = base_counters[key]
+            cur_value = cur_counters[key]
+            if _differs(base_value, cur_value, rel_tol, abs_tol):
+                if isinstance(base_value, str) or isinstance(cur_value, str):
+                    detail = f"{base_value!r} -> {cur_value!r}"
+                else:
+                    delta = cur_value - base_value
+                    pct = (100.0 * delta / base_value) if base_value else float("inf")
+                    detail = f"{base_value:g} -> {cur_value:g} ({delta:+g}, {pct:+.4g}%)"
+                print(f"DIFF {name}:{key}: {detail}", file=out)
+                regressions += 1
+        for key in sorted(set(cur_counters) - set(base_counters)):
+            print(f"NEW counter {name}:{key} = {cur_counters[key]}", file=out)
+
+    for name in sorted(set(cur_points) - set(base_points)):
+        print(f"NEW point {name}", file=out)
+    return regressions
+
+
+def self_test():
+    """Exercises the matcher without touching the filesystem."""
+    baseline = {
+        "schema": "xgbe-bench/2",
+        "binary": "fig6",
+        "points": [
+            {"name": "a", "counters": {"latency_us": 18.2087, "rtt_us": 36.4174}},
+            {"name": "b", "counters": {"gbps": 2.37, "special": "nan"}},
+        ],
+    }
+    import copy
+    import io
+
+    identical = copy.deepcopy(baseline)
+    assert diff(baseline, identical, 1e-6, 1e-9, out=io.StringIO()) == 0, \
+        "identical logs must not diff"
+
+    perturbed = copy.deepcopy(baseline)
+    perturbed["points"][0]["counters"]["latency_us"] *= 1.5
+    assert diff(baseline, perturbed, 1e-6, 1e-9, out=io.StringIO()) == 1, \
+        "a 50% latency regression must be caught"
+    assert diff(baseline, perturbed, 0.6, 1e-9, out=io.StringIO()) == 0, \
+        "a loose rel-tol must absorb it"
+
+    missing = copy.deepcopy(baseline)
+    del missing["points"][1]
+    assert diff(baseline, missing, 1e-6, 1e-9, out=io.StringIO()) == 1, \
+        "a dropped point must be caught"
+
+    dropped_counter = copy.deepcopy(baseline)
+    del dropped_counter["points"][0]["counters"]["rtt_us"]
+    assert diff(baseline, dropped_counter, 1e-6, 1e-9, out=io.StringIO()) == 1, \
+        "a dropped counter must be caught"
+
+    sentinel = copy.deepcopy(baseline)
+    sentinel["points"][1]["counters"]["special"] = "inf"
+    assert diff(baseline, sentinel, 1e-6, 1e-9, out=io.StringIO()) == 1, \
+        "a sentinel flip must be caught"
+
+    additive = copy.deepcopy(baseline)
+    additive["points"][0]["counters"]["new_metric"] = 1.0
+    additive["points"].append({"name": "c", "counters": {"x": 1}})
+    assert diff(baseline, additive, 1e-6, 1e-9, out=io.StringIO()) == 0, \
+        "additive growth must be allowed"
+
+    print("bench_diff.py self-test: OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline result log")
+    parser.add_argument("current", nargs="?", help="current result log")
+    parser.add_argument("--rel-tol", type=float, default=1e-6)
+    parser.add_argument("--abs-tol", type=float, default=1e-9)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in behaviour checks and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    try:
+        baseline = _load(args.baseline)
+        current = _load(args.current)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable input: {exc}", file=sys.stderr)
+        return 2
+    regressions = diff(baseline, current, args.rel_tol, args.abs_tol)
+    npoints = len(_points_by_name(baseline))
+    if regressions == 0:
+        print(f"OK: {npoints} baseline points matched within tolerance")
+        return 0
+    print(f"FAIL: {regressions} regression(s) against {npoints} baseline points",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,11 @@
 #!/usr/bin/env python3
-"""Validate a bench --json result log against the xgbe-bench/1 contract.
+"""Validate a bench --json result log against the xgbe-bench contract.
+
+Accepts both schema versions: "xgbe-bench/1" (points + snapshots) and
+"xgbe-bench/2", which adds span-profiler stage breakdowns and flow-sampler
+time series. For v2 the validator also enforces the telescoping-ledger
+invariant: every breakdown's stage total_ps values must sum *exactly* to
+its end_to_end total_ps.
 
 Stdlib-only (no jsonschema dependency): this script hand-implements the
 checks that bench/results.schema.json documents, so CI can run it on a
@@ -13,6 +19,11 @@ import sys
 
 NUMERIC_SENTINELS = {"nan", "inf", "-inf"}
 METRIC_KINDS = {"counter", "gauge", "distribution"}
+SCHEMAS = {"xgbe-bench/1", "xgbe-bench/2"}
+STAGES = ["app-write", "sockbuf", "tx-ring", "tx-dma", "wire", "switch-queue",
+          "rx-ring", "intr-coalesce", "rx-stack", "app-read"]
+SERIES_COLUMNS = ["at_ps", "flow", "cwnd_segments", "ssthresh_segments",
+                  "flight_bytes", "srtt_us", "rwnd_bytes"]
 
 
 def _err(errors, path, message):
@@ -48,12 +59,87 @@ def _check_metric(errors, path, metric):
             _check_number(errors, f"{path}.{key}", metric.get(key))
 
 
+def _check_nonneg_int(errors, path, value):
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        _err(errors, path, f"expected non-negative integer, got {value!r}")
+
+
+def _check_breakdown(errors, where, entry):
+    if not isinstance(entry, dict):
+        _err(errors, where, "must be an object")
+        return
+    if not isinstance(entry.get("label"), str) or not entry.get("label"):
+        _err(errors, where, "missing non-empty 'label'")
+    b = entry.get("breakdown")
+    if not isinstance(b, dict):
+        _err(errors, where, "missing 'breakdown' object")
+        return
+    for key in ("journeys", "opened", "aborted", "overflowed"):
+        _check_nonneg_int(errors, f"{where}.{key}", b.get(key))
+    e2e = b.get("end_to_end")
+    if not isinstance(e2e, dict):
+        _err(errors, where, "missing 'end_to_end' object")
+        return
+    _check_nonneg_int(errors, f"{where}.end_to_end.total_ps", e2e.get("total_ps"))
+    _check_number(errors, f"{where}.end_to_end.mean_us", e2e.get("mean_us"))
+    stages = b.get("stages")
+    if not isinstance(stages, list):
+        _err(errors, where, "missing 'stages' array")
+        return
+    names = [s.get("stage") for s in stages if isinstance(s, dict)]
+    if names != STAGES:
+        _err(errors, f"{where}.stages",
+             f"stages must be exactly {STAGES} in order, got {names}")
+        return
+    total = 0
+    for j, s in enumerate(stages):
+        _check_nonneg_int(errors, f"{where}.stages[{j}].total_ps", s.get("total_ps"))
+        _check_number(errors, f"{where}.stages[{j}].mean_us", s.get("mean_us"))
+        if isinstance(s.get("total_ps"), int):
+            total += s["total_ps"]
+    if isinstance(e2e.get("total_ps"), int) and total != e2e["total_ps"]:
+        _err(errors, where,
+             f"stage conservation violated: sum(stages.total_ps)={total} != "
+             f"end_to_end.total_ps={e2e['total_ps']}")
+
+
+def _check_series(errors, where, entry):
+    if not isinstance(entry, dict):
+        _err(errors, where, "must be an object")
+        return
+    if not isinstance(entry.get("label"), str) or not entry.get("label"):
+        _err(errors, where, "missing non-empty 'label'")
+    series = entry.get("series")
+    if not isinstance(series, dict):
+        _err(errors, where, "missing 'series' object")
+        return
+    interval = series.get("interval_ps")
+    if not isinstance(interval, int) or isinstance(interval, bool) or interval < 1:
+        _err(errors, f"{where}.series.interval_ps", "must be a positive integer")
+    if series.get("columns") != SERIES_COLUMNS:
+        _err(errors, f"{where}.series.columns",
+             f"must be exactly {SERIES_COLUMNS}")
+    rows = series.get("rows")
+    if not isinstance(rows, list):
+        _err(errors, f"{where}.series.rows", "must be an array")
+        return
+    for j, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(SERIES_COLUMNS):
+            _err(errors, f"{where}.series.rows[{j}]",
+                 f"must be an array of {len(SERIES_COLUMNS)} numbers")
+            continue
+        for k, value in enumerate(row):
+            _check_number(errors, f"{where}.series.rows[{j}][{k}]", value)
+
+
 def validate(doc):
     errors = []
     if not isinstance(doc, dict):
         return ["top level must be an object"]
-    if doc.get("schema") != "xgbe-bench/1":
-        _err(errors, "schema", f"expected 'xgbe-bench/1', got {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in SCHEMAS:
+        _err(errors, "schema",
+             f"expected one of {sorted(SCHEMAS)}, got {schema!r}")
     if not isinstance(doc.get("binary"), str) or not doc.get("binary"):
         _err(errors, "binary", "must be a non-empty string")
 
@@ -100,6 +186,19 @@ def validate(doc):
                  "paths must be sorted (determinism contract)")
         for j, metric in enumerate(metrics):
             _check_metric(errors, f"{where}.snapshot.metrics[{j}]", metric)
+
+    if schema == "xgbe-bench/2":
+        for key, checker in (("breakdowns", _check_breakdown),
+                             ("timeseries", _check_series)):
+            entries = doc.get(key)
+            if not isinstance(entries, list):
+                _err(errors, key, "must be an array (required in v2)")
+                continue
+            labels = [e.get("label") for e in entries if isinstance(e, dict)]
+            if labels != sorted(labels):
+                _err(errors, key, "labels must be sorted (determinism contract)")
+            for i, entry in enumerate(entries):
+                checker(errors, f"{key}[{i}]", entry)
     return errors
 
 
@@ -124,7 +223,10 @@ def main(argv):
         else:
             npoints = len(doc.get("points", []))
             nsnaps = len(doc.get("snapshots", []))
-            print(f"{filename}: OK ({npoints} points, {nsnaps} snapshots)")
+            nbreak = len(doc.get("breakdowns", []))
+            nseries = len(doc.get("timeseries", []))
+            print(f"{filename}: OK ({npoints} points, {nsnaps} snapshots, "
+                  f"{nbreak} breakdowns, {nseries} timeseries)")
     return 1 if failed else 0
 
 

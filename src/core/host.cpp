@@ -40,6 +40,7 @@ std::size_t Host::add_adapter(const nic::AdapterSpec& spec) {
   nic::Adapter* raw = adapters_.back().get();
   raw->set_host_faults(&host_faults_);
   if (trace_) raw->set_trace(trace_, node_);
+  if (spans_) raw->set_span_profiler(spans_);
   raw->set_rx_handler([this, raw](std::vector<net::Packet> batch) {
     kernel_->rx_interrupt(std::move(batch), raw->spec().csum_offload,
                           [this](const net::Packet& pkt) { demux(pkt); });
@@ -72,6 +73,7 @@ tcp::Endpoint& Host::create_endpoint(const tcp::EndpointConfig& config,
   auto [it, inserted] = endpoints_.emplace(
       flow, std::make_unique<tcp::Endpoint>(sim_, config, std::move(hooks)));
   if (trace_) it->second->set_trace(trace_);
+  if (spans_) it->second->set_span_profiler(spans_);
   return *it->second;
 }
 
@@ -80,6 +82,13 @@ void Host::set_trace(obs::TraceSink* sink) {
   kernel_->set_trace(sink, node_);
   for (auto& adapter : adapters_) adapter->set_trace(sink, node_);
   for (auto& [flow, ep] : endpoints_) ep->set_trace(sink);
+}
+
+void Host::set_span_profiler(obs::SpanProfiler* spans) {
+  spans_ = spans;
+  kernel_->set_span_profiler(spans);
+  for (auto& adapter : adapters_) adapter->set_span_profiler(spans);
+  for (auto& [flow, ep] : endpoints_) ep->set_span_profiler(spans);
 }
 
 void Host::register_metrics(obs::Registry& reg,

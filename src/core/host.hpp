@@ -88,6 +88,10 @@ class Host {
   /// existing and future (components created later inherit the sink).
   void set_trace(obs::TraceSink* sink);
 
+  /// Arms the span profiler the same way (kernel + adapters + endpoints,
+  /// existing and future). Null disarms.
+  void set_span_profiler(obs::SpanProfiler* spans);
+
   /// Registers the whole host under `prefix`: kernel at "/kernel", adapters
   /// at "/nic<i>", endpoints at "/tcp/flow<id>", plus host-fault counters
   /// and demux accounting. Endpoints created after this call are not
@@ -117,6 +121,7 @@ class Host {
   std::unordered_map<net::FlowId, std::unique_ptr<tcp::Endpoint>> endpoints_;
   fault::HostFaultInjector host_faults_;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
   std::uint64_t frames_demuxed_ = 0;
   std::uint64_t frames_unclaimed_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "core/testbed.hpp"
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace xgbe::core {
@@ -12,6 +13,7 @@ Host& Testbed::add_host(const std::string& name,
   hosts_.push_back(std::make_unique<Host>(sim_, system, tuning, adapter,
                                           next_node(), name));
   if (trace_) hosts_.back()->set_trace(trace_);
+  if (spans_) hosts_.back()->set_span_profiler(spans_);
   return *hosts_.back();
 }
 
@@ -21,6 +23,7 @@ link::Link& Testbed::connect(Host& a, Host& b, const link::LinkSpec& spec,
       sim_, spec, a.name() + "<->" + b.name()));
   link::Link* wire = links_.back().get();
   if (trace_) wire->set_trace(trace_);
+  if (spans_) wire->set_span_profiler(spans_);
   a.adapter(a_adapter).connect(wire, /*side_a=*/true);
   b.adapter(b_adapter).connect(wire, /*side_a=*/false);
   return *wire;
@@ -30,6 +33,7 @@ link::EthernetSwitch& Testbed::add_switch(const link::SwitchSpec& spec) {
   switches_.push_back(std::make_unique<link::EthernetSwitch>(
       sim_, spec, "switch" + std::to_string(switches_.size())));
   if (trace_) switches_.back()->set_trace(trace_);
+  if (spans_) switches_.back()->set_span_profiler(spans_);
   return *switches_.back();
 }
 
@@ -40,6 +44,7 @@ link::Link& Testbed::connect_to_switch(Host& host, link::EthernetSwitch& sw,
       sim_, spec, host.name() + "<->switch"));
   link::Link* wire = links_.back().get();
   if (trace_) wire->set_trace(trace_);
+  if (spans_) wire->set_span_profiler(spans_);
   host.adapter(adapter_index).connect(wire, /*side_a=*/true);
   const int port = sw.add_port(wire, /*side_a=*/false);
   sw.learn(host.node(), port);
@@ -70,6 +75,7 @@ std::vector<link::Link*> Testbed::build_wan_path(
         sim_, circuits[i], "circuit" + std::to_string(i)));
     link::Link* wire = links_.back().get();
     if (trace_) wire->set_trace(trace_);
+    if (spans_) wire->set_span_profiler(spans_);
     const int lo_port = routers[i]->add_port(wire, /*side_a=*/true);
     const int hi_port = routers[i + 1]->add_port(wire, /*side_a=*/false);
     // Teach every router the direction of each host.
@@ -92,6 +98,18 @@ Testbed::Connection Testbed::open_connection(
                                     to_adapter);
   conn.server->listen();
   conn.client->connect();
+  if (sampler_ != nullptr) {
+    tcp::Endpoint* ep = conn.client;
+    sampler_->watch(conn.flow, [ep]() {
+      obs::FlowSampler::Sample s;
+      s.cwnd_segments = ep->cwnd_segments();
+      s.ssthresh_segments = ep->ssthresh();
+      s.flight_bytes = ep->flight_bytes();
+      s.rwnd_bytes = ep->peer_window();
+      s.srtt = ep->srtt();
+      return s;
+    });
+  }
   return conn;
 }
 
@@ -112,6 +130,19 @@ void Testbed::set_trace_sink(obs::TraceSink* sink) {
   for (auto& host : hosts_) host->set_trace(sink);
   for (auto& wire : links_) wire->set_trace(sink);
   for (auto& sw : switches_) sw->set_trace(sink);
+}
+
+void Testbed::set_span_profiler(obs::SpanProfiler* spans) {
+  spans_ = spans;
+  if (spans == nullptr) return;
+  for (auto& host : hosts_) host->set_span_profiler(spans);
+  for (auto& wire : links_) wire->set_span_profiler(spans);
+  for (auto& sw : switches_) sw->set_span_profiler(spans);
+}
+
+void Testbed::set_flow_sampler(obs::FlowSampler* sampler) {
+  sampler_ = sampler;
+  if (sampler != nullptr) sampler->attach(sim_);
 }
 
 namespace {

@@ -13,6 +13,11 @@
 #include "link/switch.hpp"
 #include "sim/simulator.hpp"
 
+namespace xgbe::obs {
+class FlowSampler;
+class SpanProfiler;
+}
+
 namespace xgbe::core {
 
 class Testbed {
@@ -81,6 +86,19 @@ class Testbed {
   void set_trace_sink(obs::TraceSink* sink);
   obs::TraceSink* trace_sink() const { return trace_; }
 
+  /// Arms the span profiler across the whole testbed, same fan-out and
+  /// lifetime rules as set_trace_sink(). The profiler must outlive the
+  /// testbed or be disarmed before teardown.
+  void set_span_profiler(obs::SpanProfiler* spans);
+  obs::SpanProfiler* span_profiler() const { return spans_; }
+
+  /// Arms the flow sampler: every connection opened *after* this call gets
+  /// a read-only probe of the client endpoint's cwnd/ssthresh/flight/
+  /// rwnd/srtt, sampled every sampler interval. Arm before
+  /// open_connection(); existing connections are not revisited.
+  void set_flow_sampler(obs::FlowSampler* sampler);
+  obs::FlowSampler* flow_sampler() const { return sampler_; }
+
   /// Registers the whole testbed: hosts by name, links under
   /// "link/<name>", switches under "switch/<name>" (duplicate names get a
   /// "#<i>" suffix so paths stay unique). Call after the topology and
@@ -95,6 +113,8 @@ class Testbed {
   net::NodeId node_counter_ = 1;
   net::FlowId flow_counter_ = 1;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
+  obs::FlowSampler* sampler_ = nullptr;
 };
 
 }  // namespace xgbe::core

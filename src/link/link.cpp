@@ -4,6 +4,7 @@
 
 #include "net/headers.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace xgbe::link {
@@ -85,6 +86,7 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
       trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
                             name_.c_str(), "queue-full");
     }
+    if (spans_) spans_->abort(pkt);
     if (tx_done) sim_.schedule(0, std::move(tx_done));
     return;
   }
@@ -129,6 +131,15 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
                             name_.c_str(), fault::cause_name(verdict.cause));
     } else {
       trace_->record_packet(obs::EventType::kWireTx, now, pkt, name_.c_str());
+    }
+  }
+  // The wire stage opens here and accumulates per hop (pipe queueing +
+  // serialization + propagation all land in it).
+  if (spans_ != nullptr) {
+    if (verdict.drop) {
+      spans_->abort(pkt);
+    } else {
+      spans_->mark(pkt, obs::Stage::kWire, now);
     }
   }
   if (verdict.drop) return;

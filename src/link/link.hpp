@@ -14,6 +14,7 @@
 
 namespace xgbe::obs {
 class Registry;
+class SpanProfiler;
 class TraceSink;
 }
 
@@ -131,6 +132,10 @@ class Link {
   /// Registers this link's delivery and fault counters under `prefix`.
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Arms the span profiler: each frame that serializes marks the wire
+  /// stage; drops abort the journey. Null disarms (zero perturbation).
+  void set_span_profiler(obs::SpanProfiler* spans) { spans_ = spans; }
+
  private:
   struct Direction {
     Direction(sim::Simulator& simulator, const std::string& n)
@@ -157,6 +162,7 @@ class Link {
   std::uint64_t bytes_ = 0;
   std::uint64_t drops_queue_ = 0;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
 };
 
 }  // namespace xgbe::link

@@ -1,6 +1,7 @@
 #include "link/switch.hpp"
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace xgbe::link {
@@ -71,6 +72,7 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
                               name_.c_str(),
                               fault::cause_name(verdict.cause));
       }
+      if (spans_) spans_->abort(pkt);
       return;
     }
     if (verdict.corrupt) frame.corrupted = true;
@@ -82,9 +84,14 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
       trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
                             name_.c_str(), "no-route");
     }
+    if (spans_) spans_->abort(pkt);
     return;
   }
   const int egress = it->second;
+  // Frame fully arrived and routed: the first wire hop ends, time in the
+  // fabric + egress queue belongs to switch-queue (until the egress link's
+  // transmit re-enters wire).
+  if (spans_) spans_->mark(frame, obs::Stage::kSwitchQueue, sim_.now());
   // The fabric moves the frame to the egress queue; model its bandwidth as
   // a shared serialized resource plus fixed pipeline latency.
   const sim::SimTime fabric_time =
@@ -107,6 +114,7 @@ void EthernetSwitch::egress_frame(int port, const net::Packet& pkt) {
       trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
                             name_.c_str(), "port-buffer-full");
     }
+    if (spans_) spans_->abort(pkt);
     return;
   }
   ++forwarded_;

@@ -69,6 +69,10 @@ class EthernetSwitch {
   /// Registers forwarding and fault counters under `prefix`.
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Arms the span profiler: ingress marks the switch-queue stage (the
+  /// egress link's transmit then re-marks wire); drops abort the journey.
+  void set_span_profiler(obs::SpanProfiler* spans) { spans_ = spans; }
+
  private:
   class Port;
   void on_frame(int ingress, const net::Packet& pkt);
@@ -85,6 +89,7 @@ class EthernetSwitch {
   std::uint64_t dropped_no_route_ = 0;
   std::uint64_t dropped_queue_full_ = 0;
   obs::TraceSink* trace_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
 };
 
 }  // namespace xgbe::link

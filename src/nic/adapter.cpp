@@ -3,6 +3,7 @@
 #include "hw/memory.hpp"
 #include "net/headers.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace xgbe::nic {
@@ -99,6 +100,8 @@ void Adapter::dma_next_tx() {
   tx_dma_active_ = true;
   net::Packet pkt = tx_queue_.front();
   tx_queue_.pop_front();
+  // Descriptor posted and the DMA engine picked it up: tx-ring ends here.
+  if (spans_) spans_->mark(pkt, obs::Stage::kTxDma, sim_.now());
 
   const sim::SimTime bus_time =
       (spec_.on_mch
@@ -180,10 +183,13 @@ void Adapter::receive_frame(const net::Packet& arrived) {
       trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), arrived,
                             name_.c_str(), "rx-ring-full");
     }
+    if (spans_) spans_->abort(arrived);
     return;
   }
   ++rx_ring_used_;
   net::Packet pkt = arrived;
+  // Last bit off the wire, frame in a ring buffer: wire stage ends here.
+  if (spans_) spans_->mark(pkt, obs::Stage::kRxRing, sim_.now());
   if (pkt.trace.enabled) pkt.trace.t_rx_arrive = sim_.now();
   const sim::SimTime bus_time =
       (spec_.on_mch
@@ -194,6 +200,8 @@ void Adapter::receive_frame(const net::Packet& arrived) {
   membus_.submit(hw::bus_time(mem_spec_, pkt.frame_bytes, 1));
   pci_.submit(bus_time, [this, pkt]() mutable {
     if (pkt.trace.enabled) pkt.trace.t_rx_dma = sim_.now();
+    // RX DMA write landed in host memory; the interrupt hold-off begins.
+    if (spans_) spans_->mark(pkt, obs::Stage::kIntrCoalesce, sim_.now());
     if (spec_.rx_corruption_rate > 0.0 && pkt.payload_bytes > 0 &&
         corruption_rng_.chance(spec_.rx_corruption_rate)) {
       pkt.corrupted = true;  // damaged after the adapter's checksum check
@@ -258,6 +266,8 @@ void Adapter::raise_interrupt() {
   batch.swap(rx_batch_);
   for (net::Packet& p : batch) {
     if (p.trace.enabled) p.trace.t_irq = sim_.now();
+    // Interrupt asserted: hold-off ends, the kernel rx path starts.
+    if (spans_) spans_->mark(p, obs::Stage::kRxStack, sim_.now());
   }
   if (rx_handler_) rx_handler_(std::move(batch));
 }

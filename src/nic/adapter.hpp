@@ -20,6 +20,7 @@
 
 namespace xgbe::obs {
 class Registry;
+class SpanProfiler;
 class TraceSink;
 }
 
@@ -134,6 +135,10 @@ class Adapter : public link::NetDevice {
   /// `prefix`.
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Arms the span profiler: stamps tx-dma start, rx-ring arrival, RX DMA
+  /// completion, and interrupt delivery. Null disarms (zero perturbation).
+  void set_span_profiler(obs::SpanProfiler* spans) { spans_ = spans; }
+
  private:
   void receive_frame(const net::Packet& arrived);
   void dma_next_tx();
@@ -189,6 +194,7 @@ class Adapter : public link::NetDevice {
 
   obs::TraceSink* trace_ = nullptr;
   net::NodeId trace_node_ = net::kInvalidNode;
+  obs::SpanProfiler* spans_ = nullptr;
 };
 
 }  // namespace xgbe::nic

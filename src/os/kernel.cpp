@@ -4,6 +4,7 @@
 
 #include "hw/memory.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "os/kmalloc.hpp"
 
@@ -178,6 +179,7 @@ void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
           trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt,
                                 "kernel", "alloc-fail");
         }
+        if (spans_) spans_->abort(pkt);
         continue;
       }
     }
@@ -203,6 +205,7 @@ void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
         trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt,
                               "kernel", "csum");
       }
+      if (spans_) spans_->abort(pkt);
       continue;
     }
     irq_cpu().submit(cost, [shared, cb, i]() { (*cb)((*shared)[i]); });

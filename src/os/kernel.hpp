@@ -17,6 +17,7 @@
 
 namespace xgbe::obs {
 class Registry;
+class SpanProfiler;
 class TraceSink;
 }
 
@@ -106,6 +107,9 @@ class Kernel {
   /// Registers checksum-drop and CPU-load probes under `prefix`.
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Arms the span profiler so receive-path discards abort their journeys.
+  void set_span_profiler(obs::SpanProfiler* spans) { spans_ = spans; }
+
   /// Schedules `done` when both a CPU job and a memory-bus job complete;
   /// models a memcpy occupying core and bus simultaneously.
   void copy_job(sim::Resource& cpu, sim::SimTime cpu_cost,
@@ -129,6 +133,7 @@ class Kernel {
   fault::HostFaultInjector* host_faults_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   net::NodeId trace_node_ = net::kInvalidNode;
+  obs::SpanProfiler* spans_ = nullptr;
 };
 
 }  // namespace xgbe::os

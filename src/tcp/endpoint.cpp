@@ -6,6 +6,7 @@
 
 #include "net/headers.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "os/kmalloc.hpp"
 
@@ -237,6 +238,8 @@ void Endpoint::complete_handshake(const net::Packet& pkt) {
           : 65535u;
   wadv_ = WindowAdvertiser(config_.sws_round_window, clamp);
   snd_una_ = snd_nxt_ = iss_ + 1;
+  write_cursor_ = snd_nxt_;
+  rcv_consumed_seq_ = pkt.tcp.seq + 1;  // both callers just seeded reasm_
   rwnd_ = pkt.tcp.window;
 }
 
@@ -254,7 +257,8 @@ std::uint32_t Endpoint::record_truesize(std::uint32_t bytes) const {
 
 void Endpoint::app_send(std::uint32_t bytes, std::function<void()> admitted) {
   assert(bytes > 0 && bytes <= config_.sndbuf);
-  pending_writes_.push_back(PendingWrite{bytes, std::move(admitted)});
+  pending_writes_.push_back(
+      PendingWrite{bytes, std::move(admitted), sim_.now()});
   admit_pending_writes();
 }
 
@@ -277,6 +281,11 @@ void Endpoint::admit_pending_writes() {
     write_in_kernel_ = false;
     PendingWrite w = std::move(pending_writes_.front());
     pending_writes_.pop_front();
+    if (spans_ != nullptr) {
+      write_spans_.push_back(WriteSpan{write_cursor_, write_cursor_ + bytes,
+                                       w.called_at, sim_.now()});
+    }
+    write_cursor_ += bytes;
     enqueue_record(bytes);
     try_send();
     if (w.admitted) w.admitted();
@@ -413,6 +422,26 @@ void Endpoint::send_segment(TxSegment& seg, bool retransmission) {
   if (trace_) {
     trace_->record_packet(obs::EventType::kSegTx, sim_.now(), pkt, "tcp",
                           retransmission ? "retransmission" : "");
+  }
+  if (spans_ != nullptr && seg.len > 0) {
+    if (retransmission) {
+      // A retransmitted segment no longer measures the clean path; drop its
+      // journey (counted as aborted) rather than pollute the breakdown.
+      spans_->abort(pkt);
+    } else {
+      // Locate the application write whose bytes this segment carries; its
+      // call/admit times bound the app-write stage. Writes fully behind
+      // this segment's sequence are done opening journeys.
+      while (!write_spans_.empty() &&
+             net::seq_le(write_spans_.front().end_seq, seg.seq)) {
+        write_spans_.pop_front();
+      }
+      if (!write_spans_.empty() &&
+          net::seq_le(write_spans_.front().begin_seq, seg.seq)) {
+        const WriteSpan& ws = write_spans_.front();
+        spans_->begin(pkt, ws.called_at, ws.done_at, sim_.now());
+      }
+    }
   }
   hooks_.emit(pkt);
   if (!rto_armed_) arm_rto();
@@ -632,6 +661,7 @@ void Endpoint::handle_data(const net::Packet& pkt) {
       trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt, "tcp",
                             "out-of-window");
     }
+    if (spans_) spans_->abort(pkt);
     send_ack(false);
     return;
   }
@@ -646,6 +676,7 @@ void Endpoint::handle_data(const net::Packet& pkt) {
       trace_->record_packet(obs::EventType::kSegDrop, sim_.now(), pkt, "tcp",
                             "sockbuf-full");
     }
+    if (spans_) spans_->abort(pkt);
     send_ack(false);  // re-advertise the (closed) window
     return;
   }
@@ -653,6 +684,9 @@ void Endpoint::handle_data(const net::Packet& pkt) {
   if (trace_) {
     trace_->record_packet(obs::EventType::kSegRx, sim_.now(), pkt, "tcp");
   }
+  // TCP accepted the segment: the rx-stack stage ends here and the journey
+  // waits in app-read (reassembly + reader wakeup + copy) until consumed.
+  if (spans_) spans_->mark(pkt, obs::Stage::kAppRead, sim_.now());
   // Linux tcp_measure_rcv_mss: track the largest segment recently seen.
   rcv_mss_est_ = std::max(rcv_mss_est_, pkt.payload_bytes);
 
@@ -719,6 +753,14 @@ void Endpoint::maybe_read() {
     payload_ready_ -= chunk;
     rxbuf_.release_payload(chunk);
     stats_.bytes_consumed += chunk;
+    rcv_consumed_seq_ += chunk;
+    // Close journeys before on_consumed: a ping-pong app replies inside
+    // that callback at this same instant, and the reply's journey must not
+    // observe an unfinished inbound one.
+    if (spans_ != nullptr) {
+      spans_->finish_consumed(hooks_.flow, hooks_.remote_node,
+                              rcv_consumed_seq_, sim_.now());
+    }
     if (on_consumed) on_consumed(chunk);
     maybe_window_update();
     maybe_read();

@@ -23,6 +23,7 @@
 
 namespace xgbe::obs {
 class Registry;
+class SpanProfiler;
 class TraceSink;
 }
 
@@ -119,6 +120,11 @@ class Endpoint {
   /// bit-identically to one built without tracing.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Arms the span profiler: journeys open when a data segment leaves the
+  /// TCP layer and close when the peer application consumes the bytes.
+  /// Null disarms; same zero-perturbation contract as set_trace().
+  void set_span_profiler(obs::SpanProfiler* spans) { spans_ = spans; }
+
   /// Registers every EndpointStats counter plus cwnd/flight/srtt gauges
   /// under `prefix` (e.g. "host/tx/tcp/flow1").
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
@@ -154,6 +160,7 @@ class Endpoint {
   const EndpointConfig& config() const { return config_; }
   std::uint32_t mss_payload() const { return snd_mss_payload_; }
   std::uint32_t cwnd_segments() const { return cc_.cwnd(); }
+  std::uint32_t ssthresh() const { return cc_.ssthresh(); }
   std::uint32_t flight_bytes() const {
     return net::seq_span(snd_una_, snd_nxt_);
   }
@@ -267,12 +274,28 @@ class Endpoint {
   struct PendingWrite {
     std::uint32_t bytes;
     std::function<void()> admitted;
+    sim::SimTime called_at = 0;
   };
   std::deque<PendingWrite> pending_writes_;
   bool write_in_kernel_ = false;
   std::uint32_t trace_every_ = 0;
   std::uint64_t trace_counter_ = 0;
   obs::TraceSink* trace_ = nullptr;
+  // Span-profiler bookkeeping: which application write produced which
+  // sequence range (to bound the app-write stage), and how far the local
+  // reader has consumed (to close inbound journeys). All updates are
+  // gated on spans_ except the cursors, which are cheap and must stay
+  // consistent whether or not a profiler is armed mid-run.
+  struct WriteSpan {
+    net::Seq begin_seq = 0;
+    net::Seq end_seq = 0;
+    sim::SimTime called_at = 0;
+    sim::SimTime done_at = 0;
+  };
+  obs::SpanProfiler* spans_ = nullptr;
+  std::deque<WriteSpan> write_spans_;
+  net::Seq write_cursor_ = 0;       // next unwritten byte in send space
+  net::Seq rcv_consumed_seq_ = 0;   // first unconsumed byte in rcv space
 
   // Receiver state.
   Reassembly reasm_;

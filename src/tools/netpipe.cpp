@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/span.hpp"
+
 namespace xgbe::tools {
 
 NetpipeResult run_netpipe(core::Testbed& tb, core::Testbed::Connection& conn,
@@ -41,12 +43,17 @@ NetpipeResult run_netpipe(core::Testbed& tb, core::Testbed::Connection& conn,
     }
   };
 
-  conn.client->on_consumed = [st, send_ping, &sim](std::uint64_t bytes) {
+  obs::SpanProfiler* spans = options.spans;
+  conn.client->on_consumed = [st, send_ping, spans,
+                              &sim](std::uint64_t bytes) {
     st->client_rx += bytes;
     if (st->client_rx < st->payload) return;
     st->client_rx -= st->payload;
     if (st->warmup_left > 0) {
-      --st->warmup_left;
+      // Warmup boundary: clear the profiler so its ledger covers exactly
+      // the measured iterations (the path is quiescent at this instant —
+      // the last warmup pong's journey just closed).
+      if (--st->warmup_left == 0 && spans != nullptr) spans->reset();
     } else {
       st->rtts.add(sim::to_microseconds(sim.now() - st->ping_sent));
       if (--st->remaining == 0) {
@@ -59,6 +66,7 @@ NetpipeResult run_netpipe(core::Testbed& tb, core::Testbed::Connection& conn,
   };
 
   const sim::SimTime t0 = sim.now();
+  if (spans != nullptr && options.warmup_iterations == 0) spans->reset();
   (*send_ping)();
   sim.run_until(t0 + options.timeout);
 

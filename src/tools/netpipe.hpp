@@ -14,6 +14,11 @@ struct NetpipeOptions {
   std::uint32_t iterations = 100;
   std::uint32_t warmup_iterations = 10;
   sim::SimTime timeout = sim::sec(30);
+  /// Optional span profiler (also arm it on the testbed): reset at the
+  /// warmup boundary, so its aggregates cover exactly the measured
+  /// iterations — 2 journeys (ping + pong) per iteration, and the summed
+  /// journey time equals the summed measured RTTs.
+  obs::SpanProfiler* spans = nullptr;
 };
 
 struct NetpipeResult {
