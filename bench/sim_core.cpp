@@ -8,14 +8,26 @@
 // TCP endpoint's pattern: almost every scheduled retransmit timer is
 // cancelled and re-armed before it fires, which is exactly where the seed's
 // sort-per-cancel went quadratic.
+// The multi-host scaling mode (SimCore_Cluster) measures the sharded
+// parallel engine on the canonical pair cluster: whole-simulation events/sec
+// at 1..512 hosts for shard counts {1, 2, 8}, plus the deterministic
+// counters (event/window/exchange totals and a metrics fingerprint) the
+// golden baseline gates on. Wall-clock rates depend on the machine and are
+// never gated; `cores`/`threads` are recorded so a reader can judge the
+// speedup column (a 1-core container cannot show one).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
+#include <thread>
 #include <vector>
 
+#include "bench/common.hpp"
+#include "core/cluster.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -199,6 +211,79 @@ void SimCore_Mixed_Seed(benchmark::State& s) {
   run<&mixed<SeedQueue>>(s);
 }
 
+// --- Multi-host scaling on the sharded parallel engine ---------------------
+
+// Measured simulated window per cluster size, chosen so every point finishes
+// in seconds of wall clock while still executing millions of events.
+xgbe::sim::SimTime cluster_window(std::size_t hosts) {
+  if (hosts >= 512) return xgbe::sim::msec(1);
+  if (hosts >= 64) return xgbe::sim::msec(5);
+  return xgbe::sim::msec(20);
+}
+
+void SimCore_Cluster(benchmark::State& state) {
+  namespace cluster = xgbe::core::cluster;
+  const auto hosts = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  cluster::Options opt;
+  opt.hosts = hosts;
+  opt.shards = shards;
+
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t exchanged = 0;
+  std::uint64_t fp = 0;
+  unsigned threads = 0;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    auto c = cluster::build(opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster::drive(*c, xgbe::sim::msec(1), cluster_window(hosts));
+    wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+    auto& engine = c->tb.engine();
+    events = engine.executed_events();
+    windows = engine.windows();
+    exchanged = engine.exchanged();
+    threads = engine.threads();
+    fp = cluster::fingerprint(*c);
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+
+  // Deterministic counters — gated against bench/golden/sim_core.json.
+  state.counters["hosts"] = static_cast<double>(hosts);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["windows"] = static_cast<double>(windows);
+  state.counters["exchanged"] = static_cast<double>(exchanged);
+  // A 64-bit hash does not round-trip through a double; halves do, exactly.
+  state.counters["fingerprint_hi"] = static_cast<double>(fp >> 32);
+  state.counters["fingerprint_lo"] = static_cast<double>(fp & 0xffffffffu);
+
+  // Machine-dependent counters — recorded, never gated.
+  const double rate = wall_s > 0.0 ? static_cast<double>(events) / wall_s
+                                   : 0.0;
+  state.counters["events_per_sec"] = rate;
+  state.counters["wall_ms"] = wall_s * 1e3;
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  static std::map<std::size_t, double> base_rate;  // shards=1 runs first
+  if (shards == 1) base_rate[hosts] = rate;
+  const auto base = base_rate.find(hosts);
+  if (shards != 1 && base != base_rate.end() && base->second > 0.0) {
+    state.counters["speedup_vs_1shard"] = rate / base->second;
+  }
+  xgbe::bench::log_point(
+      state,
+      xgbe::bench::point_name(
+          "SimCore_Cluster",
+          {{"hosts", static_cast<std::int64_t>(hosts)},
+           {"shards", static_cast<std::int64_t>(shards)}}));
+}
+
 }  // namespace
 
 BENCHMARK(SimCore_ScheduleFire_Indexed)->Arg(1 << 16);
@@ -207,5 +292,9 @@ BENCHMARK(SimCore_TimerChurn_Indexed)->Arg(1 << 14);
 BENCHMARK(SimCore_TimerChurn_Seed)->Arg(1 << 14);
 BENCHMARK(SimCore_Mixed_Indexed)->Arg(1 << 16);
 BENCHMARK(SimCore_Mixed_Seed)->Arg(1 << 16);
+BENCHMARK(SimCore_Cluster)
+    ->ArgsProduct({{1, 8, 64, 512}, {1, 2, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
-BENCHMARK_MAIN();
+XGBE_BENCH_MAIN();

@@ -41,7 +41,7 @@ std::size_t Host::add_adapter(const nic::AdapterSpec& spec) {
   raw->set_host_faults(&host_faults_);
   if (trace_) raw->set_trace(trace_, node_);
   if (spans_) raw->set_span_profiler(spans_);
-  raw->set_rx_handler([this, raw](std::vector<net::Packet> batch) {
+  raw->set_rx_handler([this, raw](net::PacketBatch batch) {
     kernel_->rx_interrupt(std::move(batch), raw->spec().csum_offload,
                           [this](const net::Packet& pkt) { demux(pkt); });
   });
@@ -68,7 +68,9 @@ tcp::Endpoint& Host::create_endpoint(const tcp::EndpointConfig& config,
   hooks.flow = flow;
   nic::Adapter* out = adapters_.at(adapter_index).get();
   hooks.emit = [this, out](const net::Packet& pkt) {
-    kernel_->segment_tx(pkt, [out, pkt]() { out->transmit(pkt); });
+    auto rec = emit_rec_pool_.acquire();
+    *rec = pkt;
+    kernel_->segment_tx(pkt, [out, rec]() { out->transmit(*rec); });
   };
   auto [it, inserted] = endpoints_.emplace(
       flow, std::make_unique<tcp::Endpoint>(sim_, config, std::move(hooks)));

@@ -119,6 +119,9 @@ class Host {
   std::unique_ptr<os::Kernel> kernel_;
   std::vector<std::unique_ptr<nic::Adapter>> adapters_;
   std::unordered_map<net::FlowId, std::unique_ptr<tcp::Endpoint>> endpoints_;
+  // Segment-emit continuations capture a whole Packet (too big for the
+  // inline callback buffer); pooled records keep the tx path allocation-free.
+  sim::Pool<net::Packet> emit_rec_pool_;
   fault::HostFaultInjector host_faults_;
   obs::TraceSink* trace_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;

@@ -10,29 +10,78 @@ Host& Testbed::add_host(const std::string& name,
                         const hw::SystemSpec& system,
                         const TuningProfile& tuning,
                         const nic::AdapterSpec& adapter) {
-  hosts_.push_back(std::make_unique<Host>(sim_, system, tuning, adapter,
-                                          next_node(), name));
-  if (trace_) hosts_.back()->set_trace(trace_);
+  return add_host_on(0, name, system, tuning, adapter);
+}
+
+Host& Testbed::add_host_on(std::size_t shard, const std::string& name,
+                           const hw::SystemSpec& system,
+                           const TuningProfile& tuning,
+                           const nic::AdapterSpec& adapter) {
+  hosts_.push_back(std::make_unique<Host>(shard_sim(shard), system, tuning,
+                                          adapter, next_node(), name));
+  host_shards_.push_back(shard);
+  if (obs::TraceSink* sink = shard_trace(shard)) hosts_.back()->set_trace(sink);
   if (spans_) hosts_.back()->set_span_profiler(spans_);
   return *hosts_.back();
 }
 
-link::Link& Testbed::connect(Host& a, Host& b, const link::LinkSpec& spec,
-                             std::size_t a_adapter, std::size_t b_adapter) {
-  links_.push_back(std::make_unique<link::Link>(
-      sim_, spec, a.name() + "<->" + b.name()));
+/// Shard index a host was placed on (0 in classic mode).
+static std::size_t index_of(const std::vector<std::unique_ptr<Host>>& hosts,
+                            const Host& host) {
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i].get() == &host) return i;
+  }
+  return 0;
+}
+
+link::Link& Testbed::make_link(std::size_t shard_a, std::size_t shard_b,
+                               const link::LinkSpec& spec, std::string name) {
+  if (engine_) {
+    links_.push_back(std::make_unique<link::Link>(*engine_, shard_a, shard_b,
+                                                  spec, std::move(name)));
+    // The lookahead is the minimum propagation anywhere in the topology —
+    // computed over all links, which is always a safe (if conservative)
+    // bound for the cross-shard subset.
+    min_propagation_ = std::min(min_propagation_, spec.propagation);
+    engine_->set_lookahead(min_propagation_);
+  } else {
+    links_.push_back(
+        std::make_unique<link::Link>(sim_, spec, std::move(name)));
+  }
   link::Link* wire = links_.back().get();
-  if (trace_) wire->set_trace(trace_);
+  if (!shard_traces_.empty()) {
+    wire->set_trace(/*from_a=*/true, shard_traces_[shard_a]);
+    wire->set_trace(/*from_a=*/false, shard_traces_[shard_b]);
+  } else if (trace_) {
+    wire->set_trace(trace_);
+  }
   if (spans_) wire->set_span_profiler(spans_);
-  a.adapter(a_adapter).connect(wire, /*side_a=*/true);
-  b.adapter(b_adapter).connect(wire, /*side_a=*/false);
   return *wire;
 }
 
+link::Link& Testbed::connect(Host& a, Host& b, const link::LinkSpec& spec,
+                             std::size_t a_adapter, std::size_t b_adapter) {
+  const std::size_t shard_a = host_shards_[index_of(hosts_, a)];
+  const std::size_t shard_b = host_shards_[index_of(hosts_, b)];
+  link::Link& wire =
+      make_link(shard_a, shard_b, spec, a.name() + "<->" + b.name());
+  a.adapter(a_adapter).connect(&wire, /*side_a=*/true);
+  b.adapter(b_adapter).connect(&wire, /*side_a=*/false);
+  return wire;
+}
+
 link::EthernetSwitch& Testbed::add_switch(const link::SwitchSpec& spec) {
+  return add_switch_on(0, spec);
+}
+
+link::EthernetSwitch& Testbed::add_switch_on(std::size_t shard,
+                                             const link::SwitchSpec& spec) {
   switches_.push_back(std::make_unique<link::EthernetSwitch>(
-      sim_, spec, "switch" + std::to_string(switches_.size())));
-  if (trace_) switches_.back()->set_trace(trace_);
+      shard_sim(shard), spec, "switch" + std::to_string(switches_.size())));
+  switch_shards_.push_back(shard);
+  if (obs::TraceSink* sink = shard_trace(shard)) {
+    switches_.back()->set_trace(sink);
+  }
   if (spans_) switches_.back()->set_span_profiler(spans_);
   return *switches_.back();
 }
@@ -40,15 +89,17 @@ link::EthernetSwitch& Testbed::add_switch(const link::SwitchSpec& spec) {
 link::Link& Testbed::connect_to_switch(Host& host, link::EthernetSwitch& sw,
                                        const link::LinkSpec& spec,
                                        std::size_t adapter_index) {
-  links_.push_back(std::make_unique<link::Link>(
-      sim_, spec, host.name() + "<->switch"));
-  link::Link* wire = links_.back().get();
-  if (trace_) wire->set_trace(trace_);
-  if (spans_) wire->set_span_profiler(spans_);
-  host.adapter(adapter_index).connect(wire, /*side_a=*/true);
-  const int port = sw.add_port(wire, /*side_a=*/false);
+  const std::size_t host_shard = host_shards_[index_of(hosts_, host)];
+  std::size_t sw_shard = 0;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i].get() == &sw) sw_shard = switch_shards_[i];
+  }
+  link::Link& wire =
+      make_link(host_shard, sw_shard, spec, host.name() + "<->switch");
+  host.adapter(adapter_index).connect(&wire, /*side_a=*/true);
+  const int port = sw.add_port(&wire, /*side_a=*/false);
   sw.learn(host.node(), port);
-  return *wire;
+  return wire;
 }
 
 std::vector<link::Link*> Testbed::build_wan_path(
@@ -71,11 +122,9 @@ std::vector<link::Link*> Testbed::build_wan_path(
   std::vector<link::Link*> circuit_links;
   circuit_links.reserve(circuits.size());
   for (std::size_t i = 0; i < circuits.size(); ++i) {
-    links_.push_back(std::make_unique<link::Link>(
-        sim_, circuits[i], "circuit" + std::to_string(i)));
-    link::Link* wire = links_.back().get();
-    if (trace_) wire->set_trace(trace_);
-    if (spans_) wire->set_span_profiler(spans_);
+    // Routers from add_switch() live on shard 0.
+    link::Link* wire =
+        &make_link(0, 0, circuits[i], "circuit" + std::to_string(i));
     const int lo_port = routers[i]->add_port(wire, /*side_a=*/true);
     const int hi_port = routers[i + 1]->add_port(wire, /*side_a=*/false);
     // Teach every router the direction of each host.
@@ -115,11 +164,11 @@ Testbed::Connection Testbed::open_connection(
 
 bool Testbed::run_until_established(const Connection& conn,
                                     sim::SimTime timeout) {
-  const sim::SimTime deadline = sim_.now() + timeout;
-  while (sim_.now() < deadline &&
+  const sim::SimTime deadline = now() + timeout;
+  while (now() < deadline &&
          !(conn.client->established() && conn.server->established())) {
     const sim::SimTime step = sim::usec(100);
-    sim_.run_until(std::min(deadline, sim_.now() + step));
+    run_until(std::min(deadline, now() + step));
   }
   return conn.client->established() && conn.server->established();
 }
@@ -132,7 +181,25 @@ void Testbed::set_trace_sink(obs::TraceSink* sink) {
   for (auto& sw : switches_) sw->set_trace(sink);
 }
 
+void Testbed::set_shard_trace_sinks(std::vector<obs::TraceSink*> sinks) {
+  shard_traces_ = std::move(sinks);
+  if (shard_traces_.empty()) return;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i]->set_trace(shard_traces_[host_shards_[i]]);
+  }
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    switches_[i]->set_trace(shard_traces_[switch_shards_[i]]);
+  }
+  // Existing links cannot be revisited per direction here (their shard
+  // placement is not stored); arm shard sinks before building the topology.
+}
+
 void Testbed::set_span_profiler(obs::SpanProfiler* spans) {
+  // The span profiler keeps one journey map across all components; in
+  // sharded mode that would be written from every worker thread, so the
+  // sharded testbed leaves it disarmed (classic runs are the profiling
+  // path — same model, same code, one thread).
+  if (engine_) return;
   spans_ = spans;
   if (spans == nullptr) return;
   for (auto& host : hosts_) host->set_span_profiler(spans);
@@ -141,6 +208,8 @@ void Testbed::set_span_profiler(obs::SpanProfiler* spans) {
 }
 
 void Testbed::set_flow_sampler(obs::FlowSampler* sampler) {
+  // Same single-writer argument as the span profiler: classic mode only.
+  if (engine_) return;
   sampler_ = sampler;
   if (sampler != nullptr) sampler->attach(sim_);
 }

@@ -2,6 +2,7 @@
 // TCP connections across them.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "hw/presets.hpp"
 #include "link/link.hpp"
 #include "link/switch.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace xgbe::obs {
@@ -24,13 +26,35 @@ class Testbed {
  public:
   Testbed() = default;
 
+  /// Sharded testbed: the topology is partitioned across `shards` event
+  /// queues advanced by the parallel engine. Components placed on different
+  /// shards may only talk through links (which is all the model ever does).
+  /// Results are bit-identical for any shard count.
+  explicit Testbed(std::size_t shards)
+      : engine_(std::make_unique<sim::ShardedEngine>(shards)) {}
+
+  bool sharded() const { return engine_ != nullptr; }
+  sim::ShardedEngine& engine() { return *engine_; }
+
+  /// Classic-mode simulator. In sharded mode use shard_simulator()/engine().
   sim::Simulator& simulator() { return sim_; }
-  sim::SimTime now() const { return sim_.now(); }
+  sim::Simulator& shard_simulator(std::size_t shard) {
+    return engine_ ? engine_->shard(shard) : sim_;
+  }
+  sim::SimTime now() const { return engine_ ? engine_->now() : sim_.now(); }
 
   /// Creates a host with one adapter. Default adapter: Intel PRO/10GbE.
+  /// In sharded mode the host lands on shard 0.
   Host& add_host(const std::string& name, const hw::SystemSpec& system,
                  const TuningProfile& tuning,
                  const nic::AdapterSpec& adapter = nic::intel_pro10gbe());
+
+  /// Sharded placement: creates the host on the given shard. The shard
+  /// assignment is part of the topology, not of the execution — any
+  /// assignment produces bit-identical results; a good one balances load.
+  Host& add_host_on(std::size_t shard, const std::string& name,
+                    const hw::SystemSpec& system, const TuningProfile& tuning,
+                    const nic::AdapterSpec& adapter = nic::intel_pro10gbe());
 
   /// Back-to-back crossover fiber between two hosts (Fig 2a).
   link::Link& connect(Host& a, Host& b,
@@ -38,8 +62,13 @@ class Testbed {
                       std::size_t a_adapter = 0, std::size_t b_adapter = 0);
 
   /// Adds a switch (Fig 2b/2c: the Foundry FastIron 1500 by default).
+  /// In sharded mode the switch lands on shard 0; use add_switch_on().
   link::EthernetSwitch& add_switch(
       const link::SwitchSpec& spec = link::SwitchSpec{});
+
+  /// Sharded placement for switches.
+  link::EthernetSwitch& add_switch_on(
+      std::size_t shard, const link::SwitchSpec& spec = link::SwitchSpec{});
 
   /// Wires a host adapter to a switch port and teaches the switch the
   /// host's address.
@@ -73,8 +102,27 @@ class Testbed {
   bool run_until_established(const Connection& conn,
                              sim::SimTime timeout = sim::sec(5));
 
-  void run_for(sim::SimTime duration) { sim_.run_until(sim_.now() + duration); }
-  void run() { sim_.run(); }
+  void run_for(sim::SimTime duration) {
+    if (engine_) {
+      engine_->run_until(engine_->now() + duration);
+    } else {
+      sim_.run_until(sim_.now() + duration);
+    }
+  }
+  void run() {
+    if (engine_) {
+      engine_->run();
+    } else {
+      sim_.run();
+    }
+  }
+  void run_until(sim::SimTime horizon) {
+    if (engine_) {
+      engine_->run_until(horizon);
+    } else {
+      sim_.run_until(horizon);
+    }
+  }
 
   net::NodeId next_node() { return node_counter_++; }
 
@@ -82,9 +130,19 @@ class Testbed {
   /// Arms the trace sink across the whole testbed: every existing host,
   /// link, and switch, and everything created afterwards. Null disarms
   /// future components but does not revisit existing ones with null;
-  /// disarm before teardown by not using the sink instead.
+  /// disarm before teardown by not using the sink instead. Classic mode
+  /// only — a single sink shared across shards would race; use
+  /// set_shard_trace_sinks() in sharded mode.
   void set_trace_sink(obs::TraceSink* sink);
   obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// Sharded tracing: one sink per shard (size must equal the shard
+  /// count). Every component records into its own shard's sink, and each
+  /// link direction into its transmitter's — appends never cross threads.
+  /// Merge the sinks with obs::merge_sorted() for a partition-invariant
+  /// view. Arm before building the topology; existing components are
+  /// revisited like in classic mode.
+  void set_shard_trace_sinks(std::vector<obs::TraceSink*> sinks);
 
   /// Arms the span profiler across the whole testbed, same fan-out and
   /// lifetime rules as set_trace_sink(). The profiler must outlive the
@@ -106,13 +164,34 @@ class Testbed {
   void register_metrics(obs::Registry& reg) const;
 
  private:
+  /// Simulator a component on `shard` should schedule on.
+  sim::Simulator& shard_sim(std::size_t shard) {
+    return engine_ ? engine_->shard(shard) : sim_;
+  }
+  /// Trace sink for components on `shard` (null when tracing is off).
+  obs::TraceSink* shard_trace(std::size_t shard) const {
+    if (!shard_traces_.empty()) return shard_traces_[shard];
+    return trace_;
+  }
+  link::Link& make_link(std::size_t shard_a, std::size_t shard_b,
+                        const link::LinkSpec& spec, std::string name);
+
+  // Declared before the component containers: destroyed after them, so
+  // events still queued at teardown (whose callbacks hold pool handles into
+  // component-owned pools) die after the components do — the pools'
+  // refcounted control blocks make that order safe.
   sim::Simulator sim_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<link::Link>> links_;
   std::vector<std::unique_ptr<link::EthernetSwitch>> switches_;
+  std::vector<std::size_t> host_shards_;    // parallel to hosts_
+  std::vector<std::size_t> switch_shards_;  // parallel to switches_
+  sim::SimTime min_propagation_ = std::numeric_limits<sim::SimTime>::max();
   net::NodeId node_counter_ = 1;
   net::FlowId flow_counter_ = 1;
   obs::TraceSink* trace_ = nullptr;
+  std::vector<obs::TraceSink*> shard_traces_;
   obs::SpanProfiler* spans_ = nullptr;
   obs::FlowSampler* sampler_ = nullptr;
 };

@@ -18,20 +18,55 @@ fault::FaultPlan legacy_plan(const LinkSpec& spec) {
   return plan;
 }
 
+// Reverse-direction decorrelation constant, same as set_fault_plan().
+constexpr std::uint64_t kReverseSeedMix = 0x9e3779b97f4a7c15ULL;
+
 }  // namespace
 
 Link::Link(sim::Simulator& simulator, const LinkSpec& spec, std::string name)
-    : sim_(simulator),
-      spec_(spec),
+    : spec_(spec),
       name_(std::move(name)),
       ab_(simulator, name_ + "/ab"),
       ba_(simulator, name_ + "/ba"),
-      script_(legacy_plan(spec)) {}
+      script_(legacy_plan(spec)) {
+  ab_.script = &script_;
+  ba_.script = &script_;
+}
+
+Link::Link(sim::ShardedEngine& engine, std::size_t shard_a,
+           std::size_t shard_b, const LinkSpec& spec, std::string name)
+    : spec_(spec),
+      name_(std::move(name)),
+      sharded_(true),
+      ab_(engine.shard(shard_a), name_ + "/ab"),
+      ba_(engine.shard(shard_b), name_ + "/ba"),
+      script_(legacy_plan(spec)) {
+  // The two directions run on different threads, so the legacy loss plan
+  // splits into per-direction injectors with decorrelated seeds (mirroring
+  // set_fault_plan's forward/reverse split). The shared script_ stays idle.
+  fault::FaultPlan forward = legacy_plan(spec);
+  fault::FaultPlan reverse = forward;
+  reverse.seed = forward.seed ^ kReverseSeedMix;
+  ab_.own_script.set_plan(forward);
+  ba_.own_script.set_plan(reverse);
+  ab_.script = &ab_.own_script;
+  ba_.script = &ba_.own_script;
+  // Every delivery — same-shard ones included, so results cannot depend on
+  // where hosts landed — goes through a barrier-committed channel. The
+  // destination of a->b traffic is the B side's shard (where ba_ transmits
+  // from) and vice versa.
+  ab_.use_channel = true;
+  ba_.use_channel = true;
+  ab_channel_.bind(this, /*forward=*/true, ba_.sim);
+  ba_channel_.bind(this, /*forward=*/false, ab_.sim);
+  engine.register_channel(&ab_channel_);
+  engine.register_channel(&ba_channel_);
+}
 
 void Link::set_fault_plan(const fault::FaultPlan& plan) {
   fault_ab_.set_plan(plan);
   fault::FaultPlan reverse = plan;
-  reverse.seed = plan.seed ^ 0x9e3779b97f4a7c15ULL;
+  reverse.seed = plan.seed ^ kReverseSeedMix;
   fault_ba_.set_plan(reverse);
 }
 
@@ -41,6 +76,8 @@ void Link::set_fault_plan(const fault::FaultPlan& plan, bool from_a) {
 
 fault::FaultCounters Link::fault_counters() const {
   fault::FaultCounters total = script_.counters();
+  total += ab_.own_script.counters();
+  total += ba_.own_script.counters();
   total += fault_ab_.counters();
   total += fault_ba_.counters();
   return total;
@@ -72,42 +109,74 @@ std::uint32_t Link::backlog(const NetDevice* from) const {
   return from == a_ ? ab_.backlog_bytes : ba_.backlog_bytes;
 }
 
+void Link::Channel::commit_entry(std::size_t index) {
+  NetDevice* sink = forward_ ? link_->b_ : link_->a_;
+  if (sink == nullptr) return;
+  // Conservative lookahead guarantees the arrival lands strictly past the
+  // window the frame was transmitted in, so the destination clock has not
+  // reached it yet; schedule_at never has to clamp.
+  assert(entries_[index].at >= dst_->now());
+  auto rec = pool_.acquire();
+  rec->pkt = entries_[index].pkt;
+  rec->sink = sink;
+  dst_->schedule_at(entries_[index].at,
+                    [rec]() { rec->sink->deliver(rec->pkt); });
+}
+
 void Link::transmit(const NetDevice* from, const net::Packet& pkt,
                     sim::InlineCallback tx_done) {
   assert(from == a_ || from == b_);
   const bool forward = (from == a_);
   Direction& dir = forward ? ab_ : ba_;
   NetDevice* sink = forward ? b_ : a_;
+  sim::Simulator& sim = *dir.sim;
 
   if (spec_.queue_limit_bytes != 0 &&
       dir.backlog_bytes + pkt.frame_bytes > spec_.queue_limit_bytes) {
-    ++drops_queue_;
-    if (trace_) {
-      trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
-                            name_.c_str(), "queue-full");
+    ++dir.drops_queue;
+    if (dir.trace) {
+      dir.trace->record_packet(obs::EventType::kWireDrop, sim.now(), pkt,
+                               name_.c_str(), "queue-full");
     }
     if (spans_) spans_->abort(pkt);
-    if (tx_done) sim_.schedule(0, std::move(tx_done));
+    if (tx_done) sim.schedule(0, std::move(tx_done));
     return;
   }
 
   if (tap) tap(pkt, forward);
   dir.backlog_bytes += pkt.frame_bytes;
   const sim::SimTime ser = serialization_time(pkt);
-  const sim::SimTime done_at = dir.pipe.submit(
-      ser, [this, &dir, bytes = pkt.frame_bytes,
-            tx_done = std::move(tx_done)]() mutable {
-        dir.backlog_bytes =
-            dir.backlog_bytes > bytes ? dir.backlog_bytes - bytes : 0;
-        if (tx_done) tx_done();
-      });
+  sim::SimTime done_at;
+  if (tx_done) {
+    // The continuation closes over a caller callback that can exceed the
+    // inline buffer; park it in a pooled node so the hot path stays
+    // allocation-free. The node is cleared after firing so whatever the
+    // callback captured is released immediately, not at node reuse.
+    auto cont = dir.cont_pool.acquire();
+    *cont = std::move(tx_done);
+    done_at = dir.pipe.submit(
+        ser, [dirp = &dir, bytes = pkt.frame_bytes, cont]() {
+          dirp->backlog_bytes =
+              dirp->backlog_bytes > bytes ? dirp->backlog_bytes - bytes : 0;
+          (*cont)();
+          *cont = nullptr;
+        });
+  } else {
+    done_at =
+        dir.pipe.submit(ser, [dirp = &dir, bytes = pkt.frame_bytes]() {
+          dirp->backlog_bytes =
+              dirp->backlog_bytes > bytes ? dirp->backlog_bytes - bytes : 0;
+        });
+  }
 
-  // Shared scripted/legacy injector first (forced drops + LinkSpec loss,
-  // one RNG across both directions), then the direction's own plan. A
-  // frame the script loses never reaches the directional injector — it is
-  // already off the wire.
-  const sim::SimTime now = sim_.now();
-  fault::FaultDecision verdict = script_.decide(pkt, now);
+  // Scripted/legacy injector first (forced drops + LinkSpec loss), then the
+  // direction's own plan. A frame the script loses never reaches the
+  // directional injector — it is already off the wire. In classic mode both
+  // directions share one script RNG in transmit order; sharded mode uses
+  // per-direction scripts so the draw sequence cannot depend on thread
+  // interleaving.
+  const sim::SimTime now = sim.now();
+  fault::FaultDecision verdict = dir.script->decide(pkt, now);
   if (!verdict.drop) {
     fault::FaultInjector& dir_fault = forward ? fault_ab_ : fault_ba_;
     if (dir_fault.active()) {
@@ -125,12 +194,13 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
   // One trace event per frame, emitted after the verdict so drops carry
   // their cause. The sink consumes no randomness, so emission position
   // cannot perturb the fault RNG sequence.
-  if (trace_) {
+  if (dir.trace) {
     if (verdict.drop) {
-      trace_->record_packet(obs::EventType::kWireDrop, now, pkt,
-                            name_.c_str(), fault::cause_name(verdict.cause));
+      dir.trace->record_packet(obs::EventType::kWireDrop, now, pkt,
+                               name_.c_str(), fault::cause_name(verdict.cause));
     } else {
-      trace_->record_packet(obs::EventType::kWireTx, now, pkt, name_.c_str());
+      dir.trace->record_packet(obs::EventType::kWireTx, now, pkt,
+                               name_.c_str());
     }
   }
   // The wire stage opens here and accumulates per hop (pipe queueing +
@@ -145,25 +215,41 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
   if (verdict.drop) return;
 
   if (sink != nullptr) {
-    ++frames_;
-    bytes_ += pkt.frame_bytes;
+    ++dir.frames;
+    dir.bytes += pkt.frame_bytes;
     net::Packet out = pkt;
     if (verdict.corrupt) out.corrupted = true;
     const sim::SimTime arrival =
         done_at + spec_.propagation + verdict.extra_delay;
-    sim_.schedule_at(arrival, [sink, out]() { sink->deliver(out); });
-    if (verdict.duplicate) {
-      sim_.schedule_at(arrival + verdict.duplicate_delay,
-                       [sink, out]() { sink->deliver(out); });
+    if (dir.use_channel) {
+      Channel& channel = forward ? ab_channel_ : ba_channel_;
+      channel.push(arrival, out);
+      if (verdict.duplicate) {
+        channel.push(arrival + verdict.duplicate_delay, out);
+      }
+    } else {
+      auto rec = dir.delivery_pool.acquire();
+      rec->pkt = out;
+      rec->sink = sink;
+      sim.schedule_at(arrival, [rec]() { rec->sink->deliver(rec->pkt); });
+      if (verdict.duplicate) {
+        auto dup = dir.delivery_pool.acquire();
+        dup->pkt = out;
+        dup->sink = sink;
+        sim.schedule_at(arrival + verdict.duplicate_delay,
+                        [dup]() { dup->sink->deliver(dup->pkt); });
+      }
     }
   }
 }
 
 void Link::register_metrics(obs::Registry& reg,
                             const std::string& prefix) const {
-  reg.counter(prefix + "/frames_delivered", [this] { return frames_; });
-  reg.counter(prefix + "/bytes_delivered", [this] { return bytes_; });
-  reg.counter(prefix + "/drops_queue", [this] { return drops_queue_; });
+  reg.counter(prefix + "/frames_delivered",
+              [this] { return frames_delivered(); });
+  reg.counter(prefix + "/bytes_delivered",
+              [this] { return bytes_delivered(); });
+  reg.counter(prefix + "/drops_queue", [this] { return drops_queue(); });
   // Aggregate of the scripted injector and both directional injectors.
   auto field = [&](const char* name,
                    std::uint64_t fault::FaultCounters::* member) {

@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "fault/fault.hpp"
 #include "link/device.hpp"
 #include "net/packet.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace xgbe::obs {
@@ -46,9 +49,27 @@ inline constexpr std::uint32_t kPosFrameOverheadBytes = 9;
 /// Two independent serialization pipes (full duplex — 10GbE has no
 /// half-duplex mode) with propagation delay, optional queue limit (tail
 /// drop), and optional random loss.
+///
+/// Two construction modes:
+///  - Classic: both directions schedule on one Simulator and deliver frames
+///    by scheduling directly into it — the original single-threaded path,
+///    byte-identical to its pre-sharding behavior.
+///  - Sharded: each direction lives on its transmitter's shard; deliveries
+///    (including same-shard ones, so results cannot depend on the partition)
+///    are buffered in per-direction exchange channels that the engine
+///    commits at window barriers. All mutable per-frame state (counters,
+///    backlog, fault RNG, trace sink) is per-direction, so the two shard
+///    workers never share a cache line they write.
 class Link {
  public:
   Link(sim::Simulator& simulator, const LinkSpec& spec, std::string name);
+
+  /// Sharded-mode link between `shard_a` (the A side's shard) and `shard_b`.
+  /// Registers one exchange channel per direction with the engine — link
+  /// creation order therefore defines the cross-shard merge order and must
+  /// be identical across runs (it is: topology construction is code).
+  Link(sim::ShardedEngine& engine, std::size_t shard_a, std::size_t shard_b,
+       const LinkSpec& spec, std::string name);
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -68,11 +89,15 @@ class Link {
 
   const LinkSpec& spec() const { return spec_; }
   const std::string& name() const { return name_; }
-  std::uint64_t frames_delivered() const { return frames_; }
-  std::uint64_t bytes_delivered() const { return bytes_; }
-  std::uint64_t drops_queue() const { return drops_queue_; }
+  std::uint64_t frames_delivered() const { return ab_.frames + ba_.frames; }
+  std::uint64_t bytes_delivered() const { return ab_.bytes + ba_.bytes; }
+  std::uint64_t drops_queue() const {
+    return ab_.drops_queue + ba_.drops_queue;
+  }
   std::uint64_t drops_random() const {
-    return script_.counters().drops_uniform;
+    return script_.counters().drops_uniform +
+           ab_.own_script.counters().drops_uniform +
+           ba_.own_script.counters().drops_uniform;
   }
 
   // --- Fault injection ------------------------------------------------------
@@ -99,11 +124,17 @@ class Link {
   /// 0) to be lost, whichever direction offers them first. The Table 1
   /// loss-recovery experiments predate the fault layer and still call
   /// this; new code should use fault_injector(from_a).inject_drops(n).
-  void inject_drops(int n) { script_.inject_drops(n); }
+  /// Sharded links apply the drops to the a->b direction (the two
+  /// directions no longer share an injector there).
+  void inject_drops(int n) {
+    (sharded_ ? ab_.own_script : script_).inject_drops(n);
+  }
 
   std::uint64_t drops_forced() const {
-    return script_.counters().drops_forced + fault_ab_.counters().drops_forced +
-           fault_ba_.counters().drops_forced;
+    return script_.counters().drops_forced +
+           ab_.own_script.counters().drops_forced +
+           ba_.own_script.counters().drops_forced +
+           fault_ab_.counters().drops_forced + fault_ba_.counters().drops_forced;
   }
 
   /// Bytes occupying the wire for one frame under this link's framing.
@@ -120,48 +151,115 @@ class Link {
 
   /// Wire tap: invoked for every frame as it begins serialization (before
   /// any loss), with the direction. Some recovery tests attach here; the
-  /// capture tool now rides the trace sink instead.
+  /// capture tool now rides the trace sink instead. Classic mode only — in
+  /// sharded mode the two directions run on different threads.
   std::function<void(const net::Packet&, bool from_side_a)> tap;
 
   // --- Observability --------------------------------------------------------
-  /// Arms (or disarms, with null) the trace sink. Every frame offered to
-  /// the wire emits exactly one event: kWireTx when it serializes, or
-  /// kWireDrop with the cause when it is lost.
-  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  /// Arms (or disarms, with null) the trace sink on both directions. Every
+  /// frame offered to the wire emits exactly one event: kWireTx when it
+  /// serializes, or kWireDrop with the cause when it is lost.
+  void set_trace(obs::TraceSink* sink) {
+    ab_.trace = sink;
+    ba_.trace = sink;
+  }
+
+  /// Per-direction sink, for sharded mode: each direction records into its
+  /// transmitting shard's sink so appends never race.
+  void set_trace(bool from_a, obs::TraceSink* sink) {
+    (from_a ? ab_ : ba_).trace = sink;
+  }
 
   /// Registers this link's delivery and fault counters under `prefix`.
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
   /// Arms the span profiler: each frame that serializes marks the wire
   /// stage; drops abort the journey. Null disarms (zero perturbation).
+  /// Classic mode only (the sharded testbed never arms it).
   void set_span_profiler(obs::SpanProfiler* spans) { spans_ = spans; }
 
  private:
-  struct Direction {
-    Direction(sim::Simulator& simulator, const std::string& n)
-        : pipe(simulator, n) {}
-    sim::Resource pipe;
-    std::uint32_t backlog_bytes = 0;
+  /// One scheduled delivery: the frame plus its destination device,
+  /// pool-recycled so steady-state delivery allocates nothing.
+  struct DeliveryRec {
+    net::Packet pkt;
+    NetDevice* sink = nullptr;
   };
 
-  sim::Simulator& sim_;
+  struct Direction {
+    Direction(sim::Simulator& simulator, const std::string& n)
+        : sim(&simulator), pipe(simulator, n) {}
+    sim::Simulator* sim;  // the transmitter's shard
+    sim::Resource pipe;
+    std::uint32_t backlog_bytes = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops_queue = 0;
+    // Which legacy/scripted injector this direction consults: the shared
+    // `script_` in classic mode (both directions draw from one RNG, keeping
+    // pre-fault-layer seeds bit-identical), `own_script` in sharded mode.
+    fault::FaultInjector* script = nullptr;
+    fault::FaultInjector own_script;
+    obs::TraceSink* trace = nullptr;
+    bool use_channel = false;
+    // Classic-mode pools (sharded deliveries use the channel's pool).
+    sim::Pool<DeliveryRec> delivery_pool;
+    sim::Pool<sim::InlineCallback> cont_pool;
+  };
+
+  /// Exchange buffer for one direction of a sharded link. Appended to by
+  /// the transmitting shard's worker during a window; drained by the engine
+  /// at the barrier. The delivery pool is likewise alternately touched by
+  /// the barrier thread (acquire at commit) and the destination shard's
+  /// worker (release after delivery) — never concurrently, ordered by the
+  /// engine's barrier mutex.
+  class Channel final : public sim::ExchangeChannel {
+   public:
+    void bind(Link* link, bool forward, sim::Simulator* dst) {
+      link_ = link;
+      forward_ = forward;
+      dst_ = dst;
+    }
+    void push(sim::SimTime at, const net::Packet& pkt) {
+      entries_.push_back({at, pkt});
+    }
+
+    std::size_t pending() const override { return entries_.size(); }
+    sim::SimTime entry_time(std::size_t index) const override {
+      return entries_[index].at;
+    }
+    void commit_entry(std::size_t index) override;
+    void clear_window() override { entries_.clear(); }
+
+   private:
+    struct Pending {
+      sim::SimTime at;
+      net::Packet pkt;
+    };
+    Link* link_ = nullptr;
+    bool forward_ = true;
+    sim::Simulator* dst_ = nullptr;
+    std::vector<Pending> entries_;
+    sim::Pool<DeliveryRec> pool_;
+  };
+
   LinkSpec spec_;
   std::string name_;
+  bool sharded_ = false;
   NetDevice* a_ = nullptr;
   NetDevice* b_ = nullptr;
   Direction ab_;
   Direction ba_;
-  // Shared by both directions, like the pre-fault-layer loss knob: carries
-  // the LinkSpec loss_rate/loss_seed plan plus deprecated forced drops, and
-  // consumes RNG draws in transmit order so legacy seeds stay bit-identical.
+  Channel ab_channel_;
+  Channel ba_channel_;
+  // Shared by both directions in classic mode, like the pre-fault-layer
+  // loss knob: carries the LinkSpec loss_rate/loss_seed plan plus deprecated
+  // forced drops, and consumes RNG draws in transmit order so legacy seeds
+  // stay bit-identical. Unused (counters all zero) in sharded mode.
   fault::FaultInjector script_;
   // Per-direction plans installed through set_fault_plan().
   fault::FaultInjector fault_ab_;
   fault::FaultInjector fault_ba_;
-  std::uint64_t frames_ = 0;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t drops_queue_ = 0;
-  obs::TraceSink* trace_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;
 };
 

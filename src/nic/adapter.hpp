@@ -63,8 +63,9 @@ AdapterSpec intel_e1000();
 class Adapter : public link::NetDevice {
  public:
   /// `rx_handler` is the kernel's interrupt entry: it receives the batch of
-  /// frames already placed in host memory.
-  using RxHandler = std::function<void(std::vector<net::Packet>)>;
+  /// frames already placed in host memory. The batch is a pooled handle so
+  /// interrupt delivery recycles vectors instead of allocating them.
+  using RxHandler = std::function<void(net::PacketBatch)>;
 
   Adapter(sim::Simulator& simulator, const AdapterSpec& spec,
           const hw::PcixSpec& bus, const hw::MemorySpec& mem,
@@ -175,7 +176,12 @@ class Adapter : public link::NetDevice {
   bool tx_dma_active_ = false;
   std::uint32_t tx_fifo_used_ = 0;
 
-  std::vector<net::Packet> rx_batch_;  // DMA'd, awaiting interrupt
+  // DMA completion records and interrupt batches are pool-recycled: a
+  // Packet capture overflows InlineCallback's 48-byte inline buffer, so
+  // without the pools every frame and every interrupt would heap-allocate.
+  sim::Pool<net::Packet> dma_rec_pool_;
+  net::PacketBatchPool batch_pool_;
+  net::PacketBatch rx_batch_;  // DMA'd, awaiting interrupt (may be empty)
   sim::EventId rx_timer_{};
   bool rx_timer_armed_ = false;
   std::uint32_t rx_ring_used_ = 0;

@@ -1,8 +1,11 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <ostream>
+#include <tuple>
 
 #include "sim/watchdog.hpp"
 
@@ -174,6 +177,69 @@ void attach_flight_recorder(sim::Watchdog& dog, const TraceSink& sink,
   dog.add_context("flight-recorder", [&sink, events]() {
     return format_tail(sink, events);
   });
+}
+
+namespace {
+
+/// Total order over every deterministic field, so the merged sequence does
+/// not depend on which sink an event came from. Ties across all fields are
+/// genuinely identical events; their relative order is irrelevant.
+bool event_less(const TraceEvent& a, const TraceEvent& b) {
+  auto key = [](const TraceEvent& e) {
+    return std::tie(e.at, e.src, e.dst, e.flow, e.seq, e.ack, e.len,
+                    e.wire_len, e.window, e.flags, e.mss, e.proto);
+  };
+  if (key(a) != key(b)) return key(a) < key(b);
+  if (a.type != b.type) return a.type < b.type;
+  const int w = std::strcmp(a.where, b.where);
+  if (w != 0) return w < 0;
+  return std::strcmp(a.detail, b.detail) < 0;
+}
+
+void fnv1a(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+std::vector<TraceEvent> merge_sorted(
+    const std::vector<const TraceSink*>& sinks) {
+  std::vector<TraceEvent> merged;
+  for (const TraceSink* sink : sinks) {
+    if (sink == nullptr) continue;
+    for (std::size_t i = 0; i < sink->size(); ++i) {
+      merged.push_back(sink->event(i));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(), event_less);
+  return merged;
+}
+
+std::uint64_t fingerprint(const std::vector<TraceEvent>& events) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const TraceEvent& ev : events) {
+    auto mix = [&h](auto v) { fnv1a(h, &v, sizeof(v)); };
+    mix(ev.at);
+    mix(static_cast<std::uint8_t>(ev.type));
+    mix(ev.proto);
+    mix(ev.flags);
+    mix(ev.src);
+    mix(ev.dst);
+    mix(ev.flow);
+    mix(ev.seq);
+    mix(ev.ack);
+    mix(ev.len);
+    mix(ev.wire_len);
+    mix(ev.window);
+    mix(ev.mss);
+    fnv1a(h, ev.where, std::strlen(ev.where));
+    fnv1a(h, ev.detail, std::strlen(ev.detail));
+  }
+  return h;
 }
 
 }  // namespace xgbe::obs

@@ -147,4 +147,19 @@ std::string to_jsonl(const TraceEvent& ev);
 void attach_flight_recorder(sim::Watchdog& dog, const TraceSink& sink,
                             std::size_t events = 8);
 
+/// Merges per-shard sinks into one partition-invariant timeline. Events are
+/// stably sorted by (timestamp, then every payload field): two runs of the
+/// same workload on different shard counts produce the same merged vector
+/// even though each records into a different set of sinks. Only the retained
+/// ring contents merge — size the sinks to hold the whole run when the
+/// merged view must be complete.
+std::vector<TraceEvent> merge_sorted(
+    const std::vector<const TraceSink*>& sinks);
+
+/// FNV-1a over the merged events' deterministic fields (`where`/`detail`
+/// pointers are hashed by content, not address). Equal fingerprints ⇔
+/// equal timelines, which is how the determinism suite compares shard
+/// counts without storing golden traces.
+std::uint64_t fingerprint(const std::vector<TraceEvent>& events);
+
 }  // namespace xgbe::obs

@@ -36,10 +36,14 @@ int Kernel::active_cpus() const { return static_cast<int>(cpus_.size()); }
 
 void Kernel::copy_job(sim::Resource& cpu, sim::SimTime cpu_cost,
                       sim::SimTime bus_cost, Done done) {
-  auto remaining = std::make_shared<int>(2);
-  auto shared = std::make_shared<Done>(std::move(done));
-  auto arm = [remaining, shared]() {
-    if (--*remaining == 0 && *shared) (*shared)();
+  auto join = join_pool_.acquire();
+  join->remaining = 2;
+  join->done = std::move(done);
+  auto arm = [join]() {
+    if (--join->remaining == 0 && join->done) {
+      join->done();
+      join->done = nullptr;  // release captures now, not at node reuse
+    }
   };
   cpu.submit(cpu_cost, arm);
   membus_.submit(bus_cost, std::move(arm));
@@ -149,6 +153,14 @@ sim::SimTime Kernel::per_packet_rx_cost(const net::Packet& pkt,
 
 void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
                           Deliver deliver) {
+  auto batch = batch_pool_.acquire();
+  *batch = std::move(pkts);
+  rx_interrupt(std::move(batch), csum_offloaded, std::move(deliver));
+}
+
+void Kernel::rx_interrupt(net::PacketBatch pkts, bool csum_offloaded,
+                          Deliver deliver) {
+  if (!pkts) return;
   // Interrupt entry/exit is mostly fixed hardware cost; the SMP kernel adds
   // only a mild penalty here (no shared socket state touched yet).
   const double entry_f = config_.mode == KernelMode::kSmp ? 1.2 : 1.0;
@@ -159,9 +171,13 @@ void Kernel::rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
   // protocol processing follows on the same CPU (softirq affinity). NAPI
   // only schedules the poll from the interrupt; per-packet work is cheaper.
   // Either way the work serializes on the IRQ CPU, which is the point of
-  // the paper's SMP observation.
-  auto shared = std::make_shared<std::vector<net::Packet>>(std::move(pkts));
-  auto cb = std::make_shared<Deliver>(std::move(deliver));
+  // the paper's SMP observation. The per-packet continuations share the
+  // pooled batch handle and a pooled Deliver copy (24 bytes of capture —
+  // inline, no allocation), instead of the two make_shared the pre-pool
+  // implementation paid per interrupt.
+  const net::PacketBatch& shared = pkts;
+  auto cb = deliver_pool_.acquire();
+  *cb = std::move(deliver);
   for (std::size_t i = 0; i < shared->size(); ++i) {
     const net::Packet& pkt = (*shared)[i];
     // Host-path fault: no replacement skb for the ring slot — the driver

@@ -12,6 +12,7 @@
 #include "net/packet.hpp"
 #include "os/config.hpp"
 #include "os/costs.hpp"
+#include "sim/pool.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
@@ -62,6 +63,14 @@ class Kernel {
   /// Handles one NIC interrupt carrying `pkts` (already DMA'd to memory).
   /// `deliver` is invoked per packet once protocol processing finishes.
   /// `csum_offloaded` reflects the adapter's receive-checksum capability.
+  /// The pooled-handle form is the adapter's hot path: per-packet
+  /// continuations share the batch handle and a pooled Deliver copy, so an
+  /// interrupt costs zero allocations in steady state.
+  void rx_interrupt(net::PacketBatch pkts, bool csum_offloaded,
+                    Deliver deliver);
+
+  /// Convenience overload for direct callers (unit tests, tools): wraps the
+  /// vector in a pooled batch.
   void rx_interrupt(std::vector<net::Packet> pkts, bool csum_offloaded,
                     Deliver deliver);
 
@@ -123,12 +132,22 @@ class Kernel {
     return host_faults_ != nullptr && host_faults_->active();
   }
 
+  /// Fan-in join for copy_job: one pooled record replaces the two
+  /// make_shared allocations the old implementation paid per copy.
+  struct CopyJoin {
+    int remaining = 0;
+    Done done;
+  };
+
   sim::Simulator& sim_;
   hw::SystemSpec spec_;
   KernelConfig config_;
   KernelCosts costs_;
   sim::Resource membus_;
   std::vector<std::unique_ptr<sim::Resource>> cpus_;
+  sim::Pool<CopyJoin> join_pool_;
+  sim::Pool<Deliver> deliver_pool_;
+  net::PacketBatchPool batch_pool_;  // for the vector convenience overload
   std::uint64_t csum_drops_ = 0;
   fault::HostFaultInjector* host_faults_ = nullptr;
   obs::TraceSink* trace_ = nullptr;

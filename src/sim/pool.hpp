@@ -1,0 +1,169 @@
+// Free-list object pool for event-loop hot paths.
+//
+// The simulation's steady-state malloc traffic comes from a handful of
+// per-frame and per-interrupt control records: link delivery records
+// (~200-byte Packet captures that overflow InlineCallback's inline buffer),
+// NIC interrupt batches (a fresh std::vector per interrupt), and the
+// shared-ownership blocks the kernel model used to build with
+// std::make_shared. A Pool recycles those records through a free list so the
+// steady state allocates nothing: a released node keeps its value object
+// alive (vectors keep their capacity) and the next acquire() hands it back.
+//
+// Threading contract: a Pool is single-threaded, like the event queue it
+// feeds. In the sharded engine every pool is owned by one shard (or by one
+// exchange channel, whose pool is touched only by the owning shard's worker
+// and, between windows, by the barrier thread) — frees never cross shards
+// inside a window, so no locks and no atomic refcounts are needed.
+//
+// Lifetime: handles are refcounted and may outlive the Pool (events still
+// pending in an EventQueue can hold handles while the owning component is
+// torn down first — the queue dies with the Simulator, after the component).
+// The free list lives in a control block that survives until both the Pool
+// and the last handle are gone; nodes released after the Pool's death are
+// simply freed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xgbe::sim {
+
+/// Bounded-retention object pool. `T` must be default-constructible.
+/// acquire() returns a refcounted Handle; the node returns to the free list
+/// when the last Handle dies. Reused values are handed back AS-IS (that is
+/// the point: vectors keep capacity) — callers reset the fields they use.
+template <typename T>
+class Pool {
+  struct Shared;
+  struct Node {
+    T value{};
+    std::uint32_t refs = 0;
+    Shared* shared = nullptr;
+  };
+
+  struct Shared {
+    std::vector<Node*> free;
+    std::size_t max_free = 0;
+    std::size_t live = 0;   // nodes currently referenced by handles
+    bool pool_alive = true;
+    // Diagnostics for the pool tests and metrics.
+    std::uint64_t allocated = 0;  // fresh heap nodes
+    std::uint64_t reused = 0;     // acquires served from the free list
+  };
+
+  static void release(Node* node) {
+    if (node == nullptr || --node->refs != 0) return;
+    Shared* shared = node->shared;
+    --shared->live;
+    if (!shared->pool_alive) {
+      delete node;
+      if (shared->live == 0) delete shared;
+      return;
+    }
+    if (shared->free.size() < shared->max_free) {
+      shared->free.push_back(node);
+    } else {
+      delete node;  // retention cap reached: exhaustion fallback is the heap
+    }
+  }
+
+ public:
+  /// Refcounted pointer to a pooled value. Copyable (the kernel shares one
+  /// interrupt batch across per-packet continuations); not thread-safe.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(const Handle& other) : node_(other.node_) {
+      if (node_ != nullptr) ++node_->refs;
+    }
+    Handle(Handle&& other) noexcept : node_(other.node_) {
+      other.node_ = nullptr;
+    }
+    Handle& operator=(const Handle& other) {
+      if (this != &other) {
+        Node* old = node_;
+        node_ = other.node_;
+        if (node_ != nullptr) ++node_->refs;
+        release(old);
+      }
+      return *this;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release(node_);
+        node_ = other.node_;
+        other.node_ = nullptr;
+      }
+      return *this;
+    }
+    ~Handle() { release(node_); }
+
+    T* operator->() const { return &node_->value; }
+    T& operator*() const { return node_->value; }
+    T* get() const { return node_ != nullptr ? &node_->value : nullptr; }
+    explicit operator bool() const { return node_ != nullptr; }
+    void reset() {
+      release(node_);
+      node_ = nullptr;
+    }
+
+   private:
+    friend class Pool;
+    explicit Handle(Node* node) : node_(node) {}
+    Node* node_ = nullptr;
+  };
+
+  /// `max_free`: nodes retained for reuse. More live handles than that is
+  /// fine — acquire() falls back to plain heap allocation and release()
+  /// frees past the cap, so an exhausted pool degrades to malloc, never
+  /// fails.
+  explicit Pool(std::size_t max_free = 256) : shared_(new Shared) {
+    shared_->max_free = max_free;
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  ~Pool() {
+    for (Node* node : shared_->free) delete node;
+    shared_->free.clear();
+    shared_->pool_alive = false;
+    if (shared_->live == 0) delete shared_;
+    // else: the last outstanding Handle deletes the control block.
+  }
+
+  /// Returns a handle to a (possibly recycled) value. The value's previous
+  /// contents are preserved on reuse; overwrite what you use.
+  Handle acquire() {
+    Node* node;
+    if (!shared_->free.empty()) {
+      node = shared_->free.back();
+      shared_->free.pop_back();
+      ++shared_->reused;
+    } else {
+      node = new Node;
+      node->shared = shared_;
+      ++shared_->allocated;
+    }
+    node->refs = 1;
+    ++shared_->live;
+    return Handle(node);
+  }
+
+  /// Fresh heap nodes ever created (steady state: stops growing).
+  std::uint64_t allocated() const { return shared_->allocated; }
+  /// Acquires served from the free list.
+  std::uint64_t reused() const { return shared_->reused; }
+  /// Nodes currently referenced by live handles.
+  std::size_t live() const { return shared_->live; }
+  /// Nodes parked on the free list right now.
+  std::size_t free_size() const { return shared_->free.size(); }
+  std::size_t max_free() const { return shared_->max_free; }
+
+ private:
+  Shared* shared_;
+};
+
+}  // namespace xgbe::sim

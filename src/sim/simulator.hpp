@@ -52,6 +52,16 @@ class Simulator {
   /// Number of events executed so far (diagnostic / test hook).
   std::uint64_t executed_events() const { return executed_; }
 
+  /// True while events remain scheduled.
+  bool has_pending() const { return !queue_.empty(); }
+
+  /// Earliest pending event time, or SimTime max when the set is drained.
+  /// The sharded engine polls this across shards to pick the next window.
+  SimTime next_event_time() const {
+    return queue_.empty() ? std::numeric_limits<SimTime>::max()
+                          : queue_.next_time();
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;

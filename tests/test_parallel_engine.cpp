@@ -1,0 +1,275 @@
+// Parallel engine determinism suite.
+//
+// The sharded engine's contract is bit-identical results for any shard or
+// thread count. These tests run the canonical pair cluster (core/cluster)
+// at shard counts 1/2/4/8 — serial and with a worker pool, clean and under
+// chaos fault plans — and compare full metrics-registry fingerprints, event
+// totals, and merged per-shard traces. The TSan CI job runs this binary
+// (label `parallel`) to sweep the worker pool for races.
+//
+// Set XGBE_CHAOS_SEED to decorrelate the fault plans' RNG seeds (the value
+// is XOR-folded in); the active seed is echoed on failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "fault/fault.hpp"
+#include "obs/trace.hpp"
+#include "sim/shard.hpp"
+
+namespace {
+
+using xgbe::core::cluster::build;
+using xgbe::core::cluster::Cluster;
+using xgbe::core::cluster::drive;
+using xgbe::core::cluster::fingerprint;
+using xgbe::core::cluster::Options;
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("XGBE_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 0;
+  return std::strtoull(env, nullptr, 0);
+}
+
+struct RunResult {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;
+  std::uint64_t exchanged = 0;
+  std::uint64_t consumed = 0;
+  xgbe::sim::SimTime now = 0;
+};
+
+RunResult run_cluster(Options opt,
+                      xgbe::sim::SimTime window = xgbe::sim::msec(4)) {
+  auto c = build(opt);
+  drive(*c, xgbe::sim::msec(1), window);
+  RunResult r;
+  r.fingerprint = fingerprint(*c);
+  r.events = c->tb.engine().executed_events();
+  r.exchanged = c->tb.engine().exchanged();
+  r.consumed = c->consumed;
+  r.now = c->tb.now();
+  return r;
+}
+
+void expect_identical(const RunResult& base, const RunResult& got,
+                      const std::string& label) {
+  EXPECT_EQ(base.fingerprint, got.fingerprint) << label;
+  EXPECT_EQ(base.events, got.events) << label;
+  EXPECT_EQ(base.exchanged, got.exchanged) << label;
+  EXPECT_EQ(base.consumed, got.consumed) << label;
+  EXPECT_EQ(base.now, got.now) << label;
+}
+
+TEST(ParallelEngine, BitIdenticalAcrossShardCounts) {
+  Options opt;
+  opt.hosts = 8;
+  RunResult base;
+  for (const std::size_t shards : kShardCounts) {
+    opt.shards = shards;
+    const RunResult got = run_cluster(opt);
+    if (shards == 1) {
+      base = got;
+      EXPECT_GT(base.consumed, 0u) << "workload must actually move bytes";
+      continue;
+    }
+    expect_identical(base, got, "shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ParallelEngine, BitIdenticalWithWorkerThreads) {
+  // hardware_concurrency is 1 on small CI runners, which would pick the
+  // serial path; force a real worker pool so TSan has something to watch.
+  Options opt;
+  opt.hosts = 8;
+  opt.shards = 1;
+  opt.threads = 1;
+  const RunResult base = run_cluster(opt);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    opt.shards = shards;
+    opt.threads = 4;
+    expect_identical(base, run_cluster(opt),
+                     "threads=4 shards=" + std::to_string(shards));
+  }
+}
+
+TEST(ParallelEngine, BitIdenticalUnderChaosFaultPlans) {
+  Options opt;
+  opt.hosts = 8;
+  opt.link_fault = xgbe::fault::FaultPlan{}
+                       .with_seed(0xc4a05eedULL ^ chaos_seed())
+                       .with_loss(0.005)
+                       .with_duplication(0.002)
+                       .with_reordering(0.002, xgbe::sim::usec(30));
+  RunResult base;
+  for (const std::size_t shards : kShardCounts) {
+    opt.shards = shards;
+    opt.threads = shards > 1 ? 4 : 0;
+    const RunResult got = run_cluster(opt);
+    if (shards == 1) {
+      base = got;
+      continue;
+    }
+    expect_identical(base, got,
+                     "chaos shards=" + std::to_string(shards) +
+                         " [XGBE_CHAOS_SEED=" + std::to_string(chaos_seed()) +
+                         "]");
+  }
+}
+
+TEST(ParallelEngine, SingleHostTimerLoadIsShardCountInvariant) {
+  Options opt;
+  opt.hosts = 1;
+  RunResult base;
+  for (const std::size_t shards : kShardCounts) {
+    opt.shards = shards;
+    const RunResult got = run_cluster(opt);
+    if (shards == 1) {
+      base = got;
+      EXPECT_GT(base.events, 0u);
+      continue;
+    }
+    expect_identical(base, got,
+                     "solo host shards=" + std::to_string(shards));
+  }
+}
+
+// Merged per-shard traces must be a partition-invariant timeline: the same
+// events, in the same (time, payload) order, whichever shard recorded them.
+TEST(ParallelEngine, MergedShardTracesAreIdentical) {
+  std::uint64_t base_fp = 0;
+  std::uint64_t base_count = 0;
+  for (const std::size_t shards : kShardCounts) {
+    std::vector<std::unique_ptr<xgbe::obs::TraceSink>> sinks;
+    std::vector<xgbe::obs::TraceSink*> raw;
+    std::vector<const xgbe::obs::TraceSink*> craw;
+    for (std::size_t i = 0; i < shards; ++i) {
+      // Large enough to retain the whole run: the merge sees everything.
+      sinks.push_back(std::make_unique<xgbe::obs::TraceSink>(1 << 16));
+      raw.push_back(sinks.back().get());
+      craw.push_back(sinks.back().get());
+    }
+    Options opt;
+    opt.hosts = 8;
+    opt.shards = shards;
+    opt.shard_traces = raw;  // armed before the topology: links record too
+    auto c = build(opt);
+    drive(*c, xgbe::sim::msec(1), xgbe::sim::msec(4));
+    const auto merged = xgbe::obs::merge_sorted(craw);
+    const std::uint64_t fp = xgbe::obs::fingerprint(merged);
+    std::uint64_t total = 0;
+    for (const auto& sink : sinks) total += sink->recorded();
+    if (shards == 1) {
+      base_fp = fp;
+      base_count = total;
+      EXPECT_GT(base_count, 0u) << "trace must capture the workload";
+      continue;
+    }
+    EXPECT_EQ(base_fp, fp) << "shards=" << shards;
+    EXPECT_EQ(base_count, total) << "shards=" << shards;
+  }
+}
+
+// The engine watchdog evaluates at barriers only: arming it must not
+// perturb the simulation in any way.
+TEST(ParallelEngine, ArmedWatchdogIsBitIdenticalToUnarmed) {
+  Options opt;
+  opt.hosts = 4;
+  opt.shards = 2;
+  const RunResult unarmed = run_cluster(opt);
+
+  auto c = build(opt);
+  auto& engine = c->tb.engine();
+  // Sum the live per-pair counters: progress functions run at barriers, so
+  // reading every shard's counter from one thread is safe by construction.
+  auto* pairs = &c->pair_consumed;
+  engine.watch_progress("consumed_bytes", [pairs]() {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : *pairs) total += b;
+    return total;
+  });
+  engine.arm_watchdog({/*interval=*/xgbe::sim::usec(200),
+                       /*stalled_ticks=*/10});
+  drive(*c, xgbe::sim::msec(1), xgbe::sim::msec(4));
+  EXPECT_FALSE(engine.tripped()) << engine.diagnosis();
+  RunResult armed;
+  armed.fingerprint = fingerprint(*c);
+  armed.events = engine.executed_events();
+  armed.exchanged = engine.exchanged();
+  armed.consumed = c->consumed;
+  armed.now = c->tb.now();
+  expect_identical(unarmed, armed, "armed watchdog");
+}
+
+TEST(ParallelEngine, WatchdogTripsOnStalledProgress) {
+  xgbe::sim::ShardedEngine engine(2);
+  engine.set_lookahead(xgbe::sim::usec(1));
+  // A self-rescheduling tick keeps the event supply alive while the watched
+  // counter stays flat — the "wedged component, live event loop" signature.
+  auto tick = std::make_shared<std::function<void()>>();
+  xgbe::sim::Simulator& s0 = engine.shard(0);
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [&s0, weak]() {
+    s0.schedule(xgbe::sim::usec(1), [weak]() {
+      if (auto t = weak.lock()) (*t)();
+    });
+  };
+  (*tick)();
+  engine.watch_progress("bytes_delivered", []() { return 0; });
+  engine.add_trip_context("topology", []() { return "2-shard stall rig"; });
+  int trips = 0;
+  engine.on_trip = [&trips](const std::string&) { ++trips; };
+  engine.arm_watchdog({/*interval=*/xgbe::sim::usec(100),
+                       /*stalled_ticks=*/3});
+  engine.run_until(xgbe::sim::msec(10));
+  EXPECT_TRUE(engine.tripped());
+  EXPECT_TRUE(engine.stopped());
+  EXPECT_EQ(trips, 1);
+  EXPECT_NE(engine.diagnosis().find("bytes_delivered"), std::string::npos)
+      << engine.diagnosis();
+  EXPECT_NE(engine.diagnosis().find("2-shard stall rig"), std::string::npos)
+      << engine.diagnosis();
+  EXPECT_LT(engine.now(), xgbe::sim::msec(1))
+      << "trip must fire after ~stalled_ticks intervals, not at the horizon";
+}
+
+TEST(ParallelEngine, RunUntilAdvancesDrainedShardsToHorizon) {
+  xgbe::sim::ShardedEngine engine(3);
+  bool fired = false;
+  engine.shard(1).schedule(xgbe::sim::usec(5), [&fired]() { fired = true; });
+  engine.run_until(xgbe::sim::msec(1));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.now(), xgbe::sim::msec(1));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(engine.shard(i).now(), xgbe::sim::msec(1)) << "shard " << i;
+  }
+}
+
+TEST(ParallelEngine, StopRequestHaltsAtBarrier) {
+  xgbe::sim::ShardedEngine engine(2);
+  engine.set_lookahead(xgbe::sim::usec(1));
+  auto tick = std::make_shared<std::function<void()>>();
+  xgbe::sim::Simulator& s0 = engine.shard(0);
+  std::weak_ptr<std::function<void()>> weak = tick;
+  int count = 0;
+  *tick = [&s0, weak, &count, &engine]() {
+    if (++count == 50) engine.stop();
+    s0.schedule(xgbe::sim::usec(1), [weak]() {
+      if (auto t = weak.lock()) (*t)();
+    });
+  };
+  (*tick)();
+  engine.run();
+  EXPECT_TRUE(engine.stopped());
+  EXPECT_GE(count, 50);
+  EXPECT_LT(engine.now(), xgbe::sim::msec(1));
+}
+
+}  // namespace
