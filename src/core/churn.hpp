@@ -1,0 +1,83 @@
+// Connection-churn workload: thousands of short-lived TCP connections.
+//
+// The paper's workloads are long bulk transfers; grid and NOW traffic also
+// stresses the other end of the spectrum — many small flows opening and
+// closing in quick succession. The churn generator drives that pattern
+// against the full connection lifecycle (handshake, transfer, FIN teardown,
+// TIME_WAIT) through a Host listener: Poisson arrivals, heavy-tailed
+// (bounded-Pareto) flow sizes, a cap on concurrently active transfers, and
+// exact terminal accounting — every connection it opens lands in exactly
+// one of {completed, refused, aborted}, fault plans notwithstanding.
+//
+// Classic (single-simulator) mode only: client and server must share the
+// testbed's one event queue.
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+#include "sim/time.hpp"
+#include "tcp/listener.hpp"
+
+namespace xgbe::core::churn {
+
+struct Options {
+  /// Seeds the workload's arrival/size draws (independent of fault seeds).
+  std::uint64_t seed = 0x10c4a11;
+  /// Connections to open over the run.
+  std::uint32_t connections = 1000;
+  /// Poisson arrival rate (exponential interarrival gaps).
+  double arrival_rate_hz = 500.0;
+  /// Bounded-Pareto flow-size tail index; ~1.1-1.5 is the classic
+  /// mice-and-elephants mix.
+  double pareto_alpha = 1.3;
+  std::uint32_t min_bytes = 2048;
+  std::uint32_t max_bytes = 262144;  // larger than sndbuf is fine (chunked)
+  /// Cap on concurrently *transferring* connections; arrivals beyond it are
+  /// deferred until a transfer finishes (TIME_WAIT residents don't count —
+  /// the application has moved on, only the kernel remembers).
+  std::uint32_t max_concurrent = 64;
+  /// Grace period after the expected arrival span for retries, give-ups
+  /// (handshake exhaustion takes ~93 s), and teardown to resolve.
+  /// Stragglers still open at the deadline are aborted, so the terminal
+  /// accounting stays exact.
+  sim::SimTime drain_timeout = sim::sec(150);
+  /// Server-side backlog knobs (SYN queue / accept queue / refusal RSTs).
+  tcp::ListenerConfig listener;
+};
+
+struct Result {
+  std::uint64_t opened = 0;
+  std::uint64_t completed = 0;  // established, transferred, closed gracefully
+  std::uint64_t refused = 0;    // never established: RST, give-up, overflow
+  std::uint64_t aborted = 0;    // established, then reset or harness-aborted
+  std::uint64_t bytes_acked = 0;       // payload acked across completed conns
+  sim::SimTime first_open = 0;
+  sim::SimTime last_close = 0;
+  sim::SimTime fct_sum = 0;  // flow completion time (connect -> all acked),
+  sim::SimTime fct_max = 0;  // completed connections only
+
+  /// Every opened connection reached exactly one terminal bucket.
+  bool conserved() const { return opened == completed + refused + aborted; }
+  double connections_per_sec() const {
+    const double span = sim::to_seconds(last_close - first_open);
+    return span > 0.0 ? static_cast<double>(completed) / span : 0.0;
+  }
+  double fct_mean_seconds() const {
+    return completed > 0
+               ? sim::to_seconds(fct_sum) / static_cast<double>(completed)
+               : 0.0;
+  }
+};
+
+/// Runs the churn workload: installs a close-on-EOF listener on `server`
+/// (via Host::listen with `opt.listener`), opens `opt.connections` flows
+/// from `client`, and drives the testbed until every opened connection
+/// reaches a terminal state or the drain deadline passes (stragglers are
+/// aborted, keeping Result::conserved() exact). When `live` is non-null it
+/// is used as the working result, so a sim::Watchdog armed by the caller
+/// can watch progress (completed + refused + aborted) during the run.
+Result run(Testbed& bed, Host& client, Host& server, const Options& opt,
+           Result* live = nullptr);
+
+}  // namespace xgbe::core::churn

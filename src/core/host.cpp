@@ -72,25 +72,52 @@ tcp::Endpoint& Host::create_endpoint(const tcp::EndpointConfig& config,
     *rec = pkt;
     kernel_->segment_tx(pkt, [out, rec]() { out->transmit(*rec); });
   };
-  auto [it, inserted] = endpoints_.emplace(
-      flow, std::make_unique<tcp::Endpoint>(sim_, config, std::move(hooks)));
-  if (trace_) it->second->set_trace(trace_);
-  if (spans_) it->second->set_span_profiler(spans_);
-  return *it->second;
+  endpoints_.push_back(EndpointSlot{
+      remote, flow,
+      std::make_unique<tcp::Endpoint>(sim_, config, std::move(hooks))});
+  tcp::Endpoint* ep = endpoints_.back().ep.get();
+  if (conn_table_.insert(remote, flow, ep)) {
+    ++conn_opens_;
+    ep->set_close_hook([this, remote, flow, ep]() {
+      if (conn_table_.erase(remote, flow, ep)) ++conn_closes_;
+    });
+  }
+  if (trace_) ep->set_trace(trace_);
+  if (spans_) ep->set_span_profiler(spans_);
+  return *ep;
+}
+
+tcp::Listener& Host::listen(const tcp::ListenerConfig& config,
+                            const tcp::EndpointConfig& ep_config,
+                            std::size_t adapter_index) {
+  tcp::Listener::Hooks hooks;
+  hooks.make_endpoint = [this, ep_config,
+                         adapter_index](net::NodeId remote,
+                                        net::FlowId flow) -> tcp::Endpoint& {
+    return create_endpoint(ep_config, flow, remote, adapter_index);
+  };
+  hooks.send_rst = [this, adapter_index](const net::Packet& pkt) {
+    send_rst_for(pkt, adapter_index);
+  };
+  listener_ = std::make_unique<tcp::Listener>(sim_, config, std::move(hooks));
+  if (trace_) listener_->set_trace(trace_);
+  lifecycle_metrics_ = true;
+  return *listener_;
 }
 
 void Host::set_trace(obs::TraceSink* sink) {
   trace_ = sink;
   kernel_->set_trace(sink, node_);
   for (auto& adapter : adapters_) adapter->set_trace(sink, node_);
-  for (auto& [flow, ep] : endpoints_) ep->set_trace(sink);
+  for (auto& slot : endpoints_) slot.ep->set_trace(sink);
+  if (listener_) listener_->set_trace(sink);
 }
 
 void Host::set_span_profiler(obs::SpanProfiler* spans) {
   spans_ = spans;
   kernel_->set_span_profiler(spans);
   for (auto& adapter : adapters_) adapter->set_span_profiler(spans);
-  for (auto& [flow, ep] : endpoints_) ep->set_span_profiler(spans);
+  for (auto& slot : endpoints_) slot.ep->set_span_profiler(spans);
 }
 
 void Host::register_metrics(obs::Registry& reg,
@@ -99,11 +126,22 @@ void Host::register_metrics(obs::Registry& reg,
   for (std::size_t i = 0; i < adapters_.size(); ++i) {
     adapters_[i]->register_metrics(reg, prefix + "/nic" + std::to_string(i));
   }
-  // Unordered-map iteration order is arbitrary, but paths are unique per
-  // flow and the registry sorts by path, so snapshots stay deterministic.
-  for (const auto& [flow, ep] : endpoints_) {
-    ep->register_metrics(reg, prefix + "/tcp/flow" + std::to_string(flow));
+  // Paths are unique per flow and the registry sorts by path, so snapshots
+  // stay deterministic regardless of creation order.
+  for (const auto& slot : endpoints_) {
+    const std::string ep_prefix =
+        prefix + "/tcp/flow" + std::to_string(slot.flow);
+    slot.ep->register_metrics(reg, ep_prefix);
+    if (lifecycle_metrics_) slot.ep->register_lifecycle_metrics(reg, ep_prefix);
   }
+  if (lifecycle_metrics_) {
+    reg.counter(prefix + "/conn_opens", [this] { return conn_opens_; });
+    reg.counter(prefix + "/conn_closes", [this] { return conn_closes_; });
+    reg.counter(prefix + "/rsts_unmatched", [this] { return rsts_sent_; });
+    reg.gauge(prefix + "/connections",
+              [this] { return static_cast<double>(conn_table_.size()); });
+  }
+  if (listener_) listener_->register_metrics(reg, prefix + "/listener");
   fault::register_metrics(reg, prefix + "/host_fault", host_faults_);
   reg.counter(prefix + "/frames_demuxed", [this] { return frames_demuxed_; });
   reg.counter(prefix + "/frames_unclaimed",
@@ -114,16 +152,52 @@ void Host::raw_transmit(const net::Packet& pkt, std::size_t adapter_index) {
   adapters_.at(adapter_index)->transmit(pkt);
 }
 
+void Host::send_rst_for(const net::Packet& in, std::size_t adapter_index) {
+  // RFC 793 reset for a segment matching no connection: echo the ACK as our
+  // sequence when it carried one, otherwise acknowledge the whole segment.
+  net::Packet pkt;
+  pkt.protocol = net::Protocol::kTcp;
+  pkt.flow = in.flow;
+  pkt.src = node_;
+  pkt.dst = in.src;
+  pkt.frame_bytes = net::tcp_frame_bytes(0, false);
+  pkt.created_at = sim_.now();
+  pkt.tcp.flags.rst = true;
+  if (in.tcp.flags.ack) {
+    pkt.tcp.seq = in.tcp.ack;
+  } else {
+    pkt.tcp.flags.ack = true;
+    pkt.tcp.ack = in.tcp.seq + in.payload_bytes +
+                  (in.tcp.flags.syn ? 1 : 0) + (in.tcp.flags.fin ? 1 : 0);
+  }
+  ++rsts_sent_;
+  if (trace_) {
+    trace_->record_packet(obs::EventType::kRst, sim_.now(), pkt, "host",
+                          "no-connection");
+  }
+  nic::Adapter* out = adapters_.at(adapter_index).get();
+  auto rec = emit_rec_pool_.acquire();
+  *rec = pkt;
+  kernel_->segment_tx(pkt, [out, rec]() { out->transmit(*rec); });
+}
+
 void Host::demux(const net::Packet& pkt) {
   ++frames_demuxed_;
   if (packet_tap) packet_tap(pkt);
   if (pkt.protocol == net::Protocol::kTcp) {
-    const auto it = endpoints_.find(pkt.flow);
-    if (it != endpoints_.end()) {
-      it->second->on_packet(pkt);
-    } else {
-      ++frames_unclaimed_;
+    if (tcp::Endpoint* ep = conn_table_.find(pkt.src, pkt.flow)) {
+      ep->on_packet(pkt);
+      return;
     }
+    if (listener_ != nullptr && pkt.tcp.flags.syn && !pkt.tcp.flags.ack &&
+        !pkt.tcp.flags.rst) {
+      listener_->on_syn(pkt);
+      return;
+    }
+    ++frames_unclaimed_;
+    // Live segments to a dead or unknown connection earn a RST so the
+    // peer's retransmissions die quickly; RSTs are never answered.
+    if (!pkt.tcp.flags.rst) send_rst_for(pkt);
     return;
   }
   if (raw_sink) {
@@ -133,10 +207,26 @@ void Host::demux(const net::Packet& pkt) {
   }
 }
 
+std::string Host::lifecycle_violation(sim::SimTime now) const {
+  if (conn_table_.size() != conn_opens_ - conn_closes_) {
+    return name_ + ": connection table holds " +
+           std::to_string(conn_table_.size()) + " entries, expected opens " +
+           std::to_string(conn_opens_) + " - closes " +
+           std::to_string(conn_closes_);
+  }
+  for (const auto& slot : endpoints_) {
+    const std::string stuck = slot.ep->stuck_violation(now);
+    if (!stuck.empty()) {
+      return name_ + "/flow" + std::to_string(slot.flow) + ": " + stuck;
+    }
+  }
+  return {};
+}
+
 std::uint64_t Host::sockbuf_drops() const {
   std::uint64_t drops = 0;
-  for (const auto& [flow, ep] : endpoints_) {
-    drops += ep->stats().rcv_buffer_drops;
+  for (const auto& slot : endpoints_) {
+    drops += slot.ep->stats().rcv_buffer_drops;
   }
   return drops;
 }

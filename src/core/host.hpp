@@ -15,7 +15,9 @@
 #include "nic/adapter.hpp"
 #include "os/kernel.hpp"
 #include "sim/simulator.hpp"
+#include "tcp/conn_table.hpp"
 #include "tcp/endpoint.hpp"
+#include "tcp/listener.hpp"
 
 namespace xgbe::core {
 
@@ -52,10 +54,39 @@ class Host {
   tcp::EndpointConfig endpoint_config() const;
 
   /// Creates a TCP endpoint bound to the given adapter; the host demuxes
-  /// inbound segments for `flow` to it.
+  /// inbound segments matching (remote, flow) to it. The endpoint stays
+  /// alive for the rest of the run (timers may reference it long after it
+  /// closes); only its connection-table entry is unlinked on close.
   tcp::Endpoint& create_endpoint(const tcp::EndpointConfig& config,
                                  net::FlowId flow, net::NodeId remote,
                                  std::size_t adapter_index = 0);
+
+  /// Installs the passive-open listener: demux misses that carry a bare SYN
+  /// are offered to it, and it clones per-connection endpoints (configured
+  /// with `ep_config`) into the connection table. One listener per host.
+  tcp::Listener& listen(const tcp::ListenerConfig& config,
+                        const tcp::EndpointConfig& ep_config,
+                        std::size_t adapter_index = 0);
+  tcp::Listener* listener() { return listener_.get(); }
+
+  // --- Connection-lifecycle accounting --------------------------------------
+  /// Endpoints ever created on this host / transitions into kClosed.
+  std::uint64_t conn_opens() const { return conn_opens_; }
+  std::uint64_t conn_closes() const { return conn_closes_; }
+  /// Live (non-closed) connections in the demux table.
+  std::size_t connection_count() const { return conn_table_.size(); }
+  /// RSTs this host generated for segments matching no connection.
+  std::uint64_t rsts_sent() const { return rsts_sent_; }
+
+  /// Lifecycle invariant sweep for sim::Watchdog: the connection-table
+  /// identity (size == opens - closes) plus every endpoint's transient-state
+  /// budget. Empty while healthy.
+  std::string lifecycle_violation(sim::SimTime now) const;
+
+  /// Opts this host's endpoints into lifecycle-counter registration (RSTs,
+  /// aborts, handshake failures, ...). Off by default so classic-workload
+  /// registry snapshots stay byte-identical; listen() turns it on.
+  void set_lifecycle_metrics(bool enabled) { lifecycle_metrics_ = enabled; }
 
   /// Raw transmit used by pktgen: bypasses the TCP/IP stack entirely.
   void raw_transmit(const net::Packet& pkt, std::size_t adapter_index = 0);
@@ -110,6 +141,7 @@ class Host {
 
  private:
   void demux(const net::Packet& pkt);
+  void send_rst_for(const net::Packet& pkt, std::size_t adapter_index = 0);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -118,7 +150,20 @@ class Host {
   TuningProfile tuning_;
   std::unique_ptr<os::Kernel> kernel_;
   std::vector<std::unique_ptr<nic::Adapter>> adapters_;
-  std::unordered_map<net::FlowId, std::unique_ptr<tcp::Endpoint>> endpoints_;
+  // Owning store (append-only graveyard: endpoints are never destroyed
+  // mid-run) plus the non-owning O(1) demux table of live connections.
+  struct EndpointSlot {
+    net::NodeId remote;
+    net::FlowId flow;
+    std::unique_ptr<tcp::Endpoint> ep;
+  };
+  std::vector<EndpointSlot> endpoints_;
+  tcp::ConnTable conn_table_;
+  std::unique_ptr<tcp::Listener> listener_;
+  std::uint64_t conn_opens_ = 0;
+  std::uint64_t conn_closes_ = 0;
+  std::uint64_t rsts_sent_ = 0;
+  bool lifecycle_metrics_ = false;
   // Segment-emit continuations capture a whole Packet (too big for the
   // inline callback buffer); pooled records keep the tx path allocation-free.
   sim::Pool<net::Packet> emit_rec_pool_;

@@ -125,6 +125,9 @@ class Testbed {
   }
 
   net::NodeId next_node() { return node_counter_++; }
+  /// Allocates a fresh testbed-unique flow id (workloads that open
+  /// connections outside open_connection(), e.g. core::churn).
+  net::FlowId next_flow() { return flow_counter_++; }
 
   // --- Observability --------------------------------------------------------
   /// Arms the trace sink across the whole testbed: every existing host,

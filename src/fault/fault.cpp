@@ -12,6 +12,7 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& o) {
   drops_uniform += o.drops_uniform;
   drops_burst += o.drops_burst;
   drops_carrier += o.drops_carrier;
+  drops_handshake += o.drops_handshake;
   corruptions += o.corruptions;
   duplicates += o.duplicates;
   reorders += o.reorders;
@@ -69,6 +70,15 @@ FaultDecision FaultInjector::decide(const net::Packet& pkt,
   // Stochastic faults draw in a fixed order, and only when enabled, so the
   // draw sequence for a given plan is stable regardless of which other
   // fault families other plans use.
+  if (plan_.handshake_loss_rate > 0.0 &&
+      pkt.protocol == net::Protocol::kTcp &&
+      net::is_lifecycle_segment(pkt.tcp.flags) &&
+      rng_.chance(plan_.handshake_loss_rate)) {
+    ++counters_.drops_handshake;
+    d.drop = true;
+    d.cause = DropCause::kHandshake;
+    return d;
+  }
   if (plan_.burst.enabled() && eligible) {
     if (burst_bad_) {
       if (rng_.chance(plan_.burst.p_exit_bad)) burst_bad_ = false;
@@ -123,6 +133,11 @@ std::string describe(const FaultPlan& plan) {
     std::snprintf(buf, sizeof(buf), ", loss %.3g%%", plan.loss_rate * 100.0);
     out += buf;
   }
+  if (plan.handshake_loss_rate > 0.0) {
+    std::snprintf(buf, sizeof(buf), ", handshake-loss %.3g%%",
+                  plan.handshake_loss_rate * 100.0);
+    out += buf;
+  }
   if (plan.burst.enabled()) {
     std::snprintf(buf, sizeof(buf), ", burst(%.3g->%.3g, bad %.3g%%)",
                   plan.burst.p_enter_bad, plan.burst.p_exit_bad,
@@ -174,6 +189,7 @@ std::string describe(const FaultCounters& c) {
     part(c.drops_uniform, "uniform");
     part(c.drops_burst, "burst");
     part(c.drops_carrier, "carrier");
+    part(c.drops_handshake, "handshake");
     out += ")";
   }
   std::snprintf(buf, sizeof(buf),
@@ -193,6 +209,7 @@ const char* cause_name(DropCause cause) {
     case DropCause::kUniform: return "uniform";
     case DropCause::kBurst: return "burst";
     case DropCause::kCarrier: return "carrier";
+    case DropCause::kHandshake: return "handshake";
   }
   return "?";
 }
@@ -208,6 +225,12 @@ void register_metrics(obs::Registry& reg, const std::string& prefix,
   field("drops_uniform", &FaultCounters::drops_uniform);
   field("drops_burst", &FaultCounters::drops_burst);
   field("drops_carrier", &FaultCounters::drops_carrier);
+  // Registered only when the plan uses the handshake family: keeps registry
+  // snapshots (and the golden metric fingerprints built from them)
+  // byte-identical for every pre-existing plan.
+  if (inj.plan().handshake_loss_rate > 0.0) {
+    field("drops_handshake", &FaultCounters::drops_handshake);
+  }
   field("corruptions", &FaultCounters::corruptions);
   field("duplicates", &FaultCounters::duplicates);
   field("reorders", &FaultCounters::reorders);

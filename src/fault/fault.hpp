@@ -24,10 +24,11 @@ namespace xgbe::fault {
 /// Why a frame was dropped (per-cause counters and capture annotations).
 enum class DropCause : std::uint8_t {
   kNone,
-  kForced,   // scripted inject_drops()
-  kUniform,  // independent per-frame loss
-  kBurst,    // Gilbert–Elliott bad-state loss
-  kCarrier   // link flap: carrier down
+  kForced,     // scripted inject_drops()
+  kUniform,    // independent per-frame loss
+  kBurst,      // Gilbert–Elliott bad-state loss
+  kCarrier,    // link flap: carrier down
+  kHandshake   // handshake-phase loss (SYN/FIN/RST segments only)
 };
 
 /// Two-state Markov loss model. Each frame first resolves the state
@@ -57,6 +58,12 @@ struct FaultPlan {
 
   /// Independent per-frame loss probability.
   double loss_rate = 0.0;
+  /// Loss probability applied only to lifecycle segments (SYN, FIN, RST):
+  /// the connection-churn failure mode where handshakes and teardowns die
+  /// while the data path stays clean. The RNG is consulted for this family
+  /// only when the knob is nonzero, so plans without it keep their exact
+  /// draw sequences.
+  double handshake_loss_rate = 0.0;
   /// Bursty (Gilbert–Elliott) loss; enabled when p_enter_bad > 0.
   GilbertElliott burst;
   /// Payload bit-damage probability (data frames only): the frame arrives
@@ -78,7 +85,8 @@ struct FaultPlan {
   bool data_only = false;
 
   bool any_stochastic() const {
-    return loss_rate > 0.0 || burst.enabled() || corrupt_rate > 0.0 ||
+    return loss_rate > 0.0 || handshake_loss_rate > 0.0 ||
+           burst.enabled() || corrupt_rate > 0.0 ||
            duplicate_rate > 0.0 || reorder_rate > 0.0;
   }
   bool active() const { return any_stochastic() || !flaps.empty(); }
@@ -86,6 +94,10 @@ struct FaultPlan {
   // Builder-style helpers keep test matrices readable.
   FaultPlan& with_seed(std::uint64_t s) { seed = s; return *this; }
   FaultPlan& with_loss(double p) { loss_rate = p; return *this; }
+  FaultPlan& with_handshake_loss(double p) {
+    handshake_loss_rate = p;
+    return *this;
+  }
   FaultPlan& with_burst(const GilbertElliott& ge) { burst = ge; return *this; }
   FaultPlan& with_corruption(double p) { corrupt_rate = p; return *this; }
   FaultPlan& with_duplication(double p) { duplicate_rate = p; return *this; }
@@ -110,13 +122,15 @@ struct FaultCounters {
   std::uint64_t drops_uniform = 0;
   std::uint64_t drops_burst = 0;
   std::uint64_t drops_carrier = 0;
+  std::uint64_t drops_handshake = 0;
   std::uint64_t corruptions = 0;
   std::uint64_t duplicates = 0;
   std::uint64_t reorders = 0;
   std::uint64_t flaps = 0;  // carrier up->down transitions observed
 
   std::uint64_t total_drops() const {
-    return drops_forced + drops_uniform + drops_burst + drops_carrier;
+    return drops_forced + drops_uniform + drops_burst + drops_carrier +
+           drops_handshake;
   }
   FaultCounters& operator+=(const FaultCounters& o);
 };

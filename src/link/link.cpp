@@ -261,6 +261,12 @@ void Link::register_metrics(obs::Registry& reg,
   field("drops_uniform", &fault::FaultCounters::drops_uniform);
   field("drops_burst", &fault::FaultCounters::drops_burst);
   field("drops_carrier", &fault::FaultCounters::drops_carrier);
+  // Only plans that use the handshake-loss family expose its counter:
+  // pre-existing plans keep byte-identical registry snapshots.
+  if (fault_injector(true).plan().handshake_loss_rate > 0.0 ||
+      fault_injector(false).plan().handshake_loss_rate > 0.0) {
+    field("drops_handshake", &fault::FaultCounters::drops_handshake);
+  }
   field("corruptions", &fault::FaultCounters::corruptions);
   field("duplicates", &fault::FaultCounters::duplicates);
   field("reorders", &fault::FaultCounters::reorders);

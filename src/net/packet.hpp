@@ -28,7 +28,15 @@ struct TcpFlags {
   bool syn = false;
   bool fin = false;
   bool ack = false;
+  bool rst = false;
 };
+
+/// True for segments that belong to connection setup/teardown rather than
+/// the data path (SYN, FIN, RST). The fault layer's handshake-phase plans
+/// target exactly these.
+inline bool is_lifecycle_segment(const TcpFlags& flags) {
+  return flags.syn || flags.fin || flags.rst;
+}
 
 /// TCP-specific segment metadata.
 struct TcpMeta {

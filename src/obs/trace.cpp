@@ -24,6 +24,8 @@ const char* event_name(EventType type) {
     case EventType::kRingStall: return "ring-stall";
     case EventType::kRingRefill: return "ring-refill";
     case EventType::kFault: return "fault";
+    case EventType::kRst: return "rst";
+    case EventType::kListenDrop: return "listen-drop";
   }
   return "?";
 }
@@ -68,6 +70,7 @@ TraceEvent packet_event(EventType type, sim::SimTime at,
   if (pkt.tcp.flags.syn) ev.flags |= kFlagSyn;
   if (pkt.tcp.flags.fin) ev.flags |= kFlagFin;
   if (pkt.tcp.flags.ack) ev.flags |= kFlagAck;
+  if (pkt.tcp.flags.rst) ev.flags |= kFlagRst;
   if (pkt.tcp.push) ev.flags |= kFlagPush;
   if (pkt.tcp.is_retransmit) ev.flags |= kFlagRetransmit;
   if (pkt.corrupted) ev.flags |= kFlagCorrupt;
@@ -124,9 +127,10 @@ std::string format_event(const TraceEvent& ev) {
     std::string f;
     if (ev.flags & kFlagSyn) f += 'S';
     if (ev.flags & kFlagFin) f += 'F';
+    if (ev.flags & kFlagRst) f += 'R';
     if (ev.flags & kFlagAck) f += '.';
     if (ev.flags & kFlagPush) f += 'P';
-    if (ev.flags & kFlagRetransmit) f += 'R';
+    if (ev.flags & kFlagRetransmit) f += 'r';
     if (ev.flags & kFlagCorrupt) f += 'C';
     if (!f.empty()) append_format(out, " [%s]", f.c_str());
   }

@@ -36,7 +36,9 @@ enum class EventType : std::uint8_t {
   kWindowUpdate,    // receiver sent a window-update ACK
   kRingStall,       // descriptor ring stopped being replenished / posted
   kRingRefill,      // deferred ring slots caught up
-  kFault            // fault injector made a non-drop decision worth noting
+  kFault,           // fault injector made a non-drop decision worth noting
+  kRst,             // RST segment generated (abort, refusal, stray segment)
+  kListenDrop       // listener refused a SYN (queue or backlog overflow)
 };
 
 /// Short stable name ("seg-tx", "ring-stall", ...) for formatting.
@@ -51,6 +53,7 @@ inline constexpr std::uint16_t kFlagRetransmit = 1u << 4;
 inline constexpr std::uint16_t kFlagCorrupt = 1u << 5;
 inline constexpr std::uint16_t kFlagTimestamps = 1u << 6;
 inline constexpr std::uint16_t kFlagWscale = 1u << 7;
+inline constexpr std::uint16_t kFlagRst = 1u << 8;
 
 /// One trace record. Plain value, fixed size, no allocation: cheap enough
 /// to emit on packet paths when a sink is armed. `where` and `detail` must

@@ -1,0 +1,57 @@
+// O(1) connection demultiplexing table.
+//
+// Keys are (remote node, flow); the local node is implicit — every host owns
+// its own table — which makes the pair equivalent to the (src, dst, flow)
+// triple the demux path matches on. Entries are non-owning: the host keeps
+// every Endpoint alive for the whole run (timers may hold callbacks into
+// them long after close), and only the *table* entry is unlinked when a
+// connection reaches CLOSED. That split is what makes `table size == opens -
+// closes` a checkable invariant.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace xgbe::tcp {
+
+class Endpoint;
+
+class ConnTable {
+ public:
+  static std::uint64_t key(net::NodeId remote, net::FlowId flow) {
+    return (static_cast<std::uint64_t>(remote) << 32) | flow;
+  }
+
+  /// False (and no change) if the (remote, flow) pair is already bound.
+  bool insert(net::NodeId remote, net::FlowId flow, Endpoint* ep) {
+    return map_.emplace(key(remote, flow), ep).second;
+  }
+
+  Endpoint* find(net::NodeId remote, net::FlowId flow) const {
+    const auto it = map_.find(key(remote, flow));
+    return it == map_.end() ? nullptr : it->second;
+  }
+
+  bool erase(net::NodeId remote, net::FlowId flow) {
+    return map_.erase(key(remote, flow)) > 0;
+  }
+
+  /// Pointer-checked erase: unlinks only if the entry still maps to `ep`,
+  /// so a stale close hook can never evict a successor connection that
+  /// reused the (remote, flow) pair.
+  bool erase(net::NodeId remote, net::FlowId flow, const Endpoint* ep) {
+    const auto it = map_.find(key(remote, flow));
+    if (it == map_.end() || it->second != ep) return false;
+    map_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Endpoint*> map_;
+};
+
+}  // namespace xgbe::tcp

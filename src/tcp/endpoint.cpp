@@ -16,6 +16,28 @@ namespace {
 /// Delayed-ACK timer (Linux 2.4 minimum delack interval).
 constexpr sim::SimTime kDelackTimeout = sim::msec(40);
 
+/// SYN / SYN-ACK transmissions before the handshake gives up (Linux 2.4
+/// tcp_syn_retries); with 3 s initial backoff the give-up lands ~93 s in.
+constexpr int kMaxHandshakeAttempts = 5;
+
+/// FIN retransmissions before the teardown aborts with a RST. Backoff can
+/// start from the 3 s initial RTO when the connection never sampled an RTT.
+constexpr int kMaxFinRetries = 6;
+
+/// 2MSL quiet period; shortened from the RFC 793 minutes to keep
+/// simulations snappy — nothing in the model depends on its length.
+constexpr sim::SimTime kTimeWaitPeriod = sim::sec(1);
+
+/// Watchdog budgets: longest a healthy endpoint can sit in a transient
+/// state, derived from the retry counts above with generous slack.
+/// Handshake: 3+6+12+24+48 s of backoff ≈ 93 s before give-up.
+constexpr sim::SimTime kHandshakeStateBudget = sim::sec(120);
+/// Teardown: 6 FIN retries backing off from a worst-case 3 s initial RTO
+/// (sum ≈ 189 s, RTO-capped tail ≈ 309 s) before the abort path fires.
+/// TIME_WAIT shares it: replayed FINs restart 2MSL only while the peer is
+/// still inside this same bounded retry schedule.
+constexpr sim::SimTime kTeardownStateBudget = sim::sec(400);
+
 /// Window-scale shift needed so that `space` fits in a 16-bit field.
 std::uint8_t wscale_for(std::uint32_t space) {
   std::uint8_t shift = 0;
@@ -24,6 +46,23 @@ std::uint8_t wscale_for(std::uint32_t space) {
 }
 
 }  // namespace
+
+const char* state_name(TcpState state) {
+  switch (state) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynReceived: return "SYN_RECEIVED";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
 
 Endpoint::Endpoint(sim::Simulator& simulator, const EndpointConfig& config,
                    Hooks hooks)
@@ -56,26 +95,143 @@ net::Packet Endpoint::make_packet(std::uint32_t payload,
   return pkt;
 }
 
+// --- Lifecycle --------------------------------------------------------------
+
+void Endpoint::set_state(TcpState next) {
+  if (state_ == next) return;
+  state_ = next;
+  state_entered_at_ = sim_.now();
+}
+
+void Endpoint::cancel_handshake_timer() {
+  if (handshake_armed_) {
+    sim_.cancel(handshake_timer_);
+    handshake_armed_ = false;
+  }
+}
+
+void Endpoint::enter_closed(CloseReason reason) {
+  if (state_ == TcpState::kClosed) return;
+  set_state(TcpState::kClosed);
+  close_reason_ = reason;
+  // Every timer dies with the connection; a cancelled event is cheaper and
+  // cleaner than a stale callback testing state.
+  cancel_handshake_timer();
+  cancel_rto();
+  cancel_persist_timer();
+  if (delack_armed_) {
+    sim_.cancel(delack_timer_);
+    delack_armed_ = false;
+  }
+  // Release send-side resources. Pending writes are dropped without their
+  // `admitted` callback — a blocking write on a dead connection fails. The
+  // in-kernel write continuation checks for kClosed before touching the
+  // queue, so clearing here is safe even mid-write.
+  unsent_.clear();
+  retx_q_.clear();
+  pending_writes_.clear();
+  txbuf_.release(txbuf_.wmem_alloc());
+  if (close_hook_) close_hook_();
+  if (on_closed) on_closed();
+}
+
+void Endpoint::send_rst(net::Seq seq) {
+  net::Packet pkt = make_packet(0, seq);
+  pkt.tcp.flags.rst = true;
+  pkt.tcp.flags.ack = true;
+  pkt.tcp.ack = reasm_.rcv_nxt();
+  ++stats_.rsts_sent;
+  if (trace_) {
+    trace_->record_packet(obs::EventType::kRst, sim_.now(), pkt, "tcp",
+                          "abort");
+  }
+  hooks_.emit(pkt);
+}
+
+void Endpoint::send_rst_for(const net::Packet& in) {
+  // RFC 793 reset generation for a segment with no connection: echo the
+  // peer's ACK as our sequence when it offered one, otherwise start at 0
+  // and acknowledge everything the segment occupied.
+  net::Packet pkt = make_packet(0, 0);
+  pkt.tcp.flags.rst = true;
+  if (in.tcp.flags.ack) {
+    pkt.tcp.seq = in.tcp.ack;
+  } else {
+    pkt.tcp.flags.ack = true;
+    pkt.tcp.ack = in.tcp.seq + in.payload_bytes +
+                  (in.tcp.flags.syn ? 1 : 0) + (in.tcp.flags.fin ? 1 : 0);
+  }
+  ++stats_.rsts_sent;
+  if (trace_) {
+    trace_->record_packet(obs::EventType::kRst, sim_.now(), pkt, "tcp",
+                          "no-connection");
+  }
+  hooks_.emit(pkt);
+}
+
+void Endpoint::abort() {
+  if (state_ == TcpState::kClosed) return;
+  // kListen never sent anything; kTimeWait's peer is already gone.
+  if (state_ != TcpState::kListen && state_ != TcpState::kTimeWait) {
+    send_rst(state_ == TcpState::kSynSent ? iss_ + 1 : snd_nxt_);
+  }
+  ++stats_.aborts;
+  enter_closed(CloseReason::kAborted);
+}
+
+void Endpoint::handle_rst(const net::Packet& pkt) {
+  ++stats_.rsts_received;
+  switch (state_) {
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      // Nothing to tear down; never answer a RST with a RST.
+      return;
+    case TcpState::kTimeWait:
+      // RFC 1337: ignore RSTs in TIME_WAIT (TIME-WAIT assassination).
+      return;
+    case TcpState::kSynSent:
+      // Connection refused — but only a RST that acknowledges our SYN; a
+      // stale or forged one must not kill the attempt.
+      if (!pkt.tcp.flags.ack || pkt.tcp.ack != iss_ + 1) return;
+      enter_closed(CloseReason::kRefused);
+      return;
+    default:
+      enter_closed(CloseReason::kReset);
+      return;
+  }
+}
+
 // --- Handshake --------------------------------------------------------------
 
-void Endpoint::listen() { state_ = TcpState::kListen; }
+void Endpoint::listen() { set_state(TcpState::kListen); }
 
 void Endpoint::connect() {
-  state_ = TcpState::kSynSent;
+  set_state(TcpState::kSynSent);
   send_syn(/*ack=*/false);
   arm_handshake_timer();
 }
 
 void Endpoint::arm_handshake_timer() {
   // SYN / SYN-ACK retransmission with exponential backoff (RFC 6298 3 s
-  // initial RTO); gives up after five attempts.
-  if (handshake_armed_ || handshake_attempts_ >= 5) return;
+  // initial RTO); gives up — and tears the endpoint down — once the retry
+  // budget is spent, so a black-holed handshake cannot wedge forever.
+  if (handshake_armed_) return;
+  if (handshake_attempts_ >= kMaxHandshakeAttempts) {
+    ++stats_.handshake_failures;
+    enter_closed(CloseReason::kHandshakeTimeout);
+    return;
+  }
   handshake_armed_ = true;
   const sim::SimTime delay = sim::sec(3) << std::min(handshake_attempts_, 4);
   handshake_timer_ = sim_.schedule(delay, [this]() {
     handshake_armed_ = false;
     if (established() || state_ == TcpState::kClosed) return;
     ++handshake_attempts_;
+    if (handshake_attempts_ >= kMaxHandshakeAttempts) {
+      ++stats_.handshake_failures;
+      enter_closed(CloseReason::kHandshakeTimeout);
+      return;
+    }
     send_syn(/*ack=*/state_ == TcpState::kSynReceived);
     arm_handshake_timer();
   });
@@ -84,8 +240,9 @@ void Endpoint::arm_handshake_timer() {
 void Endpoint::close() {
   if (state_ == TcpState::kClosed || fin_pending_ || fin_sent_) return;
   if (state_ == TcpState::kListen || state_ == TcpState::kSynSent) {
-    state_ = TcpState::kClosed;
-    if (on_closed) on_closed();
+    // No established peer to FIN: release everything (including a pending
+    // SYN retransmission timer) and notify synchronously.
+    enter_closed(CloseReason::kGraceful);
     return;
   }
   fin_pending_ = true;
@@ -107,25 +264,40 @@ void Endpoint::maybe_send_fin() {
   pkt.tcp.window = compute_window();
   hooks_.emit(pkt);
   if (!rto_armed_) arm_rto();
-  state_ = (state_ == TcpState::kCloseWait) ? TcpState::kLastAck
-                                            : TcpState::kFinWait1;
+  set_state(state_ == TcpState::kCloseWait ? TcpState::kLastAck
+                                           : TcpState::kFinWait1);
 }
 
 void Endpoint::handle_fin(const net::Packet& pkt) {
-  // Accept the FIN only once all data before it has arrived.
-  if (pkt.tcp.seq != reasm_.rcv_nxt() + pkt.payload_bytes) return;
   if (fin_received_) {
-    send_ack(false);  // retransmitted FIN
+    // Retransmitted / replayed FIN: after the first FIN was accepted,
+    // rcv_nxt sits one past the FIN octet, so the replay's sequence lands
+    // just below it. Re-ACK it, and in TIME_WAIT restart the 2MSL quiet
+    // period (RFC 793) — the replay proves our final ACK may not have
+    // landed yet.
+    if (pkt.tcp.seq + pkt.payload_bytes + 1 != reasm_.rcv_nxt()) return;
+    if (state_ == TcpState::kTimeWait) {
+      ++stats_.time_wait_absorbed;
+      schedule_time_wait_expiry();
+    }
+    send_ack(false);
     return;
   }
+  // Accept the FIN only once all data before it has arrived.
+  if (pkt.tcp.seq != reasm_.rcv_nxt() + pkt.payload_bytes) return;
   fin_received_ = true;
   reasm_ = Reassembly(pkt.tcp.seq + pkt.payload_bytes + 1);
   send_ack(false);
   switch (state_) {
     case TcpState::kEstablished:
-      state_ = TcpState::kCloseWait;
+      set_state(TcpState::kCloseWait);
+      if (on_peer_fin) on_peer_fin();
       break;
-    case TcpState::kFinWait1:  // simultaneous close
+    case TcpState::kFinWait1:
+      // Simultaneous close: the FINs crossed. handle_ack already ran for
+      // this packet, so still being in kFinWait1 means our FIN is unacked.
+      set_state(TcpState::kClosing);
+      break;
     case TcpState::kFinWait2:
       enter_time_wait();
       break;
@@ -135,13 +307,17 @@ void Endpoint::handle_fin(const net::Packet& pkt) {
 }
 
 void Endpoint::enter_time_wait() {
-  state_ = TcpState::kTimeWait;
-  // 2MSL quiet period; shortened from the RFC 793 minutes to keep
-  // simulations snappy — nothing in the model depends on its length.
-  sim_.schedule(sim::sec(1), [this]() {
-    if (state_ == TcpState::kTimeWait) {
-      state_ = TcpState::kClosed;
-      if (on_closed) on_closed();
+  set_state(TcpState::kTimeWait);
+  schedule_time_wait_expiry();
+}
+
+void Endpoint::schedule_time_wait_expiry() {
+  // Events are not cancelled on restart; the generation stamp makes every
+  // superseded expiry a no-op.
+  const std::uint64_t gen = ++time_wait_generation_;
+  sim_.schedule(kTimeWaitPeriod, [this, gen]() {
+    if (state_ == TcpState::kTimeWait && time_wait_generation_ == gen) {
+      enter_closed(CloseReason::kGraceful);
     }
   });
 }
@@ -199,12 +375,7 @@ void Endpoint::on_persist_timeout() {
   arm_persist_timer();
 }
 
-void Endpoint::handshake_established() {
-  if (handshake_armed_) {
-    sim_.cancel(handshake_timer_);
-    handshake_armed_ = false;
-  }
-}
+void Endpoint::handshake_established() { cancel_handshake_timer(); }
 
 void Endpoint::send_syn(bool ack) {
   net::Packet pkt = make_packet(0, iss_);
@@ -279,6 +450,9 @@ void Endpoint::admit_pending_writes() {
       std::min(bytes, snd_mss_payload_), ts_on_));
   hooks_.kernel->app_write(bytes, nsegs, block, [this, bytes]() {
     write_in_kernel_ = false;
+    // The connection may have been reset/aborted while the write sat in
+    // the kernel; its queues (and this write) are already gone.
+    if (state_ == TcpState::kClosed || pending_writes_.empty()) return;
     PendingWrite w = std::move(pending_writes_.front());
     pending_writes_.pop_front();
     if (spans_ != nullptr) {
@@ -472,7 +646,14 @@ void Endpoint::on_rto() {
   if (retx_q_.empty()) {
     if (fin_sent_ && net::seq_le(snd_una_, fin_seq_) &&
         state_ != TcpState::kClosed) {
-      // Retransmit the FIN.
+      // Retransmit the FIN — boundedly. A peer that will never ACK (dead,
+      // or its address black-holed) must not pin this endpoint in
+      // FIN_WAIT_1 / LAST_ACK / CLOSING forever.
+      if (++fin_retries_ > kMaxFinRetries) {
+        abort();
+        return;
+      }
+      ++stats_.fin_retransmits;
       net::Packet pkt = make_packet(0, fin_seq_);
       pkt.tcp.flags.fin = true;
       pkt.tcp.flags.ack = true;
@@ -578,10 +759,16 @@ void Endpoint::handle_ack(const net::Packet& pkt) {
     if (fin_sent_ && net::seq_gt(ack, fin_seq_)) {
       // Our FIN is acknowledged.
       if (state_ == TcpState::kFinWait1) {
-        state_ = TcpState::kFinWait2;
+        set_state(TcpState::kFinWait2);
+      } else if (state_ == TcpState::kClosing) {
+        // Simultaneous close completes: both FINs flew and are acked.
+        enter_time_wait();
+        notify_if_drained();
+        return;
       } else if (state_ == TcpState::kLastAck) {
-        state_ = TcpState::kClosed;
-        if (on_closed) on_closed();
+        enter_closed(CloseReason::kGraceful);
+        notify_if_drained();
+        return;
       }
     }
     admit_pending_writes();
@@ -852,16 +1039,46 @@ std::string Endpoint::invariant_violation() const {
   return {};
 }
 
+std::string Endpoint::stuck_violation(sim::SimTime now) const {
+  sim::SimTime budget = 0;
+  switch (state_) {
+    case TcpState::kSynSent:
+    case TcpState::kSynReceived:
+      budget = kHandshakeStateBudget;
+      break;
+    case TcpState::kFinWait1:
+    case TcpState::kLastAck:
+    case TcpState::kClosing:
+    case TcpState::kTimeWait:
+      budget = kTeardownStateBudget;
+      break;
+    default:
+      // kClosed/kListen/kEstablished/kFinWait2/kCloseWait may legally
+      // persist: no local timer is obliged to move them.
+      return {};
+  }
+  const sim::SimTime in_state = now - state_entered_at_;
+  if (in_state <= budget) return {};
+  return std::string("endpoint stuck in ") + state_name(state_) + " for " +
+         std::to_string(sim::to_seconds(in_state)) + " s (budget " +
+         std::to_string(sim::to_seconds(budget)) + " s)";
+}
+
 // --- Demux ------------------------------------------------------------------
 
 void Endpoint::on_packet(const net::Packet& pkt) {
+  // RSTs short-circuit every state's normal processing.
+  if (pkt.tcp.flags.rst) {
+    handle_rst(pkt);
+    return;
+  }
   switch (state_) {
     case TcpState::kListen:
       if (pkt.tcp.flags.syn && !pkt.tcp.flags.ack) {
         reasm_ = Reassembly(pkt.tcp.seq + 1);
         // Record negotiated parameters now; established on the final ACK.
         complete_handshake(pkt);
-        state_ = TcpState::kSynReceived;
+        set_state(TcpState::kSynReceived);
         send_syn(/*ack=*/true);
         arm_handshake_timer();
       }
@@ -871,7 +1088,7 @@ void Endpoint::on_packet(const net::Packet& pkt) {
         reasm_ = Reassembly(pkt.tcp.seq + 1);
         complete_handshake(pkt);
         last_ts_val_ = pkt.tcp.ts_val;
-        state_ = TcpState::kEstablished;
+        set_state(TcpState::kEstablished);
         handshake_established();
         send_ack(false);
         if (on_established) on_established();
@@ -880,7 +1097,7 @@ void Endpoint::on_packet(const net::Packet& pkt) {
       return;
     case TcpState::kSynReceived:
       if (pkt.tcp.flags.ack && !pkt.tcp.flags.syn) {
-        state_ = TcpState::kEstablished;
+        set_state(TcpState::kEstablished);
         handshake_established();
         rwnd_ = pkt.tcp.window;
         if (on_established) on_established();
@@ -892,9 +1109,13 @@ void Endpoint::on_packet(const net::Packet& pkt) {
     case TcpState::kFinWait2:
     case TcpState::kCloseWait:
     case TcpState::kLastAck:
+    case TcpState::kClosing:
     case TcpState::kTimeWait:
       break;
     case TcpState::kClosed:
+      // RFC 793: a live segment reaching a closed endpoint earns a RST so
+      // the peer's retransmissions die quickly instead of timing out.
+      send_rst_for(pkt);
       return;
   }
 
@@ -943,6 +1164,21 @@ void Endpoint::register_metrics(obs::Registry& reg,
             [this] { return static_cast<double>(flight_bytes()); });
   reg.gauge(prefix + "/srtt_us",
             [this] { return sim::to_seconds(srtt()) * 1e6; });
+}
+
+void Endpoint::register_lifecycle_metrics(obs::Registry& reg,
+                                          const std::string& prefix) const {
+  auto field = [&](const char* name,
+                   std::uint64_t EndpointStats::* member) {
+    reg.counter(prefix + "/" + name,
+                [this, member] { return stats_.*member; });
+  };
+  field("rsts_sent", &EndpointStats::rsts_sent);
+  field("rsts_received", &EndpointStats::rsts_received);
+  field("aborts", &EndpointStats::aborts);
+  field("handshake_failures", &EndpointStats::handshake_failures);
+  field("fin_retransmits", &EndpointStats::fin_retransmits);
+  field("time_wait_absorbed", &EndpointStats::time_wait_absorbed);
 }
 
 }  // namespace xgbe::tcp

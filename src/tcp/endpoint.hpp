@@ -47,6 +47,15 @@ struct EndpointStats {
   std::uint64_t window_probes = 0;   // zero-window persist probes sent
   std::uint64_t out_of_window = 0;   // segments rejected beyond the window
   std::uint64_t corrupted_delivered = 0;  // silent corruption reached the app
+  // Lifecycle counters. Registered through register_lifecycle_metrics(), not
+  // register_metrics(), so classic-path registry snapshots (and the golden
+  // metric fingerprints derived from them) stay byte-identical.
+  std::uint64_t rsts_sent = 0;
+  std::uint64_t rsts_received = 0;
+  std::uint64_t aborts = 0;               // local abort(): RST out, torn down
+  std::uint64_t handshake_failures = 0;   // SYN/SYN-ACK retries exhausted
+  std::uint64_t fin_retransmits = 0;
+  std::uint64_t time_wait_absorbed = 0;   // replayed FINs eaten in TIME_WAIT
 };
 
 enum class TcpState : std::uint8_t {
@@ -59,7 +68,22 @@ enum class TcpState : std::uint8_t {
   kFinWait2,    // our FIN acknowledged, waiting for the peer's
   kCloseWait,   // peer's FIN received, application not done yet
   kLastAck,     // peer's FIN received and our FIN sent
+  kClosing,     // simultaneous close: FINs crossed, ours not yet acked
   kTimeWait     // both FINs exchanged; 2MSL quiet period
+};
+
+/// Short stable name ("ESTABLISHED", "FIN_WAIT_1", ...) for diagnostics.
+const char* state_name(TcpState state);
+
+/// Why a connection reached kClosed; lets workloads classify outcomes
+/// (completed vs refused vs aborted) without watching every transition.
+enum class CloseReason : std::uint8_t {
+  kNone,              // never closed (or never opened)
+  kGraceful,          // FIN handshake (or local close before any SYN flew)
+  kHandshakeTimeout,  // SYN / SYN-ACK retries exhausted
+  kRefused,           // our SYN was answered with RST
+  kReset,             // peer RST tore down an established connection
+  kAborted            // local abort(): we sent the RST
 };
 
 class Endpoint {
@@ -88,13 +112,30 @@ class Endpoint {
   /// Graceful close: queues a FIN after any pending data (the application
   /// may keep reading; half-close semantics).
   void close();
+  /// Hard close: sends a RST (when a peer exists to hear it), discards all
+  /// queued and in-flight data, and enters kClosed immediately.
+  void abort();
   TcpState state() const { return state_; }
+  /// Why the endpoint reached kClosed (kNone while it has not).
+  CloseReason close_reason() const { return close_reason_; }
+  /// Simulated time the current state was entered.
+  sim::SimTime state_entered_at() const { return state_entered_at_; }
   bool established() const { return state_ == TcpState::kEstablished; }
   bool closed() const { return state_ == TcpState::kClosed; }
   /// Fires on transition to ESTABLISHED.
   std::function<void()> on_established;
   /// Fires when the connection is fully closed (both FINs exchanged).
   std::function<void()> on_closed;
+  /// Fires when the peer's FIN arrives while we are still open (transition
+  /// into kCloseWait): the read side hit EOF. A close-on-EOF server answers
+  /// with close() here.
+  std::function<void()> on_peer_fin;
+  /// Internal teardown hook, invoked on every transition into kClosed just
+  /// before on_closed. The owning host uses it to unlink the endpoint from
+  /// its connection table; applications should use on_closed.
+  void set_close_hook(std::function<void()> hook) {
+    close_hook_ = std::move(hook);
+  }
 
   // --- Application interface ----------------------------------------------
   /// One application write of `bytes` (<= sndbuf). `admitted` fires once
@@ -129,6 +170,13 @@ class Endpoint {
   /// under `prefix` (e.g. "host/tx/tcp/flow1").
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
+  /// Registers the connection-lifecycle counters (RSTs, aborts, handshake
+  /// failures, FIN retransmits, TIME_WAIT absorption) under `prefix`. Kept
+  /// out of register_metrics() so snapshots of classic steady-state
+  /// workloads remain byte-identical to pre-lifecycle builds.
+  void register_lifecycle_metrics(obs::Registry& reg,
+                                  const std::string& prefix) const;
+
   /// Hard congestion-window ceiling in segments (Linux snd_cwnd_clamp).
   void set_cwnd_clamp(std::uint32_t segments) { cc_.set_clamp(segments); }
 
@@ -155,6 +203,14 @@ class Endpoint {
   /// first violation. Meant to be called between events (e.g. from
   /// sim::Watchdog ticks), not from inside packet processing.
   std::string invariant_violation() const;
+
+  /// Transient-state liveness check for sim::Watchdog: an endpoint sitting
+  /// in a handshake or teardown state longer than that state's timer budget
+  /// (retries, backoff, and give-up all included, with slack) has wedged.
+  /// Returns an empty string while healthy, else a description. States that
+  /// may legally persist (kListen, kEstablished, kFinWait2, kCloseWait)
+  /// are never reported.
+  std::string stuck_violation(sim::SimTime now) const;
 
   const EndpointStats& stats() const { return stats_; }
   const EndpointConfig& config() const { return config_; }
@@ -193,6 +249,17 @@ class Endpoint {
     sim::SimTime first_sent = 0;
     bool retransmitted = false;
   };
+
+  // Lifecycle.
+  void set_state(TcpState next);
+  void enter_closed(CloseReason reason);
+  void cancel_handshake_timer();
+  void schedule_time_wait_expiry();
+  void handle_rst(const net::Packet& pkt);
+  /// RST carrying our current send position (abort, refused handshake).
+  void send_rst(net::Seq seq);
+  /// RST answering a stray segment `in` with RFC 793 seq/ack derivation.
+  void send_rst_for(const net::Packet& in);
 
   // TX path.
   bool can_carry_data() const {
@@ -238,6 +305,13 @@ class Endpoint {
   Hooks hooks_;
   EndpointStats stats_;
   TcpState state_ = TcpState::kClosed;
+  sim::SimTime state_entered_at_ = 0;
+  CloseReason close_reason_ = CloseReason::kNone;
+  std::function<void()> close_hook_;
+  // Bumped on every TIME_WAIT (re)arm so a superseded 2MSL expiry event
+  // (made stale by a replayed FIN restarting the quiet period) is inert.
+  std::uint64_t time_wait_generation_ = 0;
+  int fin_retries_ = 0;
 
   // Negotiated parameters.
   bool ts_on_ = false;

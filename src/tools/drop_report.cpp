@@ -27,6 +27,22 @@ void DropReport::add_tcp_discard(const std::string& cause,
   add_entry(tcp_discards, cause, count);
 }
 
+void DropReport::add_connections(std::uint64_t opened, std::uint64_t completed,
+                                 std::uint64_t refused,
+                                 std::uint64_t aborted) {
+  conn_opened += opened;
+  conn_completed += completed;
+  conn_refused += refused;
+  conn_aborted += aborted;
+}
+
+std::int64_t DropReport::connections_unaccounted() const {
+  return static_cast<std::int64_t>(conn_opened) -
+         static_cast<std::int64_t>(conn_completed) -
+         static_cast<std::int64_t>(conn_refused) -
+         static_cast<std::int64_t>(conn_aborted);
+}
+
 std::uint64_t DropReport::total_drops() const {
   std::uint64_t total = 0;
   for (const Entry& e : drops) total += e.count;
@@ -81,6 +97,14 @@ std::string DropReport::render() const {
   }
   for (const Entry& e : tcp_discards) {
     out += "\n  tcp-recovered " + e.cause + " = " + std::to_string(e.count);
+  }
+  if (conn_opened != 0 || !connections_conserved()) {
+    out += "\nconnection ledger: opened=" + std::to_string(conn_opened) +
+           " completed=" + std::to_string(conn_completed) +
+           " refused=" + std::to_string(conn_refused) +
+           " aborted=" + std::to_string(conn_aborted) +
+           " unaccounted=" + std::to_string(connections_unaccounted()) +
+           (connections_conserved() ? " (conserved)" : " (LEAK)");
   }
   return out;
 }

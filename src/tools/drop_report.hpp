@@ -39,15 +39,34 @@ struct DropReport {
   std::vector<Entry> drops;         // pre-delivery losses: identity terms
   std::vector<Entry> tcp_discards;  // post-delivery, recovered by TCP
 
+  // Connection ledger: every connection a workload opened must land in
+  // exactly one terminal bucket. Evaluated at quiescence, like the frame
+  // identity:
+  //
+  //   conn_opened == conn_completed + conn_refused + conn_aborted
+  std::uint64_t conn_opened = 0;
+  std::uint64_t conn_completed = 0;  // graceful close after the transfer
+  std::uint64_t conn_refused = 0;    // never established: RST or give-up
+  std::uint64_t conn_aborted = 0;    // established, then reset or aborted
+
   /// Adds `count` to the named cause (merging repeat causes); zero counts
   /// are dropped so reports only show what actually happened.
   void add_drop(const std::string& cause, std::uint64_t count);
   void add_tcp_discard(const std::string& cause, std::uint64_t count);
 
+  /// Folds a workload's connection outcomes into the ledger (additive, so
+  /// several workloads can share one report).
+  void add_connections(std::uint64_t opened, std::uint64_t completed,
+                       std::uint64_t refused, std::uint64_t aborted);
+
   std::uint64_t total_drops() const;
   /// offered - delivered - total_drops: zero iff every frame is accounted.
   std::int64_t unaccounted() const;
   bool conserved() const { return unaccounted() == 0; }
+  /// opened - completed - refused - aborted: zero iff every connection
+  /// reached exactly one terminal bucket.
+  std::int64_t connections_unaccounted() const;
+  bool connections_conserved() const { return connections_unaccounted() == 0; }
 
   /// Harvests one host: its adapters' transmitted frames into `offered`,
   /// frames demuxed into `delivered`, and the receive-side drop causes

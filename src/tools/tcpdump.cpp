@@ -4,8 +4,11 @@ namespace xgbe::tools {
 
 std::string format_wire_event(const obs::TraceEvent& ev) {
   std::string line;
-  obs::append_format(line, "%12.6f %u > %u: ", sim::to_seconds(ev.at),
-                     ev.src, ev.dst);
+  // node.flow > node.flow mirrors tcpdump's host.port notation: the flow id
+  // plays the port pair, so the connection 4-tuple (src, dst, flow) is
+  // readable off every line.
+  obs::append_format(line, "%12.6f %u.%u > %u.%u: ", sim::to_seconds(ev.at),
+                     ev.src, ev.flow, ev.dst, ev.flow);
 
   const auto proto = static_cast<net::Protocol>(ev.proto);
   if (proto == net::Protocol::kUdp) {
@@ -15,13 +18,15 @@ std::string format_wire_event(const obs::TraceEvent& ev) {
   } else {
     const bool syn = (ev.flags & obs::kFlagSyn) != 0;
     const bool fin = (ev.flags & obs::kFlagFin) != 0;
+    const bool rst = (ev.flags & obs::kFlagRst) != 0;
     const bool ack = (ev.flags & obs::kFlagAck) != 0;
     std::string flags;
     if (syn) flags += 'S';
     if (fin) flags += 'F';
-    if (ack && !syn && !fin && ev.len == 0) {
+    if (rst) flags += 'R';
+    if (ack && !syn && !fin && !rst && ev.len == 0) {
       flags += '.';
-    } else if (ack && (syn || fin)) {
+    } else if (ack && (syn || fin || rst)) {
       flags += '.';
     }
     if ((ev.flags & obs::kFlagPush) != 0) flags += 'P';

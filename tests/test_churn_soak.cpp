@@ -1,0 +1,337 @@
+// Churn soak: >= 10k short-lived connections across >= 8 seeded wire+host
+// fault plans, driven through the full lifecycle (listener accept, handshake
+// retry, transfer, FIN teardown, TIME_WAIT) by the core::churn generator,
+// asserting for every plan that
+//   - every opened connection lands in exactly one terminal bucket
+//     (opened == completed + refused + aborted — the connection ledger),
+//   - the frame-level drop ledger reconciles exactly at quiescence,
+//   - backlog overflow sheds load gracefully: refusals are counted, no
+//     endpoint wedges, the watchdog stays quiet,
+//   - a rerun of the same plan reproduces bit-identical statistics,
+// with a watchdog checking host lifecycle invariants (connection-table
+// identity, per-endpoint transient-state budgets) and forward progress.
+//
+// Set XGBE_CHAOS_SEED to decorrelate every plan's RNG seeds (XOR-folded
+// into wire, host, and churn seeds); active seeds are echoed in failures.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/churn.hpp"
+#include "core/testbed.hpp"
+#include "fault/host_fault.hpp"
+#include "sim/watchdog.hpp"
+#include "tools/drop_report.hpp"
+
+namespace xgbe {
+namespace {
+
+struct ChurnConfig {
+  std::string name;
+  fault::FaultPlan plan;         // wire faults
+  fault::HostFaultPlan host_rx;  // server-side host faults
+  fault::HostFaultPlan host_tx;  // client-side host faults
+  core::churn::Options churn;
+  bool expect_refusals = false;  // overflow plans must count refusals
+};
+
+struct ChurnOutcome {
+  core::churn::Result result;
+  bool tripped = false;
+  bool frames_conserved = false;
+  bool conns_conserved = false;
+  std::string diagnosis;
+  std::string ledger;
+  std::string fingerprint;
+  std::uint64_t listener_refused = 0;
+};
+
+bool chaos_seed_override(std::uint64_t& seed) {
+  const char* env = std::getenv("XGBE_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return false;
+  seed = std::strtoull(env, nullptr, 0);
+  return true;
+}
+
+void fold_seed_override(std::vector<ChurnConfig>& configs) {
+  std::uint64_t s = 0;
+  if (!chaos_seed_override(s)) return;
+  for (ChurnConfig& c : configs) {
+    c.plan.seed ^= s;
+    c.host_rx.seed ^= s;
+    c.host_tx.seed ^= s;
+    c.churn.seed ^= s;
+  }
+}
+
+std::string trace_line(const ChurnConfig& cfg) {
+  std::string line = cfg.name + " [churn seed=" +
+                     std::to_string(cfg.churn.seed) +
+                     " conns=" + std::to_string(cfg.churn.connections) + "]";
+  if (cfg.plan.active()) {
+    line += " [wire seed=" + std::to_string(cfg.plan.seed) + " " +
+            fault::describe(cfg.plan) + "]";
+  }
+  if (cfg.host_rx.active()) {
+    line += " [host-rx " + fault::describe(cfg.host_rx) + "]";
+  }
+  if (cfg.host_tx.active()) {
+    line += " [host-tx " + fault::describe(cfg.host_tx) + "]";
+  }
+  std::uint64_t s = 0;
+  if (chaos_seed_override(s)) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " [XGBE_CHAOS_SEED=0x%llx]",
+                  static_cast<unsigned long long>(s));
+    line += buf;
+  }
+  return line;
+}
+
+ChurnOutcome run_churn(const ChurnConfig& cfg) {
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::lan_tuned(9000);
+  auto& client = tb.add_host("client", hw::presets::pe2650(), tuning);
+  auto& server = tb.add_host("server", hw::presets::pe2650(), tuning);
+  auto& wire = tb.connect(client, server);
+  if (cfg.plan.active()) wire.set_fault_plan(cfg.plan);
+  if (cfg.host_tx.active()) client.set_host_fault_plan(cfg.host_tx);
+  if (cfg.host_rx.active()) server.set_host_fault_plan(cfg.host_rx);
+
+  // Lifecycle watchdog: stalls are measured against terminal-state
+  // progress; backoff gaps between handshake retries can run ~48 s with no
+  // global movement, so the stall horizon must exceed the ~93 s give-up.
+  core::churn::Result live;
+  sim::Watchdog::Options wopt;
+  wopt.interval = sim::sec(1);
+  wopt.stalled_ticks = 120;
+  sim::Watchdog dog(tb.simulator(), wopt);
+  dog.watch_progress("terminal", [&live]() {
+    return live.completed + live.refused + live.aborted;
+  });
+  dog.watch_progress("opened", [&live]() { return live.opened; });
+  dog.add_invariant("client-lifecycle", [&]() {
+    return client.lifecycle_violation(tb.now());
+  });
+  dog.add_invariant("server-lifecycle", [&]() {
+    return server.lifecycle_violation(tb.now());
+  });
+  dog.add_context("wire-faults", [&]() {
+    return wire.fault_counters().total_drops() > 0
+               ? fault::describe(wire.fault_counters())
+               : std::string();
+  });
+  dog.arm();
+
+  core::churn::run(tb, client, server, cfg.churn, &live);
+  dog.disarm();
+  // Quiesce: trailing ACKs, refusal RSTs, reorder hold-backs, duplicate
+  // copies all land before the ledgers are harvested.
+  tb.run_for(sim::sec(2));
+
+  ChurnOutcome out;
+  out.result = live;
+  out.tripped = dog.tripped();
+  out.diagnosis = dog.diagnosis();
+
+  tools::DropReport ledger;
+  ledger.add_host(client);
+  ledger.add_host(server);
+  ledger.add_link(wire);
+  ledger.add_connections(live.opened, live.completed, live.refused,
+                         live.aborted);
+  out.frames_conserved = ledger.conserved();
+  out.conns_conserved = ledger.connections_conserved();
+  out.ledger = ledger.render();
+
+  const tcp::Listener* listener = server.listener();
+  out.listener_refused = listener->stats().refused_syn_queue +
+                         listener->stats().refused_accept_queue;
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "conns{open=%llu done=%llu ref=%llu abort=%llu bytes=%llu "
+      "fct_sum=%lld fct_max=%lld last=%lld} "
+      "hosts{copen=%llu/%llu cclose=%llu/%llu rst=%llu/%llu "
+      "demux=%llu/%llu unclaimed=%llu/%llu} "
+      "listener{syn=%llu acc=%llu refq=%llu refacc=%llu half=%llu} "
+      "wire{seen=%llu drops=%llu dup=%llu}",
+      static_cast<unsigned long long>(live.opened),
+      static_cast<unsigned long long>(live.completed),
+      static_cast<unsigned long long>(live.refused),
+      static_cast<unsigned long long>(live.aborted),
+      static_cast<unsigned long long>(live.bytes_acked),
+      static_cast<long long>(live.fct_sum),
+      static_cast<long long>(live.fct_max),
+      static_cast<long long>(live.last_close),
+      static_cast<unsigned long long>(client.conn_opens()),
+      static_cast<unsigned long long>(server.conn_opens()),
+      static_cast<unsigned long long>(client.conn_closes()),
+      static_cast<unsigned long long>(server.conn_closes()),
+      static_cast<unsigned long long>(client.rsts_sent()),
+      static_cast<unsigned long long>(server.rsts_sent()),
+      static_cast<unsigned long long>(client.frames_demuxed()),
+      static_cast<unsigned long long>(server.frames_demuxed()),
+      static_cast<unsigned long long>(client.frames_unclaimed()),
+      static_cast<unsigned long long>(server.frames_unclaimed()),
+      static_cast<unsigned long long>(listener->stats().syns_received),
+      static_cast<unsigned long long>(listener->stats().accepted),
+      static_cast<unsigned long long>(listener->stats().refused_syn_queue),
+      static_cast<unsigned long long>(
+          listener->stats().refused_accept_queue),
+      static_cast<unsigned long long>(listener->stats().failed_handshakes),
+      static_cast<unsigned long long>(wire.fault_counters().frames_seen),
+      static_cast<unsigned long long>(wire.fault_counters().total_drops()),
+      static_cast<unsigned long long>(wire.fault_counters().duplicates));
+  out.fingerprint = buf;
+  return out;
+}
+
+void expect_clean_churn(const ChurnConfig& cfg, const ChurnOutcome& out) {
+  ASSERT_FALSE(out.tripped) << out.diagnosis;
+  EXPECT_EQ(out.result.opened, cfg.churn.connections)
+      << "every planned connection must be opened";
+  EXPECT_TRUE(out.result.conserved())
+      << "opened=" << out.result.opened
+      << " completed=" << out.result.completed
+      << " refused=" << out.result.refused
+      << " aborted=" << out.result.aborted;
+  EXPECT_TRUE(out.conns_conserved) << out.ledger;
+  EXPECT_TRUE(out.frames_conserved) << out.ledger;
+  EXPECT_GT(out.result.completed, 0u);
+  if (cfg.expect_refusals) {
+    EXPECT_GT(out.listener_refused, 0u)
+        << "overflow plan never overflowed the backlog";
+  }
+}
+
+fault::GilbertElliott lan_burst() {
+  fault::GilbertElliott ge;
+  ge.p_enter_bad = 5e-4;
+  ge.p_exit_bad = 0.25;
+  ge.loss_bad = 1.0;
+  return ge;
+}
+
+std::vector<ChurnConfig> churn_matrix() {
+  using fault::FaultPlan;
+  using fault::HostFaultPlan;
+  std::vector<ChurnConfig> configs;
+  auto add = [&](const std::string& name,
+                 std::uint32_t connections) -> ChurnConfig& {
+    ChurnConfig c;
+    c.name = name;
+    c.churn.connections = connections;
+    c.churn.arrival_rate_hz = 500.0;
+    c.churn.seed = 0x10c4a11;
+    configs.push_back(c);
+    return configs.back();
+  };
+
+  // Control: no faults; everything else must stay as well-accounted.
+  add("churn-clean", 1300);
+
+  add("churn-uniform-1pct-s71", 1300).plan =
+      FaultPlan{}.with_seed(71).with_loss(0.01);
+  add("churn-handshake-30pct-s72", 1300).plan =
+      FaultPlan{}.with_seed(72).with_handshake_loss(0.3);
+  add("churn-burst-s73", 1300).plan =
+      FaultPlan{}.with_seed(73).with_burst(lan_burst());
+  add("churn-dup-reorder-s74", 1300).plan = FaultPlan{}
+                                                .with_seed(74)
+                                                .with_duplication(0.01)
+                                                .with_reordering(
+                                                    0.03, sim::usec(100));
+  {
+    auto& c = add("churn-hostalloc-irqmiss-s75", 1300);
+    c.host_rx =
+        HostFaultPlan{}.with_seed(75).with_alloc_failure(0.01).with_irq_miss(
+            0.02);
+  }
+  {
+    auto& c = add("churn-combo-s76", 1300);
+    c.plan = FaultPlan{}.with_seed(76).with_loss(0.005).with_handshake_loss(
+        0.1);
+    c.host_rx = HostFaultPlan{}.with_seed(76).with_alloc_failure(0.005);
+    c.host_tx = HostFaultPlan{}.with_seed(77).with_sched_pause(
+        sim::msec(2), sim::msec(60));
+  }
+  add("churn-handshake-loss-dup-s78", 1300).plan =
+      FaultPlan{}.with_seed(78).with_handshake_loss(0.15).with_duplication(
+          0.02);
+
+  // Backlog overflow, refused with RSTs: a two-deep SYN queue against a
+  // fast arrival burst sheds most of the load as counted refusals.
+  {
+    auto& c = add("churn-overflow-rst-s79", 600);
+    c.churn.arrival_rate_hz = 5000.0;
+    c.churn.max_concurrent = 256;
+    c.churn.listener.syn_backlog = 2;
+    c.churn.listener.rst_on_overflow = true;
+    c.expect_refusals = true;
+  }
+  // Same overflow with silent drops: clients retry into the wall and get
+  // through once slots free up (or give up) — nothing wedges either way.
+  {
+    auto& c = add("churn-overflow-silent-s80", 300);
+    c.churn.arrival_rate_hz = 20000.0;
+    c.churn.max_concurrent = 256;
+    c.churn.listener.syn_backlog = 2;
+    c.churn.listener.rst_on_overflow = false;
+    c.expect_refusals = true;
+  }
+  fold_seed_override(configs);
+  return configs;
+}
+
+TEST(ChurnSoak, TenThousandConnectionsAcrossFaultPlansReproduceBitIdentically) {
+  const auto configs = churn_matrix();
+  ASSERT_GE(configs.size(), 9u);  // >= 8 fault plans + the clean control
+  std::uint64_t total_opened = 0;
+  for (const auto& cfg : configs) {
+    SCOPED_TRACE(trace_line(cfg));
+    const ChurnOutcome first = run_churn(cfg);
+    expect_clean_churn(cfg, first);
+    total_opened += first.result.opened;
+
+    const ChurnOutcome rerun = run_churn(cfg);
+    EXPECT_EQ(first.fingerprint, rerun.fingerprint)
+        << "same plan, same churn, different stats — determinism broke";
+  }
+  EXPECT_GE(total_opened, 10000u)
+      << "the soak must push at least 10k connections through the lifecycle";
+}
+
+// The clean control must leave zero aborted connections and an empty
+// connection table — and the listener path must not leak endpoints.
+TEST(ChurnSoak, CleanChurnLeavesNoResidue) {
+  ChurnConfig cfg;
+  cfg.name = "clean-residue";
+  cfg.churn.connections = 400;
+  cfg.churn.arrival_rate_hz = 1000.0;
+
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::lan_tuned(9000);
+  auto& client = tb.add_host("client", hw::presets::pe2650(), tuning);
+  auto& server = tb.add_host("server", hw::presets::pe2650(), tuning);
+  tb.connect(client, server);
+  const auto res = core::churn::run(tb, client, server, cfg.churn);
+  tb.run_for(sim::sec(2));
+
+  EXPECT_EQ(res.opened, 400u);
+  EXPECT_EQ(res.completed, 400u);
+  EXPECT_EQ(res.refused, 0u);
+  EXPECT_EQ(res.aborted, 0u);
+  EXPECT_EQ(client.connection_count(), 0u);
+  EXPECT_EQ(server.connection_count(), 0u);
+  EXPECT_EQ(client.conn_opens(), client.conn_closes());
+  EXPECT_EQ(server.conn_opens(), server.conn_closes());
+  EXPECT_TRUE(client.lifecycle_violation(tb.now()).empty());
+  EXPECT_TRUE(server.lifecycle_violation(tb.now()).empty());
+}
+
+}  // namespace
+}  // namespace xgbe

@@ -4,11 +4,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/churn.hpp"
 #include "core/testbed.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -98,6 +101,66 @@ TEST(Registry, TestbedSnapshotIsDeterministicAcrossRuns) {
   EXPECT_NE(first.find("a/tcp/flow1/bytes_acked"), std::string::npos);
   EXPECT_NE(first.find("link/a<->b/frames_delivered"), std::string::npos);
   EXPECT_NE(first.find("b/nic0/rx_frames"), std::string::npos);
+}
+
+// Connection-lifecycle counters only appear on hosts that listen (or opt in
+// via set_lifecycle_metrics), so the golden fig6/sim_core snapshots never
+// grow new paths. This test covers the other side of that bargain: when a
+// bench *does* drive a Listener, the lifecycle counters must flow through
+// the --json envelope as schema-valid integer counters.
+TEST(Registry, LifecycleCountersFlowThroughBenchJson) {
+  core::Testbed tb;
+  const auto tuning = core::TuningProfile::lan_tuned(9000);
+  auto& client = tb.add_host("client", hw::presets::pe2650(), tuning);
+  auto& server = tb.add_host("server", hw::presets::pe2650(), tuning);
+  tb.connect(client, server);
+  core::churn::Options opt;
+  opt.connections = 30;
+  opt.arrival_rate_hz = 2000.0;
+  opt.max_bytes = 32768;
+  const core::churn::Result res = core::churn::run(tb, client, server, opt);
+  ASSERT_EQ(res.completed, 30u);
+  ASSERT_TRUE(res.conserved());
+
+  obs::Registry reg;
+  tb.register_metrics(reg);
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::Sample* opens = snap.find("client/conn_opens");
+  ASSERT_NE(opens, nullptr);
+  EXPECT_EQ(opens->count, 30u);
+  const obs::Sample* accepted = snap.find("server/listener/accepted");
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->count, 30u);
+  EXPECT_NE(snap.find("server/conn_opens"), nullptr);
+  EXPECT_NE(snap.find("server/conn_closes"), nullptr);
+  EXPECT_NE(snap.find("server/listener/half_open"), nullptr);
+
+  // Route the snapshot through ResultLog exactly as a bench --json run
+  // would, then check the written file by hand against the contract that
+  // scripts/check_bench_schema.py enforces: counters are bare integers.
+  const char* out_path = "lifecycle_snapshot.json";
+  std::string json_flag = std::string("--json=") + out_path;
+  char arg0[] = "test_obs";
+  char* argv[] = {arg0, json_flag.data()};
+  bench::ResultLog& log = bench::ResultLog::instance();
+  ASSERT_EQ(log.consume_json_flag(2, argv), 1);
+  log.add_snapshot("churn-lan", snap);
+  ASSERT_TRUE(log.write());
+
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string file = buf.str();
+  EXPECT_NE(file.find("\"schema\":\"xgbe-bench/2\""), std::string::npos);
+  EXPECT_NE(file.find("\"label\":\"churn-lan\""), std::string::npos);
+  EXPECT_NE(file.find("\"path\":\"server/listener/accepted\","
+                      "\"kind\":\"counter\",\"value\":30}"),
+            std::string::npos);
+  EXPECT_NE(file.find("\"path\":\"client/conn_opens\","
+                      "\"kind\":\"counter\",\"value\":30}"),
+            std::string::npos);
+  std::remove(out_path);
 }
 
 TEST(Trace, ArmingASinkDoesNotPerturbTheSimulation) {
