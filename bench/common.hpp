@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <map>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -79,6 +81,16 @@ class ResultLog {
     points_.push_back(std::move(p));
   }
 
+  /// Records one run-environment fact (e.g. the XGBE_SHARD_THREADS a sweep
+  /// ran under) in the envelope's "meta" object. The object is emitted only
+  /// when at least one key was set, so existing goldens stay byte-identical
+  /// for runs that never call this.
+  void set_meta(const std::string& key, const std::string& value) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    meta_[key] = value;
+  }
+
   void add_snapshot(const std::string& label, const obs::Snapshot& snap) {
     if (!enabled()) return;
     std::lock_guard<std::mutex> lock(mu_);
@@ -108,7 +120,19 @@ class ResultLog {
     std::sort(breakdowns_.begin(), breakdowns_.end());
     std::sort(timeseries_.begin(), timeseries_.end());
     std::string out = "{\"schema\":\"xgbe-bench/2\",\"binary\":\"" +
-                      obs::json_escape(binary_) + "\",\"points\":[";
+                      obs::json_escape(binary_) + "\",";
+    if (!meta_.empty()) {
+      out += "\"meta\":{";
+      bool fm = true;
+      for (const auto& [key, value] : meta_) {  // std::map: sorted keys
+        if (!fm) out += ',';
+        fm = false;
+        out += "\"" + obs::json_escape(key) + "\":\"" +
+               obs::json_escape(value) + "\"";
+      }
+      out += "},";
+    }
+    out += "\"points\":[";
     bool first = true;
     for (const Point& p : points_) {
       if (!first) out += ',';
@@ -164,6 +188,7 @@ class ResultLog {
   std::mutex mu_;
   std::string path_;
   std::string binary_;
+  std::map<std::string, std::string> meta_;
   std::vector<Point> points_;
   std::vector<std::pair<std::string, std::string>> snapshots_;
   std::vector<std::pair<std::string, std::string>> breakdowns_;
@@ -438,6 +463,14 @@ inline WanRun wan_run(std::uint32_t buffer_bytes,
   int main(int argc, char** argv) {                                         \
     argc = ::xgbe::bench::ResultLog::instance().consume_json_flag(argc,     \
                                                                   argv);    \
+    /* A sweep's thread count shapes wall-clock numbers, so runs under     \
+       XGBE_SHARD_THREADS stamp it into the envelope's meta; unset runs    \
+       emit no meta object at all, keeping golden files byte-identical. */ \
+    if (const char* xgbe_st = std::getenv("XGBE_SHARD_THREADS");           \
+        xgbe_st != nullptr && *xgbe_st != '\0') {                          \
+      ::xgbe::bench::ResultLog::instance().set_meta("XGBE_SHARD_THREADS",  \
+                                                    xgbe_st);              \
+    }                                                                       \
     ::benchmark::Initialize(&argc, argv);                                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
     ::benchmark::RunSpecifiedBenchmarks();                                  \

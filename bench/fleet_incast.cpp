@@ -1,0 +1,110 @@
+// Fleet incast collapse: the canonical overdriven many-to-one workload on
+// the two-rack fabric, driven past the aggregator's shallow ToR egress
+// buffer. The paper's single-switch story (Fig 2b) scales badly exactly
+// here — N senders synchronized onto one 10 GbE port — so this bench pins
+// the collapse numbers: frames offered/delivered, tail drops at the
+// aggregator's access port, exact ledger conservation, and the registry
+// fingerprint. All of those are deterministic and gated against
+// bench/golden/fleet_incast.json; wall-clock counters are recorded but
+// never gated.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "bench/common.hpp"
+#include "core/fabric.hpp"
+#include "core/fleet.hpp"
+#include "tools/drop_report.hpp"
+
+namespace {
+
+namespace core = xgbe::core;
+namespace fleet = xgbe::core::fleet;
+
+core::FabricOptions bench_fabric(std::size_t shards) {
+  core::FabricOptions opt;
+  opt.racks = 2;
+  opt.hosts_per_rack = 3;
+  opt.spines = 1;
+  opt.trunks_per_spine = 2;
+  opt.shards = shards;
+  // Shallow commodity access buffer so the 5-worker synchronized burst
+  // overflows; uplinks keep the deep default so the collapse stays at the
+  // aggregator port. Longer fibers widen the engine's lookahead windows.
+  opt.tor_port_buffer_bytes = 48 * 1024;
+  opt.host_propagation = xgbe::sim::usec(10);
+  opt.trunk_propagation = xgbe::sim::usec(20);
+  return opt;
+}
+
+void Fleet_Incast(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t port_drops = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t fp = 0;
+  bool conserved = false;
+  bool completed = false;
+  double wall_s = 0.0;
+  for (auto _ : state) {
+    core::Fabric fabric(bench_fabric(shards));
+    fleet::Options opt;
+    opt.scenario = fleet::Scenario::kIncast;
+    opt.incast_bytes = 64 * 1024;
+    opt.incast_rounds = 6;
+    const auto t0 = std::chrono::steady_clock::now();
+    const fleet::Result res = fleet::run(fabric, opt);
+    wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+    xgbe::tools::DropReport ledger;
+    ledger.add_testbed(fabric.testbed());
+    offered = ledger.offered;
+    delivered = ledger.delivered;
+    drops = ledger.total_drops();
+    port_drops = fabric.tor(0).port_dropped_queue_full(0);
+    bytes = res.bytes_consumed;
+    conserved = ledger.conserved();
+    completed = res.completed;
+    fp = fabric.fingerprint();
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(offered));
+
+  // Deterministic counters — gated against bench/golden/fleet_incast.json.
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["offered"] = static_cast<double>(offered);
+  state.counters["delivered"] = static_cast<double>(delivered);
+  state.counters["drops"] = static_cast<double>(drops);
+  state.counters["agg_port_drops"] = static_cast<double>(port_drops);
+  state.counters["bytes_consumed"] = static_cast<double>(bytes);
+  state.counters["conserved"] = conserved ? 1.0 : 0.0;
+  state.counters["completed"] = completed ? 1.0 : 0.0;
+  // A 64-bit hash does not round-trip through a double; halves do, exactly.
+  state.counters["fingerprint_hi"] = static_cast<double>(fp >> 32);
+  state.counters["fingerprint_lo"] = static_cast<double>(fp & 0xffffffffu);
+
+  // Machine-dependent counters — recorded, never gated (the golden omits
+  // them; bench_diff allows counters that exist only in `current`).
+  state.counters["wall_ms"] = wall_s * 1e3;
+
+  xgbe::bench::log_point(
+      state,
+      xgbe::bench::point_name(
+          "Fleet_Incast", {{"shards", static_cast<std::int64_t>(shards)}}));
+}
+
+}  // namespace
+
+BENCHMARK(Fleet_Incast)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+XGBE_BENCH_MAIN();

@@ -143,6 +143,18 @@ def validate(doc):
     if not isinstance(doc.get("binary"), str) or not doc.get("binary"):
         _err(errors, "binary", "must be a non-empty string")
 
+    # Optional run-environment facts (e.g. XGBE_SHARD_THREADS). Emitted only
+    # when the run recorded at least one, so its absence is fine.
+    meta = doc.get("meta")
+    if meta is not None:
+        if not isinstance(meta, dict):
+            _err(errors, "meta", "must be an object when present")
+        else:
+            for key, value in meta.items():
+                if not isinstance(value, str):
+                    _err(errors, f"meta[{key!r}]",
+                         f"must be a string, got {value!r}")
+
     points = doc.get("points")
     if not isinstance(points, list):
         _err(errors, "points", "must be an array")

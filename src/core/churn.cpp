@@ -38,6 +38,12 @@ struct Driver {
   std::uint64_t finished = 0;   // connections that reached kClosed
   sim::EventId arrival_event_{};
   bool arrival_pending_ = false;
+  /// Set once the deadline passes: aborting a straggler frees its
+  /// concurrency slot, which must NOT admit a deferred arrival mid-cleanup
+  /// (a fresh SYN_SENT connection nobody will ever close would leak from
+  /// the connection ledger — and appending to `conns` would invalidate the
+  /// abort loop's iterators).
+  bool draining = false;
 
   sim::SimTime interarrival() {
     // Exponential gap; 1 - u keeps log() off zero.
@@ -77,6 +83,7 @@ struct Driver {
   }
 
   void open_deferred() {
+    if (draining) return;
     while (deferred > 0 && active < opt.max_concurrent) {
       --deferred;
       open_one();
@@ -155,7 +162,6 @@ struct Driver {
 
 Result run(Testbed& bed, Host& client, Host& server, const Options& opt,
            Result* live) {
-  assert(!bed.sharded() && "churn drives classic single-simulator mode only");
   Result local;
   Result& res = live != nullptr ? *live : local;
   res = Result{};
@@ -171,7 +177,11 @@ Result run(Testbed& bed, Host& client, Host& server, const Options& opt,
   };
   client.set_lifecycle_metrics(true);
 
-  Driver d{bed,       client, server, opt, res, bed.simulator(),
+  // In sharded mode every driver mutation (arrival events, the client
+  // endpoints' callbacks, Result tallies) happens on the client's shard, so
+  // the driver schedules on that shard's simulator. Listener work stays on
+  // the server's shard, reached only through the wire.
+  Driver d{bed,       client, server, opt, res, bed.simulator_for(client),
            sim::Rng(opt.seed), client.endpoint_config()};
   d.pump_arrivals();
 
@@ -192,6 +202,7 @@ Result run(Testbed& bed, Host& client, Host& server, const Options& opt,
   // lands in a terminal bucket, then detach the callbacks (they capture
   // this stack frame) so nothing dangles if the caller keeps simulating.
   if (d.arrival_pending_) d.sim.cancel(d.arrival_event_);
+  d.draining = true;
   for (Conn& c : d.conns) {
     if (!c.closed && c.ep != nullptr) c.ep->abort();
   }

@@ -9,8 +9,10 @@
 // exact terminal accounting — every connection it opens lands in exactly
 // one of {completed, refused, aborted}, fault plans notwithstanding.
 //
-// Classic (single-simulator) mode only: client and server must share the
-// testbed's one event queue.
+// Works in classic and sharded mode: the driver's mutable state (arrival
+// process, client-endpoint callbacks, Result tallies) is touched only by
+// events on the client's shard, and the listener only by the server's, so
+// the single-writer rule holds and results stay partition-invariant.
 #pragma once
 
 #include <cstdint>

@@ -68,6 +68,7 @@ class Host {
                         const tcp::EndpointConfig& ep_config,
                         std::size_t adapter_index = 0);
   tcp::Listener* listener() { return listener_.get(); }
+  const tcp::Listener* listener() const { return listener_.get(); }
 
   // --- Connection-lifecycle accounting --------------------------------------
   /// Endpoints ever created on this host / transitions into kClosed.

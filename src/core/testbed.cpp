@@ -70,14 +70,17 @@ link::Link& Testbed::connect(Host& a, Host& b, const link::LinkSpec& spec,
   return wire;
 }
 
-link::EthernetSwitch& Testbed::add_switch(const link::SwitchSpec& spec) {
-  return add_switch_on(0, spec);
+link::EthernetSwitch& Testbed::add_switch(const link::SwitchSpec& spec,
+                                          const std::string& name) {
+  return add_switch_on(0, spec, name);
 }
 
 link::EthernetSwitch& Testbed::add_switch_on(std::size_t shard,
-                                             const link::SwitchSpec& spec) {
+                                             const link::SwitchSpec& spec,
+                                             const std::string& name) {
   switches_.push_back(std::make_unique<link::EthernetSwitch>(
-      shard_sim(shard), spec, "switch" + std::to_string(switches_.size())));
+      shard_sim(shard), spec,
+      name.empty() ? "switch" + std::to_string(switches_.size()) : name));
   switch_shards_.push_back(shard);
   if (obs::TraceSink* sink = shard_trace(shard)) {
     switches_.back()->set_trace(sink);
@@ -86,20 +89,43 @@ link::EthernetSwitch& Testbed::add_switch_on(std::size_t shard,
   return *switches_.back();
 }
 
+std::size_t Testbed::shard_of(const Host& host) const {
+  return host_shards_[index_of(hosts_, host)];
+}
+
+std::size_t Testbed::switch_shard(const link::EthernetSwitch& sw) const {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i].get() == &sw) return switch_shards_[i];
+  }
+  return 0;
+}
+
 link::Link& Testbed::connect_to_switch(Host& host, link::EthernetSwitch& sw,
                                        const link::LinkSpec& spec,
-                                       std::size_t adapter_index) {
+                                       std::size_t adapter_index,
+                                       const std::string& link_name) {
   const std::size_t host_shard = host_shards_[index_of(hosts_, host)];
-  std::size_t sw_shard = 0;
-  for (std::size_t i = 0; i < switches_.size(); ++i) {
-    if (switches_[i].get() == &sw) sw_shard = switch_shards_[i];
-  }
-  link::Link& wire =
-      make_link(host_shard, sw_shard, spec, host.name() + "<->switch");
+  const std::size_t sw_shard = switch_shard(sw);
+  link::Link& wire = make_link(
+      host_shard, sw_shard, spec,
+      link_name.empty() ? host.name() + "<->switch" : link_name);
   host.adapter(adapter_index).connect(&wire, /*side_a=*/true);
   const int port = sw.add_port(&wire, /*side_a=*/false);
   sw.learn(host.node(), port);
   return wire;
+}
+
+Testbed::TrunkPorts Testbed::connect_switches(link::EthernetSwitch& a,
+                                              link::EthernetSwitch& b,
+                                              const link::LinkSpec& spec,
+                                              const std::string& link_name) {
+  link::Link& wire =
+      make_link(switch_shard(a), switch_shard(b), spec, link_name);
+  TrunkPorts trunk;
+  trunk.wire = &wire;
+  trunk.port_a = a.add_port(&wire, /*side_a=*/true);
+  trunk.port_b = b.add_port(&wire, /*side_a=*/false);
+  return trunk;
 }
 
 std::vector<link::Link*> Testbed::build_wan_path(

@@ -63,18 +63,38 @@ class Testbed {
 
   /// Adds a switch (Fig 2b/2c: the Foundry FastIron 1500 by default).
   /// In sharded mode the switch lands on shard 0; use add_switch_on().
+  /// An empty `name` keeps the historical "switch<n>" auto-name.
   link::EthernetSwitch& add_switch(
-      const link::SwitchSpec& spec = link::SwitchSpec{});
+      const link::SwitchSpec& spec = link::SwitchSpec{},
+      const std::string& name = "");
 
   /// Sharded placement for switches.
   link::EthernetSwitch& add_switch_on(
-      std::size_t shard, const link::SwitchSpec& spec = link::SwitchSpec{});
+      std::size_t shard, const link::SwitchSpec& spec = link::SwitchSpec{},
+      const std::string& name = "");
 
   /// Wires a host adapter to a switch port and teaches the switch the
-  /// host's address.
+  /// host's address. An empty `link_name` keeps the historical
+  /// "<host><->switch" auto-name.
   link::Link& connect_to_switch(Host& host, link::EthernetSwitch& sw,
                                 const link::LinkSpec& spec = link::LinkSpec{},
-                                std::size_t adapter_index = 0);
+                                std::size_t adapter_index = 0,
+                                const std::string& link_name = "");
+
+  /// A switch-to-switch trunk: the link plus the port index it got on each
+  /// switch (inputs for ECMP group programming).
+  struct TrunkPorts {
+    link::Link* wire = nullptr;
+    int port_a = -1;  // on `a` (the link's A side)
+    int port_b = -1;  // on `b`
+  };
+
+  /// Wires two switches together (ToR uplink, spine trunk, ...). No
+  /// forwarding entries are learned — the caller programs routes (or ECMP
+  /// groups) on both switches explicitly.
+  TrunkPorts connect_switches(link::EthernetSwitch& a, link::EthernetSwitch& b,
+                              const link::LinkSpec& spec,
+                              const std::string& link_name);
 
   /// Builds a WAN path between two hosts: host links into edge routers and
   /// a chain of circuits between routers (§4.1, Fig 9). Returns the
@@ -129,6 +149,27 @@ class Testbed {
   /// connections outside open_connection(), e.g. core::churn).
   net::FlowId next_flow() { return flow_counter_++; }
 
+  /// Shard a host was placed on (0 in classic mode).
+  std::size_t shard_of(const Host& host) const;
+  /// Simulator a host's components schedule on: its shard's queue in
+  /// sharded mode, the classic simulator otherwise. Workloads that schedule
+  /// events touching one host's state (arrival processes, synchronized
+  /// senders) must use this so the event fires on the owning shard.
+  sim::Simulator& simulator_for(const Host& host) {
+    return shard_sim(shard_of(host));
+  }
+
+  // --- Component iteration (drop-ledger and doctor harvesting) -------------
+  std::size_t host_count() const { return hosts_.size(); }
+  const Host& host_at(std::size_t i) const { return *hosts_.at(i); }
+  Host& host_at(std::size_t i) { return *hosts_.at(i); }
+  std::size_t link_count() const { return links_.size(); }
+  const link::Link& link_at(std::size_t i) const { return *links_.at(i); }
+  std::size_t switch_count() const { return switches_.size(); }
+  const link::EthernetSwitch& switch_at(std::size_t i) const {
+    return *switches_.at(i);
+  }
+
   // --- Observability --------------------------------------------------------
   /// Arms the trace sink across the whole testbed: every existing host,
   /// link, and switch, and everything created afterwards. Null disarms
@@ -178,6 +219,7 @@ class Testbed {
   }
   link::Link& make_link(std::size_t shard_a, std::size_t shard_b,
                         const link::LinkSpec& spec, std::string name);
+  std::size_t switch_shard(const link::EthernetSwitch& sw) const;
 
   // Declared before the component containers: destroyed after them, so
   // events still queued at teardown (whose callbacks hold pool handles into

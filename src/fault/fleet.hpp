@@ -1,0 +1,99 @@
+// Fleet-level fault plans: wire and host fault injection targeted at
+// topology coordinates instead of component pointers.
+//
+// A FleetPlan is pure data, like FaultPlan and HostFaultPlan: it names
+// *where* in a rack/spine fabric a fault lives (rack R's host H, the access
+// link under it, or trunk T of the rack's bundle toward spine S) and *what*
+// the fault is. The fabric builder (core::Fabric) resolves coordinates to
+// components at construction time — including rate overrides, which must be
+// baked into the LinkSpec before the link exists. Seeds are decorrelated
+// per fault entry from the plan seed, never from shard placement, so the
+// fault schedule is part of the workload and partition-invariant.
+//
+// The catalogue builders encode the failure classes of real cluster
+// burn-in: the bad cable (bursty loss), the flapping trunk (carrier
+// outages), the misconfigured half-speed link (negotiation fell back), and
+// the PCIe-starved straggler host (DMA throttled) — the
+// DDNStorage/net_sanitizer failure matrix, in simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/host_fault.hpp"
+#include "sim/time.hpp"
+
+namespace xgbe::fault {
+
+/// One targeted fault: a topology coordinate plus the plans to install
+/// there. Which coordinate fields matter depends on `target`.
+struct FleetFault {
+  enum class Target : std::uint8_t {
+    kHostLink,  // the access link of host (rack, host)
+    kTrunk,     // trunk `trunk` of the (rack, spine) bundle
+    kHost       // host (rack, host) itself
+  };
+
+  Target target = Target::kHostLink;
+  std::size_t rack = 0;
+  std::size_t host = 0;   // kHostLink / kHost
+  std::size_t spine = 0;  // kTrunk
+  std::size_t trunk = 0;  // kTrunk: index within the (rack, spine) bundle
+
+  /// Wire plan for kHostLink / kTrunk (installed on both directions; seed
+  /// decorrelated per entry by the fabric builder).
+  FaultPlan wire;
+  /// Host plan for kHost.
+  HostFaultPlan host_plan;
+  /// Nonzero: the link is built at this rate instead of the fabric default
+  /// (the misconfigured half-speed link). Applies to kHostLink / kTrunk.
+  double rate_override_bps = 0.0;
+
+  /// Human label, e.g. "trunk rack1-spine0-0: bad cable".
+  std::string label;
+};
+
+/// A set of targeted faults for one fabric. Builders append catalogue
+/// entries; compose freely (several faults at once is a valid matrix cell).
+struct FleetPlan {
+  /// Folded into every entry's plan seed (entry index decorrelates entries
+  /// from each other), so two plans with different fleet seeds draw
+  /// independent fault schedules over the same coordinates.
+  std::uint64_t seed = 0xF1EE7ULL;
+  std::vector<FleetFault> faults;
+
+  bool active() const { return !faults.empty(); }
+
+  // --- Catalogue -----------------------------------------------------------
+  /// Bursty (Gilbert–Elliott) loss on a host's access link: the bad cable
+  /// in the rack.
+  FleetPlan& bad_cable_host_link(std::size_t rack, std::size_t host);
+
+  /// Bursty loss on one trunk of a (rack, spine) bundle.
+  FleetPlan& bad_cable_trunk(std::size_t rack, std::size_t spine,
+                             std::size_t trunk);
+
+  /// Periodic carrier outages on one trunk: `count` windows of `down` each,
+  /// the first starting at `first_down`, one per `period`.
+  FleetPlan& flapping_trunk(std::size_t rack, std::size_t spine,
+                            std::size_t trunk,
+                            sim::SimTime first_down = sim::msec(5),
+                            sim::SimTime period = sim::msec(10),
+                            sim::SimTime down = sim::msec(1),
+                            std::size_t count = 4);
+
+  /// One trunk of a bundle negotiated to a fraction of the fabric rate
+  /// (default: half speed).
+  FleetPlan& half_speed_trunk(std::size_t rack, std::size_t spine,
+                              std::size_t trunk, double rate_bps);
+
+  /// DMA-throttled straggler: host (rack, host)'s PCI-X bus degrades to a
+  /// small MMRBC inside [start, end).
+  FleetPlan& dma_throttled_host(std::size_t rack, std::size_t host,
+                                sim::SimTime start, sim::SimTime end,
+                                std::uint32_t mmrbc = 512);
+};
+
+}  // namespace xgbe::fault

@@ -145,6 +145,9 @@ void Link::transmit(const NetDevice* from, const net::Packet& pkt,
 
   if (tap) tap(pkt, forward);
   dir.backlog_bytes += pkt.frame_bytes;
+  if (dir.backlog_bytes > dir.peak_backlog) {
+    dir.peak_backlog = dir.backlog_bytes;
+  }
   const sim::SimTime ser = serialization_time(pkt);
   sim::SimTime done_at;
   if (tx_done) {
@@ -271,6 +274,21 @@ void Link::register_metrics(obs::Registry& reg,
   field("duplicates", &fault::FaultCounters::duplicates);
   field("reorders", &fault::FaultCounters::reorders);
   field("flaps", &fault::FaultCounters::flaps);
+  if (!spec_.detail_metrics) return;
+  // Per-direction split plus the configured line rate: the fleet doctor's
+  // inputs for direction attribution and negotiated-speed comparison.
+  reg.gauge(prefix + "/rate_bps", [this] { return spec_.rate_bps; });
+  const auto direction = [&](const char* tag, const Direction& dir) {
+    const std::string p = prefix + "/" + tag;
+    reg.counter(p + "/frames_delivered", [&dir] { return dir.frames; });
+    reg.counter(p + "/bytes_delivered", [&dir] { return dir.bytes; });
+    reg.counter(p + "/drops_queue", [&dir] { return dir.drops_queue; });
+    reg.gauge(p + "/peak_backlog_bytes", [&dir] {
+      return static_cast<double>(dir.peak_backlog);
+    });
+  };
+  direction("ab", ab_);
+  direction("ba", ba_);
 }
 
 }  // namespace xgbe::link

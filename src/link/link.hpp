@@ -41,6 +41,13 @@ struct LinkSpec {
   /// Independent random frame-loss probability (bit errors etc.).
   double loss_rate = 0.0;
   std::uint64_t loss_seed = 0x5eedULL;
+  /// Opt-in per-direction observability: register_metrics() additionally
+  /// exposes each direction's delivery/drop counters, backlog high-water
+  /// marks, and the configured line rate (the "negotiated speed" a fleet
+  /// doctor compares against its bundle). Off by default so pre-existing
+  /// topologies keep byte-identical registry snapshots; the fabric builder
+  /// turns it on.
+  bool detail_metrics = false;
 };
 
 /// POS per-frame overhead: PPP/HDLC flag+address+control+protocol+FCS.
@@ -93,6 +100,21 @@ class Link {
   std::uint64_t bytes_delivered() const { return ab_.bytes + ba_.bytes; }
   std::uint64_t drops_queue() const {
     return ab_.drops_queue + ba_.drops_queue;
+  }
+
+  // --- Per-direction accounting (from_a: the a->b direction) ----------------
+  std::uint64_t frames_delivered(bool from_a) const {
+    return (from_a ? ab_ : ba_).frames;
+  }
+  std::uint64_t bytes_delivered(bool from_a) const {
+    return (from_a ? ab_ : ba_).bytes;
+  }
+  std::uint64_t drops_queue(bool from_a) const {
+    return (from_a ? ab_ : ba_).drops_queue;
+  }
+  /// High-water mark of the direction's transmit backlog, bytes.
+  std::uint32_t peak_backlog(bool from_a) const {
+    return (from_a ? ab_ : ba_).peak_backlog;
   }
   std::uint64_t drops_random() const {
     return script_.counters().drops_uniform +
@@ -192,6 +214,7 @@ class Link {
     sim::Simulator* sim;  // the transmitter's shard
     sim::Resource pipe;
     std::uint32_t backlog_bytes = 0;
+    std::uint32_t peak_backlog = 0;
     std::uint64_t frames = 0;
     std::uint64_t bytes = 0;
     std::uint64_t drops_queue = 0;

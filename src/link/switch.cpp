@@ -25,12 +25,28 @@ class EthernetSwitch::Port : public NetDevice {
 
   void send(const net::Packet& pkt) {
     queued_ += pkt.frame_bytes;
+    if (queued_ > peak_queued_) peak_queued_ = queued_;
+    ++forwarded_;
     wire_->transmit(this, pkt, [this, bytes = pkt.frame_bytes]() {
       queued_ = queued_ > bytes ? queued_ - bytes : 0;
     });
   }
 
+  void note_tail_drop() { ++dropped_full_; }
+
+  void set_buffer_override(std::uint32_t bytes) { buffer_override_ = bytes; }
+  std::uint32_t buffer_limit(std::uint32_t spec_default) const {
+    return buffer_override_ != 0 ? buffer_override_ : spec_default;
+  }
+
   std::uint32_t queued() const { return queued_; }
+  std::uint32_t peak_queued() const { return peak_queued_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t dropped_full() const { return dropped_full_; }
+  const std::string& link_name() const {
+    static const std::string kDetached;
+    return wire_ != nullptr ? wire_->name() : kDetached;
+  }
 
  private:
   EthernetSwitch& parent_;
@@ -38,6 +54,10 @@ class EthernetSwitch::Port : public NetDevice {
   Link* wire_;
   bool side_a_;
   std::uint32_t queued_ = 0;
+  std::uint32_t peak_queued_ = 0;
+  std::uint32_t buffer_override_ = 0;  // 0: use the switch-wide spec value
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_full_ = 0;
 };
 
 EthernetSwitch::EthernetSwitch(sim::Simulator& simulator,
@@ -55,10 +75,55 @@ int EthernetSwitch::add_port(Link* wire, bool side_a) {
   return index;
 }
 
-void EthernetSwitch::learn(net::NodeId node, int port) { fdb_[node] = port; }
+void EthernetSwitch::set_port_buffer(int port, std::uint32_t bytes) {
+  ports_.at(static_cast<std::size_t>(port))->set_buffer_override(bytes);
+}
+
+void EthernetSwitch::learn(net::NodeId node, int port) {
+  fdb_[node] = Route{{port}};
+}
+
+void EthernetSwitch::learn_group(net::NodeId node, std::vector<int> ports) {
+  fdb_[node] = Route{std::move(ports)};
+}
 
 std::uint32_t EthernetSwitch::queued_bytes(int port) const {
   return ports_.at(static_cast<std::size_t>(port))->queued();
+}
+
+std::uint64_t EthernetSwitch::port_forwarded(int port) const {
+  return ports_.at(static_cast<std::size_t>(port))->forwarded();
+}
+
+std::uint64_t EthernetSwitch::port_dropped_queue_full(int port) const {
+  return ports_.at(static_cast<std::size_t>(port))->dropped_full();
+}
+
+std::uint32_t EthernetSwitch::port_peak_queued(int port) const {
+  return ports_.at(static_cast<std::size_t>(port))->peak_queued();
+}
+
+const std::string& EthernetSwitch::port_link_name(int port) const {
+  return ports_.at(static_cast<std::size_t>(port))->link_name();
+}
+
+int EthernetSwitch::pick_port(const Route& route,
+                              const net::Packet& pkt) const {
+  if (route.ports.size() == 1) return route.ports.front();
+  // FNV-1a over the flow identity. Depends only on packet fields and the
+  // programmed port order, so the path choice is identical across reruns,
+  // shard counts, and thread counts (the ECMP determinism rule).
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(pkt.src));
+  mix(static_cast<std::uint64_t>(pkt.dst));
+  mix(static_cast<std::uint64_t>(pkt.flow));
+  return route.ports[h % route.ports.size()];
 }
 
 void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
@@ -78,7 +143,7 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
     if (verdict.corrupt) frame.corrupted = true;
   }
   const auto it = fdb_.find(frame.dst);
-  if (it == fdb_.end()) {
+  if (it == fdb_.end() || it->second.ports.empty()) {
     ++dropped_no_route_;
     if (trace_) {
       trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
@@ -87,7 +152,7 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
     if (spans_) spans_->abort(pkt);
     return;
   }
-  const int egress = it->second;
+  const int egress = pick_port(it->second, frame);
   // Frame fully arrived and routed: the first wire hop ends, time in the
   // fabric + egress queue belongs to switch-queue (until the egress link's
   // transmit re-enters wire).
@@ -108,8 +173,10 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
 
 void EthernetSwitch::egress_frame(int port, const net::Packet& pkt) {
   Port& out = *ports_.at(static_cast<std::size_t>(port));
-  if (out.queued() + pkt.frame_bytes > spec_.port_buffer_bytes) {
+  if (out.queued() + pkt.frame_bytes >
+      out.buffer_limit(spec_.port_buffer_bytes)) {
     ++dropped_queue_full_;  // tail drop
+    out.note_tail_drop();
     if (trace_) {
       trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
                             name_.c_str(), "port-buffer-full");
@@ -129,6 +196,20 @@ void EthernetSwitch::register_metrics(obs::Registry& reg,
   reg.counter(prefix + "/dropped_queue_full",
               [this] { return dropped_queue_full_; });
   fault::register_metrics(reg, prefix + "/fault", fault_);
+  if (!spec_.port_metrics) return;
+  for (const auto& port : ports_) {
+    // Keyed by the attached link's name (unique within a fabric), so the
+    // fleet doctor can tell which neighbor a congested port faces.
+    const std::string p = prefix + "/port/" + port->link_name();
+    const Port* raw = port.get();
+    reg.counter(p + "/forwarded", [raw] { return raw->forwarded(); });
+    reg.counter(p + "/dropped_queue_full",
+                [raw] { return raw->dropped_full(); });
+    reg.gauge(p + "/queued_bytes",
+              [raw] { return static_cast<double>(raw->queued()); });
+    reg.gauge(p + "/peak_queued_bytes",
+              [raw] { return static_cast<double>(raw->peak_queued()); });
+  }
 }
 
 }  // namespace xgbe::link

@@ -26,10 +26,21 @@ struct SwitchSpec {
   double backplane_bps = 480e9;
   /// Output-queue capacity per port, bytes (tail drop beyond this).
   std::uint32_t port_buffer_bytes = 2 * 1024 * 1024;
+  /// Opt-in per-port observability: register_metrics() additionally exposes
+  /// each port's forwarded/tail-drop counters and queue-depth gauges under
+  /// "<prefix>/port/<link-name>/...". Off by default so pre-existing
+  /// topologies keep byte-identical registry snapshots (the golden-file
+  /// contract); the fabric builder turns it on.
+  bool port_metrics = false;
 };
 
 /// Output-queued store-and-forward switch. Each port terminates one Link;
 /// forwarding is by destination NodeId (the testbed populates the table).
+/// A destination may map to a *group* of ports (ECMP trunking): the egress
+/// is picked by a deterministic hash of the frame's (src, dst, flow), so a
+/// flow always takes one path (no intra-flow reordering) and the choice
+/// depends only on packet fields and table-programming order — never on
+/// shard partitioning or thread scheduling.
 class EthernetSwitch {
  public:
   EthernetSwitch(sim::Simulator& simulator, const SwitchSpec& spec,
@@ -43,8 +54,18 @@ class EthernetSwitch {
   /// if true, side b otherwise. Returns the port index.
   int add_port(Link* wire, bool side_a);
 
+  /// Overrides one port's egress buffer capacity (real switches give uplink
+  /// ports the deeper share of packet memory). 0 restores the switch-wide
+  /// spec().port_buffer_bytes.
+  void set_port_buffer(int port, std::uint32_t bytes);
+
   /// Maps a destination address to an egress port.
   void learn(net::NodeId node, int port);
+
+  /// Maps a destination address to an ECMP group: each frame picks one of
+  /// `ports` by flow hash. The port order is part of the forwarding state —
+  /// program it identically across runs (topology construction does).
+  void learn_group(net::NodeId node, std::vector<int> ports);
 
   const SwitchSpec& spec() const { return spec_; }
   const std::string& name() const { return name_; }
@@ -52,6 +73,15 @@ class EthernetSwitch {
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
   std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }
   std::uint32_t queued_bytes(int port) const;
+
+  // --- Per-port accounting --------------------------------------------------
+  std::size_t port_count() const { return ports_.size(); }
+  std::uint64_t port_forwarded(int port) const;
+  std::uint64_t port_dropped_queue_full(int port) const;
+  /// High-water mark of the port's egress queue, bytes.
+  std::uint32_t port_peak_queued(int port) const;
+  /// Name of the link the port terminates ("" when detached).
+  const std::string& port_link_name(int port) const;
 
   /// Faults applied at ingress, before forwarding: a misbehaving fabric
   /// drops, corrupts, duplicates, or delays frames crossing it.
@@ -66,7 +96,8 @@ class EthernetSwitch {
   /// tail drops emit kWireDrop events annotated with this switch's name.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
-  /// Registers forwarding and fault counters under `prefix`.
+  /// Registers forwarding and fault counters under `prefix`; when
+  /// spec().port_metrics is set, also per-port counters and queue gauges.
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
   /// Arms the span profiler: ingress marks the switch-queue stage (the
@@ -75,15 +106,20 @@ class EthernetSwitch {
 
  private:
   class Port;
+  /// One forwarding entry: a single port or an ECMP group.
+  struct Route {
+    std::vector<int> ports;
+  };
   void on_frame(int ingress, const net::Packet& pkt);
   void egress_frame(int port, const net::Packet& pkt);
+  int pick_port(const Route& route, const net::Packet& pkt) const;
 
   sim::Simulator& sim_;
   SwitchSpec spec_;
   std::string name_;
   sim::Resource backplane_;
   std::vector<std::unique_ptr<Port>> ports_;
-  std::unordered_map<net::NodeId, int> fdb_;
+  std::unordered_map<net::NodeId, Route> fdb_;
   fault::FaultInjector fault_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_no_route_ = 0;

@@ -1,5 +1,6 @@
 #include "tcp/listener.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "obs/registry.hpp"
@@ -37,6 +38,7 @@ void Listener::on_syn(const net::Packet& pkt) {
   Endpoint& child = hooks_.make_endpoint(pkt.src, pkt.flow);
   child.listen();
   ++half_open_;
+  peak_half_open_ = std::max(peak_half_open_, half_open_);
   // One flag shared by both continuations decides which side of the
   // half-open accounting the child leaves through.
   auto established = std::make_shared<bool>(false);
@@ -48,6 +50,8 @@ void Listener::on_syn(const net::Packet& pkt) {
       on_accept(child);
     } else if (ready_.size() < config_.accept_backlog) {
       ready_.push_back(&child);
+      peak_accept_queue_ = std::max(
+          peak_accept_queue_, static_cast<std::uint32_t>(ready_.size()));
     } else {
       // Raced past the admission check (callback removed mid-run): shed it.
       ++stats_.refused_accept_queue;
@@ -95,6 +99,10 @@ void Listener::register_metrics(obs::Registry& reg,
             [this] { return static_cast<double>(half_open_); });
   reg.gauge(prefix + "/accept_queue",
             [this] { return static_cast<double>(ready_.size()); });
+  reg.gauge(prefix + "/half_open_peak",
+            [this] { return static_cast<double>(peak_half_open_); });
+  reg.gauge(prefix + "/accept_queue_peak",
+            [this] { return static_cast<double>(peak_accept_queue_); });
 }
 
 }  // namespace xgbe::tcp

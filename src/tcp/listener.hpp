@@ -76,6 +76,10 @@ class Listener {
 
   std::uint32_t half_open() const { return half_open_; }
   std::size_t accept_queue_depth() const { return ready_.size(); }
+  /// High-water marks of the two backlog queues over the listener's life —
+  /// how close a burst came to the refusal cliff even if nothing overflowed.
+  std::uint32_t peak_half_open() const { return peak_half_open_; }
+  std::uint32_t peak_accept_queue() const { return peak_accept_queue_; }
   const ListenerStats& stats() const { return stats_; }
   const ListenerConfig& config() const { return config_; }
 
@@ -92,6 +96,8 @@ class Listener {
   Hooks hooks_;
   ListenerStats stats_;
   std::uint32_t half_open_ = 0;
+  std::uint32_t peak_half_open_ = 0;
+  std::uint32_t peak_accept_queue_ = 0;
   std::deque<Endpoint*> ready_;
   obs::TraceSink* trace_ = nullptr;
 };

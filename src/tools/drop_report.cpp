@@ -69,6 +69,17 @@ void DropReport::add_host(const core::Host& host) {
   add_drop(prefix + "alloc-fail-rx", host.host_fault_counters().alloc_fail_rx);
   add_drop(prefix + "csum-reject", host.kernel().csum_drops());
   add_tcp_discard(prefix + "sockbuf-full", host.sockbuf_drops());
+  if (const tcp::Listener* ls = host.listener()) {
+    ListenerUsage u;
+    u.host = host.name();
+    u.syns = ls->stats().syns_received;
+    u.refused = ls->stats().refused_syn_queue + ls->stats().refused_accept_queue;
+    u.peak_half_open = ls->peak_half_open();
+    u.syn_backlog = ls->config().syn_backlog;
+    u.peak_accept_queue = ls->peak_accept_queue();
+    u.accept_backlog = ls->config().accept_backlog;
+    listeners_.push_back(std::move(u));
+  }
 }
 
 void DropReport::add_link(const link::Link& wire) {
@@ -81,9 +92,17 @@ void DropReport::add_link(const link::Link& wire) {
 void DropReport::add_switch(const link::EthernetSwitch& sw) {
   const fault::FaultCounters& f = sw.fault_counters();
   offered += f.duplicates;
-  add_drop("switch/fabric-fault", f.total_drops());
-  add_drop("switch/no-route", sw.dropped_no_route());
-  add_drop("switch/port-buffer-full", sw.dropped_queue_full());
+  add_drop(sw.name() + "/fabric-fault", f.total_drops());
+  add_drop(sw.name() + "/no-route", sw.dropped_no_route());
+  add_drop(sw.name() + "/port-buffer-full", sw.dropped_queue_full());
+}
+
+void DropReport::add_testbed(const core::Testbed& bed) {
+  for (std::size_t i = 0; i < bed.host_count(); ++i) add_host(bed.host_at(i));
+  for (std::size_t i = 0; i < bed.link_count(); ++i) add_link(bed.link_at(i));
+  for (std::size_t i = 0; i < bed.switch_count(); ++i) {
+    add_switch(bed.switch_at(i));
+  }
 }
 
 std::string DropReport::render() const {
@@ -105,6 +124,14 @@ std::string DropReport::render() const {
            " aborted=" + std::to_string(conn_aborted) +
            " unaccounted=" + std::to_string(connections_unaccounted()) +
            (connections_conserved() ? " (conserved)" : " (LEAK)");
+  }
+  for (const ListenerUsage& u : listeners_) {
+    out += "\n  listener " + u.host + ": syns=" + std::to_string(u.syns) +
+           " refused=" + std::to_string(u.refused) + " peak_half_open=" +
+           std::to_string(u.peak_half_open) + "/" +
+           std::to_string(u.syn_backlog) + " peak_accept_queue=" +
+           std::to_string(u.peak_accept_queue) + "/" +
+           std::to_string(u.accept_backlog);
   }
   return out;
 }

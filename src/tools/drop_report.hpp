@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/host.hpp"
+#include "core/testbed.hpp"
 #include "link/link.hpp"
 #include "link/switch.hpp"
 
@@ -77,11 +78,30 @@ struct DropReport {
   /// directions; injected duplicates count as offered.
   void add_link(const link::Link& wire);
   /// Harvests one switch: fabric fault drops, unroutable frames, and port
-  /// buffer tail-drops; injected duplicates count as offered.
+  /// buffer tail-drops; injected duplicates count as offered. Causes are
+  /// named per switch so a fleet report localizes them.
   void add_switch(const link::EthernetSwitch& sw);
+
+  /// Harvests the whole testbed: every host, link, and switch — the
+  /// fleet-wide ledger in one call.
+  void add_testbed(const core::Testbed& bed);
 
   /// One line per fact, identity verdict first.
   std::string render() const;
+
+ private:
+  /// Listener backlog usage of harvested hosts (rendered, not identity
+  /// terms — refusals are connection-ledger territory).
+  struct ListenerUsage {
+    std::string host;
+    std::uint64_t syns = 0;
+    std::uint64_t refused = 0;  // both queues
+    std::uint32_t peak_half_open = 0;
+    std::uint32_t syn_backlog = 0;
+    std::uint32_t peak_accept_queue = 0;
+    std::uint32_t accept_backlog = 0;
+  };
+  std::vector<ListenerUsage> listeners_;
 };
 
 }  // namespace xgbe::tools

@@ -1,0 +1,299 @@
+#include "tools/fleet_doctor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/registry.hpp"
+
+namespace xgbe::tools {
+
+void accumulate(MetricMap& merged, const obs::Snapshot& snap) {
+  for (const obs::Sample& s : snap.samples) {
+    merged[s.path] +=
+        s.kind == obs::Kind::kCounter ? static_cast<double>(s.count) : s.value;
+  }
+}
+
+namespace {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segs;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      segs.push_back(path.substr(start));
+      break;
+    }
+    segs.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  return segs;
+}
+
+bool is_trunk_name(const std::string& link) {
+  return link.rfind("trunk-", 0) == 0;
+}
+
+std::string link_kind(const std::string& link) {
+  if (is_trunk_name(link)) return "trunk";
+  if (link.find("-tor") != std::string::npos) return "access-link";
+  return "link";
+}
+
+// Per-component evidence pulled out of the path map.
+struct LinkAgg {
+  double burst = 0, uniform = 0, forced = 0, carrier = 0, corruptions = 0,
+         handshake = 0, flaps = 0, rate = 0, frames = 0;
+};
+struct PortAgg {
+  double dropped = 0, peak = 0, forwarded = 0;
+};
+struct HostAgg {
+  double dma = 0, alloc = 0, ring = 0;
+};
+
+std::string fmt(double v) { return obs::format_double(v); }
+
+}  // namespace
+
+Verdict diagnose(const MetricMap& metrics, const DropReport& ledger,
+                 const DoctorThresholds& th) {
+  std::map<std::string, LinkAgg> links;
+  // (switch, egress link) — ordered, so iteration (and with it finding
+  // order among equals) is deterministic.
+  std::map<std::pair<std::string, std::string>, PortAgg> ports;
+  std::map<std::string, HostAgg> hosts;
+
+  for (const auto& [path, value] : metrics) {
+    const std::vector<std::string> segs = split_path(path);
+    if (segs.size() >= 3 && segs[0] == "link") {
+      LinkAgg& l = links[segs[1]];
+      if (segs.size() == 4 && segs[2] == "fault") {
+        if (segs[3] == "drops_burst") l.burst = value;
+        else if (segs[3] == "drops_uniform") l.uniform = value;
+        else if (segs[3] == "drops_forced") l.forced = value;
+        else if (segs[3] == "drops_carrier") l.carrier = value;
+        else if (segs[3] == "drops_handshake") l.handshake = value;
+        else if (segs[3] == "corruptions") l.corruptions = value;
+        else if (segs[3] == "flaps") l.flaps = value;
+      } else if (segs.size() == 3 && segs[2] == "rate_bps") {
+        l.rate = value;
+      } else if (segs.size() == 3 && segs[2] == "frames_delivered") {
+        l.frames = value;
+      }
+    } else if (segs.size() == 5 && segs[0] == "switch" && segs[2] == "port") {
+      PortAgg& p = ports[{segs[1], segs[3]}];
+      if (segs[4] == "dropped_queue_full") p.dropped = value;
+      else if (segs[4] == "peak_queued_bytes") p.peak = value;
+      else if (segs[4] == "forwarded") p.forwarded = value;
+    } else if (segs.size() == 3 && segs[1] == "host_fault") {
+      HostAgg& h = hosts[segs[0]];
+      if (segs[2] == "dma_throttled") h.dma = value;
+      else if (segs[2] == "alloc_fail_rx" || segs[2] == "alloc_fail_tx")
+        h.alloc += value;
+      else if (segs[2] == "ring_stall_drops" || segs[2] == "tx_ring_stalls")
+        h.ring += value;
+    }
+  }
+
+  Verdict v;
+  v.frames_conserved = ledger.conserved();
+  v.connections_conserved = ledger.connections_conserved();
+
+  // --- Wire faults ----------------------------------------------------------
+  for (const auto& [name, l] : links) {
+    const double cable = l.burst + l.uniform + l.forced + l.corruptions +
+                         l.handshake;
+    if (cable >= th.min_drops) {
+      v.findings.push_back(
+          {name, link_kind(name), "bad-cable", cable, 0.0,
+           "burst=" + fmt(l.burst) + " uniform=" + fmt(l.uniform) +
+               " corruptions=" + fmt(l.corruptions)});
+    }
+    if (l.carrier >= th.min_drops || l.flaps >= 1.0) {
+      v.findings.push_back({name, link_kind(name), "carrier-flap",
+                            std::max(l.carrier, l.flaps), 0.0,
+                            "flaps=" + fmt(l.flaps) +
+                                " carrier_drops=" + fmt(l.carrier)});
+    }
+  }
+
+  // --- Half-speed trunks ----------------------------------------------------
+  // The "negotiated speed" check: a trunk's configured rate against the
+  // modal rate of all trunks. Rates are summed across scenario runs, which
+  // scales every trunk uniformly, so the ratio test is unaffected.
+  {
+    std::map<double, std::size_t> rate_votes;
+    for (const auto& [name, l] : links) {
+      if (is_trunk_name(name) && l.rate > 0) ++rate_votes[l.rate];
+    }
+    double modal = 0;
+    std::size_t best = 0;
+    for (const auto& [rate, n] : rate_votes) {
+      if (n > best || (n == best && rate > modal)) {
+        modal = rate;
+        best = n;
+      }
+    }
+    for (const auto& [name, l] : links) {
+      if (!is_trunk_name(name) || l.rate <= 0 || modal <= 0) continue;
+      if (l.rate < th.half_speed_ratio * modal) {
+        // Severity proxy: the capacity deficit fraction, scaled so a
+        // genuinely misconfigured link outranks incidental drop counts.
+        const double deficit = (modal - l.rate) / modal;
+        v.findings.push_back({name, "trunk", "half-speed-link",
+                              deficit * 10000.0, 0.0,
+                              "rate_bps=" + fmt(l.rate) +
+                                  " bundle_modal=" + fmt(modal)});
+      }
+    }
+  }
+
+  // --- Switch-port congestion ----------------------------------------------
+  for (const auto& [key, p] : ports) {
+    if (p.dropped < th.min_drops) continue;
+    const auto& [sw, egress] = key;
+    const char* cause =
+        is_trunk_name(egress) ? "congested-trunk" : "incast-collapse";
+    v.findings.push_back({sw + ":" + egress, "switch-port", cause, p.dropped,
+                          0.0,
+                          "tail_drops=" + fmt(p.dropped) +
+                              " peak_queued_bytes=" + fmt(p.peak) +
+                              " forwarded=" + fmt(p.forwarded)});
+  }
+
+  // --- Host pathologies -----------------------------------------------------
+  for (const auto& [name, h] : hosts) {
+    if (h.dma >= th.min_drops) {
+      v.findings.push_back({name, "host", "host-dma-throttle", h.dma, 0.0,
+                            "dma_throttled=" + fmt(h.dma)});
+    }
+    if (h.alloc >= th.min_drops) {
+      v.findings.push_back({name, "host", "host-memory-pressure", h.alloc,
+                            0.0, "alloc_failures=" + fmt(h.alloc)});
+    }
+    if (h.ring >= th.min_drops) {
+      v.findings.push_back({name, "host", "host-ring-stall", h.ring, 0.0,
+                            "ring_stalls=" + fmt(h.ring)});
+    }
+  }
+
+  // --- Conservation ---------------------------------------------------------
+  if (!v.frames_conserved) {
+    const double leak = std::abs(static_cast<double>(ledger.unaccounted()));
+    v.findings.push_back({"fleet", "ledger", "ledger-leak", leak, 0.0,
+                          "frames_unaccounted=" + fmt(leak)});
+  }
+  if (!v.connections_conserved) {
+    const double leak =
+        std::abs(static_cast<double>(ledger.connections_unaccounted()));
+    v.findings.push_back({"fleet", "ledger", "ledger-leak", leak, 0.0,
+                          "connections_unaccounted=" + fmt(leak)});
+  }
+
+  double total = 0;
+  for (const Finding& f : v.findings) total += f.magnitude;
+  for (Finding& f : v.findings) {
+    f.share = total > 0 ? f.magnitude / total : 0.0;
+  }
+  std::sort(v.findings.begin(), v.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.magnitude != b.magnitude) return a.magnitude > b.magnitude;
+              if (a.cause != b.cause) return a.cause < b.cause;
+              return a.component < b.component;
+            });
+  return v;
+}
+
+std::string Verdict::render() const {
+  if (clean()) return "fleet doctor: clean bill — no findings";
+  std::string out = "fleet doctor: " + std::to_string(findings.size()) +
+                    " finding(s), worst first";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "\n  #" + std::to_string(i + 1) + " " + f.component + " [" +
+           f.kind + "] " + f.cause + " magnitude=" + fmt(f.magnitude) +
+           " share=" + fmt(f.share) + " :: " + f.evidence;
+  }
+  if (!frames_conserved) out += "\n  frame ledger: LEAK";
+  if (!connections_conserved) out += "\n  connection ledger: LEAK";
+  return out;
+}
+
+std::string Verdict::to_json() const {
+  std::string out = "{\"schema\":\"xgbe-fleet-doctor/1\"";
+  out += ",\"clean\":" + std::string(clean() ? "true" : "false");
+  out += ",\"frames_conserved\":" +
+         std::string(frames_conserved ? "true" : "false");
+  out += ",\"connections_conserved\":" +
+         std::string(connections_conserved ? "true" : "false");
+  out += ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out += ",";
+    out += "{\"component\":\"" + obs::json_escape(f.component) + "\"";
+    out += ",\"kind\":\"" + obs::json_escape(f.kind) + "\"";
+    out += ",\"cause\":\"" + obs::json_escape(f.cause) + "\"";
+    out += ",\"magnitude\":" + fmt(f.magnitude);
+    out += ",\"share\":" + fmt(f.share);
+    out += ",\"evidence\":\"" + obs::json_escape(f.evidence) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FleetDoctorReport::transcript() const {
+  std::string out = "fleet-doctor session: " +
+                    std::to_string(scenarios.size()) + " scenario(s)";
+  for (const auto& s : scenarios) {
+    out += "\nscenario " + s.name + ": expected=" +
+           std::to_string(s.bytes_expected) + " consumed=" +
+           std::to_string(s.bytes_consumed) +
+           (s.completed ? " (completed)" : " (INCOMPLETE)");
+    if (s.name == "rpc-churn") {
+      out += " rpc opened=" + std::to_string(s.rpc.opened) + " completed=" +
+             std::to_string(s.rpc.completed) + " refused=" +
+             std::to_string(s.rpc.refused) + " aborted=" +
+             std::to_string(s.rpc.aborted);
+    }
+  }
+  out += "\n" + ledger.render();
+  out += "\n" + verdict.render();
+  return out;
+}
+
+FleetDoctorReport run_fleet_doctor(const FleetDoctorOptions& options) {
+  std::vector<core::fleet::Options> scenarios = options.scenarios;
+  if (scenarios.empty()) {
+    core::fleet::Options incast;
+    incast.scenario = core::fleet::Scenario::kIncast;
+    core::fleet::Options a2a;
+    a2a.scenario = core::fleet::Scenario::kAllToAll;
+    core::fleet::Options rpc;
+    rpc.scenario = core::fleet::Scenario::kRpcChurn;
+    scenarios = {incast, a2a, rpc};
+  }
+
+  FleetDoctorReport rep;
+  MetricMap merged;
+  for (const auto& scen : scenarios) {
+    // A fresh fabric per scenario: fault schedules restart and counters
+    // never bleed between runs, so the matrix cells are independent.
+    core::Fabric fabric(options.fabric);
+    core::fleet::Result res = core::fleet::run(fabric, scen);
+    obs::Registry reg;
+    fabric.register_metrics(reg);
+    accumulate(merged, reg.snapshot());
+    rep.ledger.add_testbed(fabric.testbed());
+    if (scen.scenario == core::fleet::Scenario::kRpcChurn) {
+      rep.ledger.add_connections(res.rpc.opened, res.rpc.completed,
+                                 res.rpc.refused, res.rpc.aborted);
+    }
+    rep.scenarios.push_back(std::move(res));
+  }
+  rep.verdict = diagnose(merged, rep.ledger, options.thresholds);
+  return rep;
+}
+
+}  // namespace xgbe::tools

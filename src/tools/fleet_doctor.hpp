@@ -1,0 +1,106 @@
+// fleet_doctor: automated fault localization for a cluster fabric.
+//
+// The doctor never looks at simulator internals: its only inputs are
+// obs::Registry snapshots (summed across a scenario matrix) and the
+// DropReport conservation ledgers — exactly what a fleet operator could
+// scrape off real machines. From those it emits a ranked list of findings,
+// each naming a component (the fabric's canonical names), a cause class,
+// and the evidence, plus a machine-readable JSON verdict.
+//
+// Cause classes and their signatures:
+//
+//   bad-cable            link fault drops_burst/drops_uniform/corruptions
+//   carrier-flap         link fault flaps / drops_carrier
+//   half-speed-link      trunk rate_bps below its bundle's modal rate
+//   congested-trunk      switch-port tail drops toward a trunk
+//   incast-collapse      switch-port tail drops toward an access link
+//   host-dma-throttle    host_fault dma_throttled
+//   host-memory-pressure host_fault alloc_fail_rx/alloc_fail_tx
+//   host-ring-stall      host_fault ring_stall_drops / tx_ring_stalls
+//   ledger-leak          a conservation identity failed to balance
+//
+// A clean fabric produces an empty findings list — the doctor's silence is
+// part of the contract (tests assert it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fabric.hpp"
+#include "core/fleet.hpp"
+#include "obs/registry.hpp"
+#include "tools/drop_report.hpp"
+
+namespace xgbe::tools {
+
+/// Registry paths to summed values: counters contribute their count,
+/// gauges their value. Summing across scenario runs keeps counters exact
+/// and scales every gauge uniformly, so ratio comparisons (the half-speed
+/// rule) stay valid.
+using MetricMap = std::map<std::string, double>;
+
+/// Folds one snapshot into the map (additive).
+void accumulate(MetricMap& merged, const obs::Snapshot& snap);
+
+struct DoctorThresholds {
+  /// Smallest drop count worth a finding (the sim is deterministic, so any
+  /// nonzero count is real; raise this only to focus a noisy report).
+  double min_drops = 1.0;
+  /// A trunk whose rate is below this fraction of its bundle's modal rate
+  /// is flagged half-speed.
+  double half_speed_ratio = 0.9;
+};
+
+struct Finding {
+  std::string component;  // canonical fabric name ("r1h0", "trunk-tor1-...")
+  std::string kind;       // "access-link" | "trunk" | "switch-port" |
+                          // "host" | "ledger"
+  std::string cause;      // cause class slug (header table)
+  double magnitude = 0.0; // ranking key: drop count or severity proxy
+  double share = 0.0;     // magnitude / sum of all magnitudes
+  std::string evidence;   // human-readable supporting numbers
+};
+
+struct Verdict {
+  /// Ranked worst-first: (magnitude desc, cause asc, component asc) — a
+  /// total order, so the verdict is bit-identical across reruns.
+  std::vector<Finding> findings;
+  bool frames_conserved = true;
+  bool connections_conserved = true;
+
+  bool clean() const { return findings.empty(); }
+  /// One line per finding, rank first.
+  std::string render() const;
+  /// Machine-readable verdict, schema "xgbe-fleet-doctor/1". Deterministic:
+  /// doubles via obs::format_double, fixed key order.
+  std::string to_json() const;
+};
+
+/// Pure analysis: localizes faults from the merged metrics and the ledger.
+Verdict diagnose(const MetricMap& metrics, const DropReport& ledger,
+                 const DoctorThresholds& thresholds = {});
+
+struct FleetDoctorOptions {
+  core::FabricOptions fabric;
+  /// Scenario matrix; empty runs the canonical three (incast, all-to-all,
+  /// RPC churn).
+  std::vector<core::fleet::Options> scenarios;
+  DoctorThresholds thresholds;
+};
+
+struct FleetDoctorReport {
+  Verdict verdict;
+  std::vector<core::fleet::Result> scenarios;
+  DropReport ledger;
+  /// The full session: scenario outcomes, ledger, ranked findings.
+  std::string transcript() const;
+};
+
+/// Runs the scenario matrix (a fresh fabric per scenario, so faults and
+/// counters never bleed between runs), accumulates the evidence, and
+/// diagnoses once over the whole matrix.
+FleetDoctorReport run_fleet_doctor(const FleetDoctorOptions& options);
+
+}  // namespace xgbe::tools

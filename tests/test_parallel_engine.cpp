@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "core/testbed.hpp"
 #include "fault/fault.hpp"
+#include "hw/presets.hpp"
+#include "net/headers.hpp"
 #include "obs/trace.hpp"
 #include "sim/shard.hpp"
 
@@ -270,6 +273,62 @@ TEST(ParallelEngine, StopRequestHaltsAtBarrier) {
   EXPECT_TRUE(engine.stopped());
   EXPECT_GE(count, 50);
   EXPECT_LT(engine.now(), xgbe::sim::msec(1));
+}
+
+TEST(ParallelEngine, ExchangeCommitOrderBreaksTimestampTies) {
+  // Three source shards land frames on shard 0 with IDENTICAL timestamps.
+  // The engine's contract: cross-shard deliveries commit in (timestamp,
+  // channel-id, append-index) order, and channel ids follow link creation
+  // order — never submission order or thread completion order. The sends
+  // are armed in reverse shard order so submission order disagrees with
+  // the required commit order, and the sweep covers serial and pooled
+  // execution.
+  std::vector<std::vector<xgbe::net::NodeId>> orders;
+  std::vector<xgbe::net::NodeId> expected;
+  for (const unsigned threads : {0u, 4u}) {
+    xgbe::core::Testbed tb(4);
+    if (threads != 0) tb.engine().set_threads(threads);
+    const auto system = xgbe::hw::presets::pe2650();
+    const auto tuning = xgbe::core::TuningProfile::with_big_windows(9000);
+    xgbe::core::Host& rx = tb.add_host_on(0, "rx", system, tuning);
+    std::vector<xgbe::core::Host*> txs;
+    for (std::size_t s = 1; s <= 3; ++s) {
+      xgbe::core::Host& tx =
+          tb.add_host_on(s, "tx" + std::to_string(s), system, tuning);
+      xgbe::link::LinkSpec spec;
+      spec.rate_bps = 10e9;
+      spec.propagation = xgbe::sim::usec(5);
+      tb.connect(tx, rx, spec);  // creation order fixes the channel ids
+      txs.push_back(&tx);
+    }
+    expected.clear();
+    for (const auto* tx : txs) expected.push_back(tx->node());
+
+    std::vector<xgbe::net::NodeId> order;
+    rx.raw_sink = [&order](const xgbe::net::Packet& pkt) {
+      order.push_back(pkt.src);
+    };
+    for (std::size_t i = txs.size(); i-- > 0;) {
+      xgbe::core::Host* tx = txs[i];
+      xgbe::net::Packet pkt;
+      pkt.protocol = xgbe::net::Protocol::kUdp;
+      pkt.src = tx->node();
+      pkt.dst = rx.node();
+      pkt.flow = tb.next_flow();
+      pkt.payload_bytes = 1024;
+      pkt.frame_bytes = xgbe::net::udp_frame_bytes(1024);
+      tb.shard_simulator(i + 1).schedule(
+          xgbe::sim::usec(50), [tx, pkt]() { tx->raw_transmit(pkt); });
+    }
+    tb.run_for(xgbe::sim::msec(1));
+    rx.raw_sink = nullptr;
+    ASSERT_EQ(order.size(), 3u) << "threads=" << threads;
+    orders.push_back(order);
+  }
+  // Identical frames at identical timestamps: the tie must break by channel
+  // id (link creation order), identically for every thread count.
+  EXPECT_EQ(orders[0], expected);
+  EXPECT_EQ(orders[1], expected);
 }
 
 }  // namespace
