@@ -49,8 +49,9 @@ class ResultLog {
 
   bool enabled() const { return !path_.empty(); }
 
-  /// Strips `--json <path>` / `--json=<path>` from argv before
-  /// benchmark::Initialize sees (and rejects) it. Returns the new argc.
+  /// Strips `--json <path>` / `--json=<path>` and `--cc <alg>` /
+  /// `--cc=<alg>` from argv before benchmark::Initialize sees (and rejects)
+  /// them. Returns the new argc.
   int consume_json_flag(int argc, char** argv) {
     if (argc > 0) {
       const char* slash = std::strrchr(argv[0], '/');
@@ -62,12 +63,20 @@ class ResultLog {
         path_ = argv[++i];
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         path_ = argv[i] + 7;
+      } else if (std::strcmp(argv[i], "--cc") == 0 && i + 1 < argc) {
+        cc_request_ = argv[++i];
+      } else if (std::strncmp(argv[i], "--cc=", 5) == 0) {
+        cc_request_ = argv[i] + 5;
       } else {
         argv[out++] = argv[i];
       }
     }
     return out;
   }
+
+  /// The raw `--cc` value (empty when the flag was absent); resolved by
+  /// init_cc_from_request() after the XGBE_CC fallback is consulted.
+  const std::string& cc_request() const { return cc_request_; }
 
   void add_point(const std::string& name,
                  const benchmark::UserCounters& counters) {
@@ -188,6 +197,7 @@ class ResultLog {
   std::mutex mu_;
   std::string path_;
   std::string binary_;
+  std::string cc_request_;
   std::map<std::string, std::string> meta_;
   std::vector<Point> points_;
   std::vector<std::pair<std::string, std::string>> snapshots_;
@@ -214,6 +224,58 @@ inline void log_point(benchmark::State& state, const std::string& name) {
   ResultLog::instance().add_point(name, state.counters);
 }
 
+/// Process-wide congestion-control selection for the paper ladder
+/// (`--cc <newreno|cubic|dctcp>` or the XGBE_CC environment variable).
+/// Defaults to NewReno, which leaves every bench byte-identical to the
+/// pre-zoo goldens.
+inline tcp::CcAlgorithm& active_cc_slot() {
+  static tcp::CcAlgorithm alg = tcp::CcAlgorithm::kNewReno;
+  return alg;
+}
+
+inline tcp::CcAlgorithm active_cc() { return active_cc_slot(); }
+
+/// Applies the active algorithm to a tuning profile. DCTCP negotiates ECN
+/// (it is inert without CE feedback); the other algorithms leave the ECN
+/// bit at the caller's default so NewReno runs stay golden-identical.
+inline void apply_cc(core::TuningProfile& tuning) {
+  tuning.cc = active_cc();
+  if (tuning.cc == tcp::CcAlgorithm::kDctcp) tuning.ecn = true;
+}
+
+/// Same, for a raw endpoint config (benches that bypass TuningProfile).
+inline void apply_cc(tcp::EndpointConfig& config) {
+  config.cc = active_cc();
+  if (config.cc == tcp::CcAlgorithm::kDctcp) config.ecn = true;
+}
+
+/// Resolves `--cc` (falling back to XGBE_CC) into active_cc() and stamps
+/// the choice into the result log's meta object — but only for non-default
+/// algorithms, so default runs emit no meta and goldens stay byte-identical.
+/// Returns false (after printing the offending name) on an unknown value.
+inline bool init_cc_from_request() {
+  std::string request = ResultLog::instance().cc_request();
+  if (request.empty()) {
+    if (const char* env = std::getenv("XGBE_CC");
+        env != nullptr && *env != '\0') {
+      request = env;
+    }
+  }
+  if (request.empty()) return true;
+  tcp::CcAlgorithm alg;
+  if (!tcp::cc_from_name(request.c_str(), &alg)) {
+    std::fprintf(stderr,
+                 "unknown --cc algorithm '%s' (expected newreno|cubic|dctcp)\n",
+                 request.c_str());
+    return false;
+  }
+  active_cc_slot() = alg;
+  if (alg != tcp::CcAlgorithm::kNewReno) {
+    ResultLog::instance().set_meta("cc", tcp::cc_name(alg));
+  }
+  return true;
+}
+
 /// Snapshots every metric the testbed exposes (no-op unless --json is live).
 inline void maybe_snapshot(const std::string& label, core::Testbed& tb) {
   if (!ResultLog::instance().enabled()) return;
@@ -238,8 +300,10 @@ inline tools::NttcpResult nttcp_pair(const hw::SystemSpec& sys,
                                      std::uint32_t payload,
                                      std::uint32_t count = kNttcpCount) {
   core::Testbed tb;
-  auto& a = tb.add_host("tx", sys, tuning);
-  auto& b = tb.add_host("rx", sys, tuning);
+  auto cc_tuning = tuning;
+  apply_cc(cc_tuning);
+  auto& a = tb.add_host("tx", sys, cc_tuning);
+  auto& b = tb.add_host("rx", sys, cc_tuning);
   tb.connect(a, b);
   auto conn =
       tb.open_connection(a, b, a.endpoint_config(), b.endpoint_config());
@@ -262,8 +326,10 @@ inline tools::NetpipeResult netpipe_pair(const hw::SystemSpec& sys,
                                          obs::SpanProfiler* spans = nullptr) {
   core::Testbed tb;
   if (spans != nullptr) tb.set_span_profiler(spans);
-  auto& a = tb.add_host("a", sys, tuning);
-  auto& b = tb.add_host("b", sys, tuning);
+  auto cc_tuning = tuning;
+  apply_cc(cc_tuning);
+  auto& a = tb.add_host("a", sys, cc_tuning);
+  auto& b = tb.add_host("b", sys, cc_tuning);
   if (through_switch) {
     auto& sw = tb.add_switch();
     tb.connect_to_switch(a, sw);
@@ -336,7 +402,8 @@ inline double drive_flows_gbps(core::Testbed& tb,
 inline double multiflow_gbps(const hw::SystemSpec& head_sys, int nclients,
                              bool to_head, std::uint32_t mtu) {
   core::Testbed tb;
-  const auto tuning = core::TuningProfile::with_big_windows(mtu);
+  auto tuning = core::TuningProfile::with_big_windows(mtu);
+  apply_cc(tuning);
   auto& head = tb.add_host("head", head_sys, tuning);
   auto& sw = tb.add_switch();
   tb.connect_to_switch(head, sw);
@@ -385,7 +452,8 @@ inline WanRun wan_run(std::uint32_t buffer_bytes,
                       obs::FlowSampler* sampler = nullptr) {
   core::Testbed tb;
   if (sampler != nullptr) tb.set_flow_sampler(sampler);
-  const auto tuning = core::TuningProfile::wan(buffer_bytes);
+  auto tuning = core::TuningProfile::wan(buffer_bytes);
+  apply_cc(tuning);
   auto& a = tb.add_host("sunnyvale", hw::presets::wan_endpoint(), tuning);
   auto& b = tb.add_host("geneva", hw::presets::wan_endpoint(), tuning);
   // Circuit line cards get a 64 MB output queue (under the routers' port
@@ -463,6 +531,7 @@ inline WanRun wan_run(std::uint32_t buffer_bytes,
   int main(int argc, char** argv) {                                         \
     argc = ::xgbe::bench::ResultLog::instance().consume_json_flag(argc,     \
                                                                   argv);    \
+    if (!::xgbe::bench::init_cc_from_request()) return 1;                   \
     /* A sweep's thread count shapes wall-clock numbers, so runs under     \
        XGBE_SHARD_THREADS stamp it into the envelope's meta; unset runs    \
        emit no meta object at all, keeping golden files byte-identical. */ \

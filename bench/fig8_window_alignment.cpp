@@ -39,7 +39,8 @@ void Fig8_LiveAdvertisedWindow(benchmark::State& state) {
   std::uint32_t mss = 0;
   for (auto _ : state) {
     xgbe::core::Testbed tb;
-    const auto tuning = xgbe::core::TuningProfile::stock(9000);
+    auto tuning = xgbe::core::TuningProfile::stock(9000);
+    xgbe::bench::apply_cc(tuning);
     auto& a = tb.add_host("a", xgbe::hw::presets::pe2650(), tuning);
     auto& b = tb.add_host("b", xgbe::hw::presets::pe2650(), tuning);
     tb.connect(a, b);

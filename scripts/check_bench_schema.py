@@ -23,7 +23,10 @@ SCHEMAS = {"xgbe-bench/1", "xgbe-bench/2"}
 STAGES = ["app-write", "sockbuf", "tx-ring", "tx-dma", "wire", "switch-queue",
           "rx-ring", "intr-coalesce", "rx-stack", "app-read"]
 SERIES_COLUMNS = ["at_ps", "flow", "cwnd_segments", "ssthresh_segments",
-                  "flight_bytes", "srtt_us", "rwnd_bytes"]
+                  "flight_bytes", "srtt_us", "rwnd_bytes", "cc_state"]
+# meta["cc"] appears only for non-default runs (--cc / XGBE_CC); when
+# present it must name a known congestion-control algorithm.
+CC_ALGORITHMS = {"newreno", "cubic", "dctcp"}
 
 
 def _err(errors, path, message):
@@ -154,6 +157,10 @@ def validate(doc):
                 if not isinstance(value, str):
                     _err(errors, f"meta[{key!r}]",
                          f"must be a string, got {value!r}")
+            cc = meta.get("cc")
+            if cc is not None and cc not in CC_ALGORITHMS:
+                _err(errors, "meta['cc']",
+                     f"expected one of {sorted(CC_ALGORITHMS)}, got {cc!r}")
 
     points = doc.get("points")
     if not isinstance(points, list):

@@ -26,7 +26,9 @@ Fabric::Fabric(const FabricOptions& options)
   if (opt_.threads != 0) tb_.engine().set_threads(opt_.threads);
 
   const auto system = hw::presets::pe2650();
-  const auto tuning = TuningProfile::with_big_windows(opt_.mtu);
+  auto tuning = TuningProfile::with_big_windows(opt_.mtu);
+  tuning.cc = opt_.cc;
+  tuning.ecn = opt_.ecn;
 
   // Rate overrides (the misconfigured link) must be known before the link is
   // built, so resolve them up front.
@@ -50,6 +52,7 @@ Fabric::Fabric(const FabricOptions& options)
   link::SwitchSpec tor_spec;
   tor_spec.port_buffer_bytes = opt_.tor_port_buffer_bytes;
   tor_spec.port_metrics = true;
+  tor_spec.aqm = opt_.tor_aqm;
   link::SwitchSpec spine_spec;
   spine_spec.port_buffer_bytes = opt_.spine_port_buffer_bytes;
   spine_spec.port_metrics = true;

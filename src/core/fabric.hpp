@@ -33,6 +33,7 @@
 
 #include "core/testbed.hpp"
 #include "fault/fleet.hpp"
+#include "link/switch.hpp"
 
 namespace xgbe::core {
 
@@ -62,6 +63,15 @@ struct FabricOptions {
   /// trunk congestion.
   std::uint32_t tor_uplink_buffer_bytes = 1024 * 1024;
   std::uint32_t spine_port_buffer_bytes = 1024 * 1024;
+  /// Congestion control + ECN for every host in the fabric (threaded into
+  /// the rack tuning profile; defaults preserve the golden baselines).
+  tcp::CcAlgorithm cc = tcp::CcAlgorithm::kNewReno;
+  bool ecn = false;
+  /// Egress AQM on the ToR switches (RED / ECN marking). Inactive by
+  /// default; pair kEcnThreshold with cc = kDctcp + ecn for the incast
+  /// comparison. Spines keep tail drop — the shallow access ports are
+  /// where the paper-style collapse lives.
+  link::AqmSpec tor_aqm;
   /// Targeted faults, resolved at build time (rate overrides must be baked
   /// into the LinkSpec before the link exists).
   fault::FleetPlan faults;

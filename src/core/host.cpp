@@ -55,6 +55,8 @@ tcp::EndpointConfig Host::endpoint_config() const {
   c.rcvbuf = tuning_.rcvbuf;
   c.sndbuf = tuning_.sndbuf;
   c.tso = tuning_.tso;
+  c.cc = tuning_.cc;
+  c.ecn = tuning_.ecn;
   return c;
 }
 

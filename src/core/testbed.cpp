@@ -182,6 +182,7 @@ Testbed::Connection Testbed::open_connection(
       s.flight_bytes = ep->flight_bytes();
       s.rwnd_bytes = ep->peer_window();
       s.srtt = ep->srtt();
+      s.cc_state = ep->cc_state();
       return s;
     });
   }

@@ -9,6 +9,7 @@
 #include "net/headers.hpp"
 #include "os/config.hpp"
 #include "sim/time.hpp"
+#include "tcp/config.hpp"
 
 namespace xgbe::core {
 
@@ -38,6 +39,11 @@ struct TuningProfile {
   /// Per-frame probability of in-host data damage after the adapter's
   /// checksum check (data-integrity experiments; 0 in all paper configs).
   double rx_corruption_rate = 0.0;
+  /// Congestion control for every endpoint on the host; the NewReno
+  /// default is the paper's Linux-2.4 stack (and the golden baseline).
+  tcp::CcAlgorithm cc = tcp::CcAlgorithm::kNewReno;
+  /// ECN negotiation for every endpoint (pair with a marking switch AQM).
+  bool ecn = false;
 
   /// The hypothetical next-generation profile of §5.
   static TuningProfile future_offload(std::uint32_t mtu_bytes);

@@ -10,6 +10,8 @@ namespace xgbe::link {
 /// the fabric; egress frames queue here until the link transmitter frees.
 class EthernetSwitch::Port : public NetDevice {
  public:
+  enum class AqmVerdict { kPass, kMark, kEarlyDrop };
+
   Port(EthernetSwitch& parent, int index, Link* wire, bool side_a)
       : parent_(parent), index_(index), wire_(wire), side_a_(side_a) {
     if (side_a_) {
@@ -17,6 +19,11 @@ class EthernetSwitch::Port : public NetDevice {
     } else {
       wire_->attach_b(this);
     }
+    // Per-port deterministic RED stream: seed from the spec and the port
+    // index so two ports never share a sequence, never zero.
+    rng_ = parent_.spec_.aqm.seed ^
+           (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index_ + 1));
+    if (rng_ == 0) rng_ = 0x2545f4914f6cdd1dULL;
   }
 
   void deliver(const net::Packet& pkt) override {
@@ -33,6 +40,41 @@ class EthernetSwitch::Port : public NetDevice {
   }
 
   void note_tail_drop() { ++dropped_full_; }
+  void note_red_drop() { ++dropped_red_; }
+  void note_ce_mark() { ++ce_marked_; }
+
+  /// AQM decision for a frame about to enter this port's egress queue.
+  /// Mutates the EWMA average and (on a probabilistic draw) the RNG, so it
+  /// must be called exactly once per arriving frame.
+  AqmVerdict aqm_decide(const net::Packet& pkt, const AqmSpec& aqm) {
+    const std::uint64_t inst =
+        static_cast<std::uint64_t>(queued_) + pkt.frame_bytes;
+    if (aqm.mode == AqmMode::kEcnThreshold) {
+      // DCTCP-style marking: instantaneous depth against K. Non-ECT
+      // traffic is left to the tail-drop limit.
+      if (pkt.ect && inst > aqm.mark_threshold_bytes) return AqmVerdict::kMark;
+      return AqmVerdict::kPass;
+    }
+    // RED on the EWMA of the instantaneous depth (<<8 fixed point; the
+    // truncating division is deterministic, which is all we need).
+    const std::int64_t diff =
+        static_cast<std::int64_t>(inst << 8) - avg_queued_;
+    avg_queued_ += diff / (std::int64_t{1} << aqm.ewma_shift);
+    const std::uint64_t avg_bytes =
+        avg_queued_ > 0 ? static_cast<std::uint64_t>(avg_queued_) >> 8 : 0;
+    if (avg_bytes < aqm.min_threshold_bytes) return AqmVerdict::kPass;
+    bool hit = true;
+    if (avg_bytes < aqm.max_threshold_bytes) {
+      const std::uint64_t span =
+          aqm.max_threshold_bytes - aqm.min_threshold_bytes;
+      const std::uint64_t p_permil =
+          aqm.max_p_permil * (avg_bytes - aqm.min_threshold_bytes) / span;
+      hit = next_random() % 1000 < p_permil;
+    }
+    if (!hit) return AqmVerdict::kPass;
+    if (aqm.mode == AqmMode::kRedEcn && pkt.ect) return AqmVerdict::kMark;
+    return AqmVerdict::kEarlyDrop;
+  }
 
   void set_buffer_override(std::uint32_t bytes) { buffer_override_ = bytes; }
   std::uint32_t buffer_limit(std::uint32_t spec_default) const {
@@ -43,6 +85,8 @@ class EthernetSwitch::Port : public NetDevice {
   std::uint32_t peak_queued() const { return peak_queued_; }
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t dropped_full() const { return dropped_full_; }
+  std::uint64_t dropped_red() const { return dropped_red_; }
+  std::uint64_t ce_marked() const { return ce_marked_; }
   const std::string& link_name() const {
     static const std::string kDetached;
     return wire_ != nullptr ? wire_->name() : kDetached;
@@ -58,6 +102,17 @@ class EthernetSwitch::Port : public NetDevice {
   std::uint32_t buffer_override_ = 0;  // 0: use the switch-wide spec value
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_full_ = 0;
+  std::uint64_t dropped_red_ = 0;
+  std::uint64_t ce_marked_ = 0;
+  std::int64_t avg_queued_ = 0;  // RED EWMA, bytes << 8
+  std::uint64_t rng_ = 1;        // xorshift64* state
+
+  std::uint64_t next_random() {
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    return rng_ * 0x2545f4914f6cdd1dULL;
+  }
 };
 
 EthernetSwitch::EthernetSwitch(sim::Simulator& simulator,
@@ -105,6 +160,14 @@ std::uint32_t EthernetSwitch::port_peak_queued(int port) const {
 
 const std::string& EthernetSwitch::port_link_name(int port) const {
   return ports_.at(static_cast<std::size_t>(port))->link_name();
+}
+
+std::uint64_t EthernetSwitch::port_dropped_red(int port) const {
+  return ports_.at(static_cast<std::size_t>(port))->dropped_red();
+}
+
+std::uint64_t EthernetSwitch::port_ce_marked(int port) const {
+  return ports_.at(static_cast<std::size_t>(port))->ce_marked();
 }
 
 int EthernetSwitch::pick_port(const Route& route,
@@ -173,7 +236,28 @@ void EthernetSwitch::on_frame(int /*ingress*/, const net::Packet& pkt) {
 
 void EthernetSwitch::egress_frame(int port, const net::Packet& pkt) {
   Port& out = *ports_.at(static_cast<std::size_t>(port));
-  if (out.queued() + pkt.frame_bytes >
+  net::Packet frame = pkt;
+  if (spec_.aqm.active()) {
+    switch (out.aqm_decide(frame, spec_.aqm)) {
+      case Port::AqmVerdict::kPass:
+        break;
+      case Port::AqmVerdict::kMark:
+        frame.ce = true;
+        ++ce_marked_;
+        out.note_ce_mark();
+        break;
+      case Port::AqmVerdict::kEarlyDrop:
+        ++dropped_red_;
+        out.note_red_drop();
+        if (trace_) {
+          trace_->record_packet(obs::EventType::kWireDrop, sim_.now(), pkt,
+                                name_.c_str(), "red-early-drop");
+        }
+        if (spans_) spans_->abort(pkt);
+        return;
+    }
+  }
+  if (out.queued() + frame.frame_bytes >
       out.buffer_limit(spec_.port_buffer_bytes)) {
     ++dropped_queue_full_;  // tail drop
     out.note_tail_drop();
@@ -185,7 +269,7 @@ void EthernetSwitch::egress_frame(int port, const net::Packet& pkt) {
     return;
   }
   ++forwarded_;
-  out.send(pkt);
+  out.send(frame);
 }
 
 void EthernetSwitch::register_metrics(obs::Registry& reg,
@@ -195,6 +279,12 @@ void EthernetSwitch::register_metrics(obs::Registry& reg,
               [this] { return dropped_no_route_; });
   reg.counter(prefix + "/dropped_queue_full",
               [this] { return dropped_queue_full_; });
+  // AQM counters only exist when AQM is on, so legacy tail-drop topologies
+  // keep byte-identical registry snapshots.
+  if (spec_.aqm.active()) {
+    reg.counter(prefix + "/dropped_red", [this] { return dropped_red_; });
+    reg.counter(prefix + "/ce_marked", [this] { return ce_marked_; });
+  }
   fault::register_metrics(reg, prefix + "/fault", fault_);
   if (!spec_.port_metrics) return;
   for (const auto& port : ports_) {
@@ -205,6 +295,10 @@ void EthernetSwitch::register_metrics(obs::Registry& reg,
     reg.counter(p + "/forwarded", [raw] { return raw->forwarded(); });
     reg.counter(p + "/dropped_queue_full",
                 [raw] { return raw->dropped_full(); });
+    if (spec_.aqm.active()) {
+      reg.counter(p + "/dropped_red", [raw] { return raw->dropped_red(); });
+      reg.counter(p + "/ce_marked", [raw] { return raw->ce_marked(); });
+    }
     reg.gauge(p + "/queued_bytes",
               [raw] { return static_cast<double>(raw->queued()); });
     reg.gauge(p + "/peak_queued_bytes",

@@ -15,6 +15,37 @@
 
 namespace xgbe::link {
 
+/// Active queue management flavor for a switch's egress ports.
+enum class AqmMode : std::uint8_t {
+  kTailDrop,      // classic: drop only when the port buffer is full
+  kRed,           // RED early drop on the EWMA queue depth
+  kRedEcn,        // RED, but ECT frames are CE-marked instead of dropped
+  kEcnThreshold,  // DCTCP-style: mark ECT frames past an instantaneous K
+};
+
+/// Per-port AQM configuration. All arithmetic is integer and the random
+/// draw is a per-port xorshift64* stream seeded from `seed` and the port
+/// index, so drop/mark decisions are bit-identical across reruns, shard
+/// counts, and thread counts (each switch's egress events already execute
+/// in deterministic order on its owning shard).
+struct AqmSpec {
+  AqmMode mode = AqmMode::kTailDrop;
+  /// RED thresholds on the *average* queue depth in bytes: below min the
+  /// frame always passes, above max it always drops/marks, in between the
+  /// probability ramps linearly up to max_p_permil/1000.
+  std::uint32_t min_threshold_bytes = 0;
+  std::uint32_t max_threshold_bytes = 0;
+  std::uint32_t max_p_permil = 100;
+  /// EWMA gain: avg += (instantaneous - avg) / 2^ewma_shift per arrival
+  /// (Floyd/Jacobson w_q = 1/512 at the default).
+  int ewma_shift = 9;
+  /// kEcnThreshold: mark when the instantaneous depth would exceed this
+  /// (the DCTCP "K" parameter, in bytes).
+  std::uint32_t mark_threshold_bytes = 0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  bool active() const { return mode != AqmMode::kTailDrop; }
+};
+
 struct SwitchSpec {
   /// Forwarding latency through the fabric once a frame has fully arrived.
   /// Calibrated to the ~6 µs delta the paper measures between back-to-back
@@ -32,6 +63,9 @@ struct SwitchSpec {
   /// topologies keep byte-identical registry snapshots (the golden-file
   /// contract); the fabric builder turns it on.
   bool port_metrics = false;
+  /// Egress AQM (RED / ECN marking). Inactive by default: tail drop only,
+  /// and no AQM counters appear in registry snapshots.
+  AqmSpec aqm;
 };
 
 /// Output-queued store-and-forward switch. Each port terminates one Link;
@@ -72,6 +106,9 @@ class EthernetSwitch {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
   std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }
+  /// AQM outcomes (0 unless spec().aqm is active).
+  std::uint64_t dropped_red() const { return dropped_red_; }
+  std::uint64_t ce_marked() const { return ce_marked_; }
   std::uint32_t queued_bytes(int port) const;
 
   // --- Per-port accounting --------------------------------------------------
@@ -80,6 +117,8 @@ class EthernetSwitch {
   std::uint64_t port_dropped_queue_full(int port) const;
   /// High-water mark of the port's egress queue, bytes.
   std::uint32_t port_peak_queued(int port) const;
+  std::uint64_t port_dropped_red(int port) const;
+  std::uint64_t port_ce_marked(int port) const;
   /// Name of the link the port terminates ("" when detached).
   const std::string& port_link_name(int port) const;
 
@@ -124,6 +163,8 @@ class EthernetSwitch {
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_no_route_ = 0;
   std::uint64_t dropped_queue_full_ = 0;
+  std::uint64_t dropped_red_ = 0;
+  std::uint64_t ce_marked_ = 0;
   obs::TraceSink* trace_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;
 };

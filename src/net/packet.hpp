@@ -29,6 +29,10 @@ struct TcpFlags {
   bool fin = false;
   bool ack = false;
   bool rst = false;
+  /// ECN echo: receiver tells the sender it saw a CE-marked frame.
+  bool ece = false;
+  /// Congestion-window-reduced: sender acknowledges the ECE echo.
+  bool cwr = false;
 };
 
 /// True for segments that belong to connection setup/teardown rather than
@@ -84,6 +88,10 @@ struct Packet {
   /// across the memory and I/O buses, introducing a potential source of
   /// data errors, errors that a TOE has no way to detect or correct").
   bool corrupted = false;
+  /// ECN codepoints (RFC 3168): `ect` set by an ECN-capable sender on data
+  /// frames, `ce` stamped by an AQM-enabled switch instead of dropping.
+  bool ect = false;
+  bool ce = false;
   sim::SimTime created_at = 0;      // when the transport layer emitted it
   sim::SimTime sent_at = 0;         // when serialization onto the wire began
   PathTrace trace;                  // MAGNET sampling (usually disabled)

@@ -260,14 +260,15 @@ void FlowSampler::reset() {
 std::string FlowSampler::to_csv() const {
   std::string out =
       "at_ps,flow,cwnd_segments,ssthresh_segments,flight_bytes,srtt_us,"
-      "rwnd_bytes\n";
+      "rwnd_bytes,cc_state\n";
   for (const Row& r : rows_) {
     out += std::to_string(r.at) + "," + std::to_string(r.flow) + "," +
            std::to_string(r.sample.cwnd_segments) + "," +
            std::to_string(r.sample.ssthresh_segments) + "," +
            std::to_string(r.sample.flight_bytes) + "," +
            format_double(sim::to_microseconds(r.sample.srtt)) + "," +
-           std::to_string(r.sample.rwnd_bytes) + "\n";
+           std::to_string(r.sample.rwnd_bytes) + "," +
+           std::to_string(r.sample.cc_state) + "\n";
   }
   return out;
 }
@@ -282,7 +283,8 @@ std::string FlowSampler::to_jsonl() const {
            std::to_string(r.sample.ssthresh_segments) +
            ",\"flight_bytes\":" + std::to_string(r.sample.flight_bytes) +
            ",\"srtt_us\":" + format_double(sim::to_microseconds(r.sample.srtt)) +
-           ",\"rwnd_bytes\":" + std::to_string(r.sample.rwnd_bytes) + "}\n";
+           ",\"rwnd_bytes\":" + std::to_string(r.sample.rwnd_bytes) +
+           ",\"cc_state\":" + std::to_string(r.sample.cc_state) + "}\n";
   }
   return out;
 }
@@ -291,7 +293,8 @@ std::string series_json(const FlowSampler& sampler) {
   std::string out =
       "{\"interval_ps\":" + std::to_string(sampler.interval()) +
       ",\"columns\":[\"at_ps\",\"flow\",\"cwnd_segments\","
-      "\"ssthresh_segments\",\"flight_bytes\",\"srtt_us\",\"rwnd_bytes\"]"
+      "\"ssthresh_segments\",\"flight_bytes\",\"srtt_us\",\"rwnd_bytes\","
+      "\"cc_state\"]"
       ",\"rows\":[";
   bool first = true;
   for (const FlowSampler::Row& r : sampler.rows()) {
@@ -302,7 +305,8 @@ std::string series_json(const FlowSampler& sampler) {
            std::to_string(r.sample.ssthresh_segments) + "," +
            std::to_string(r.sample.flight_bytes) + "," +
            format_double(sim::to_microseconds(r.sample.srtt)) + "," +
-           std::to_string(r.sample.rwnd_bytes) + "]";
+           std::to_string(r.sample.rwnd_bytes) + "," +
+           std::to_string(r.sample.cc_state) + "]";
   }
   out += "]}";
   return out;

@@ -187,6 +187,9 @@ class FlowSampler {
     std::uint64_t flight_bytes = 0;
     std::uint64_t rwnd_bytes = 0;
     sim::SimTime srtt = 0;
+    /// Algorithm-specific congestion state (CUBIC K in ms, DCTCP alpha in
+    /// 1/1024 fixed point, 0 for Reno-family).
+    std::int64_t cc_state = 0;
   };
   using Probe = std::function<Sample()>;
 
@@ -222,7 +225,8 @@ class FlowSampler {
   const std::vector<Row>& rows() const { return rows_; }
 
   /// "at_ps,flow,cwnd_segments,ssthresh_segments,flight_bytes,srtt_us,
-  /// rwnd_bytes" header plus one line per row. Byte-identical across reruns.
+  /// rwnd_bytes,cc_state" header plus one line per row. Byte-identical
+  /// across reruns.
   std::string to_csv() const;
   /// One JSON object per line, same fields as the CSV.
   std::string to_jsonl() const;

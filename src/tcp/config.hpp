@@ -7,6 +7,18 @@
 
 namespace xgbe::tcp {
 
+/// Congestion-control algorithm selector (the strategy implementations live
+/// in tcp/cwnd.hpp). kNewReno is the paper's Linux-2.4 behavior and the
+/// default everywhere; the others extend the study (arXiv:1905.01194).
+enum class CcAlgorithm : std::uint8_t { kNewReno, kCubic, kDctcp };
+
+/// Stable lowercase name ("newreno", "cubic", "dctcp") for bench flags,
+/// JSON meta, and diagnostics.
+const char* cc_name(CcAlgorithm alg);
+
+/// Parses a cc_name() string; false (and *out untouched) when unknown.
+bool cc_from_name(const char* name, CcAlgorithm* out);
+
 struct EndpointConfig {
   std::uint32_t mtu = net::kMtuStandard;
   /// RFC 1323 timestamps (12 option bytes per segment, used for RTT
@@ -45,6 +57,14 @@ struct EndpointConfig {
   bool app_reader = true;
   /// Delayed-ACK: acknowledge every `delack_segments` full segments.
   std::uint32_t delack_segments = 2;
+  /// Congestion-control strategy. The default (NewReno) is byte-identical
+  /// to the pre-strategy hardcoded implementation.
+  CcAlgorithm cc = CcAlgorithm::kNewReno;
+  /// ECN: mark outgoing data ECT, echo CE as ECE, react to ECE once per
+  /// window (classic RFC 3168 for NewReno/CUBIC, per-window alpha for
+  /// DCTCP). Off by default — an ecn=false endpoint never touches the ECN
+  /// header bits, so existing runs are unchanged.
+  bool ecn = false;
 
   /// Payload bytes per segment for this endpoint's MTU and options.
   std::uint32_t local_payload_per_segment() const {

@@ -1,33 +1,83 @@
 #include "tcp/cwnd.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 namespace xgbe::tcp {
 
-void CongestionControl::bump(std::uint32_t acked_segments) {
+const char* cc_name(CcAlgorithm alg) {
+  switch (alg) {
+    case CcAlgorithm::kCubic:
+      return "cubic";
+    case CcAlgorithm::kDctcp:
+      return "dctcp";
+    case CcAlgorithm::kNewReno:
+      break;
+  }
+  return "newreno";
+}
+
+bool cc_from_name(const char* name, CcAlgorithm* out) {
+  const std::string_view sv(name == nullptr ? "" : name);
+  if (sv == "newreno" || sv == "reno") {
+    *out = CcAlgorithm::kNewReno;
+    return true;
+  }
+  if (sv == "cubic") {
+    *out = CcAlgorithm::kCubic;
+    return true;
+  }
+  if (sv == "dctcp") {
+    *out = CcAlgorithm::kDctcp;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcAlgorithm alg, std::uint32_t initial_cwnd) {
+  switch (alg) {
+    case CcAlgorithm::kCubic:
+      return std::make_unique<Cubic>(initial_cwnd);
+    case CcAlgorithm::kDctcp:
+      return std::make_unique<Dctcp>(initial_cwnd);
+    case CcAlgorithm::kNewReno:
+      break;
+  }
+  return std::make_unique<CongestionControl>(initial_cwnd);
+}
+
+void CongestionControl::grow(std::uint32_t acked_segments, sim::SimTime) {
   for (std::uint32_t i = 0; i < acked_segments; ++i) {
-    if (cwnd_ >= clamp_) return;
     if (in_slow_start()) {
-      ++cwnd_;  // one segment per ACKed segment
+      if (cwnd_ < clamp_) ++cwnd_;  // one segment per ACKed segment
     } else {
-      // Additive increase: one segment per window's worth of ACKs.
+      // Additive increase: one segment per window's worth of ACKs. The
+      // accumulator cycles even at the clamp (Linux tcp_cong_avoid_ai), so
+      // growth resumes in phase if the clamp is later raised.
       if (++cwnd_cnt_ >= cwnd_) {
-        ++cwnd_;
         cwnd_cnt_ = 0;
+        if (cwnd_ < clamp_) ++cwnd_;
       }
     }
   }
 }
 
-void CongestionControl::on_ack(std::uint32_t acked_segments) {
+std::uint32_t CongestionControl::ssthresh_after_loss(
+    std::uint32_t flight_segments) {
+  return std::max<std::uint32_t>(flight_segments / 2, 2);
+}
+
+void CongestionControl::on_ack(std::uint32_t acked_segments, sim::SimTime now) {
   if (in_recovery_) return;  // growth suspended during recovery
-  bump(acked_segments);
+  grow(acked_segments, now);
 }
 
 bool CongestionControl::on_fast_retransmit(std::uint32_t flight_segments) {
   if (in_recovery_) return false;
   in_recovery_ = true;
-  ssthresh_ = std::max<std::uint32_t>(flight_segments / 2, 2);
+  ssthresh_ = ssthresh_after_loss(flight_segments);
+  on_loss_event();
   cwnd_ = ssthresh_;
   inflation_ = 3;  // the three duplicate ACKs have left the network
   cwnd_cnt_ = 0;
@@ -46,11 +96,148 @@ void CongestionControl::on_recovery_exit() {
 }
 
 void CongestionControl::on_timeout(std::uint32_t flight_segments) {
-  ssthresh_ = std::max<std::uint32_t>(flight_segments / 2, 2);
+  ssthresh_ = ssthresh_after_loss(flight_segments);
+  on_loss_event();
   cwnd_ = 1;
   cwnd_cnt_ = 0;
   inflation_ = 0;
   in_recovery_ = false;
+}
+
+bool CongestionControl::on_ecn_window(std::uint32_t /*acked_segments*/,
+                                      std::uint32_t marked_segments,
+                                      sim::SimTime /*now*/) {
+  // Classic RFC 3168: any CE mark in the window triggers the same
+  // multiplicative decrease as a loss, at most once per window; recovery
+  // already reduced, so marks during recovery are ignored.
+  if (marked_segments == 0 || in_recovery_) return false;
+  ssthresh_ = ssthresh_after_loss(cwnd_);
+  on_loss_event();
+  cwnd_ = ssthresh_;
+  cwnd_cnt_ = 0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// CUBIC
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Linux constants: beta = 717/1024 (multiplicative decrease to ~0.7),
+// C = 0.4 expressed as delta = 410 * t_ms^3 >> 40 with t in ms, and the
+// matching cube factor so K = cbrt(kCubeFactor * dist) comes out in ms.
+constexpr std::uint64_t kCubicBeta = 717;
+constexpr std::uint64_t kBetaScale = 1024;
+constexpr std::uint64_t kCubeRttScale = 410;
+constexpr std::uint64_t kCubeFactor = (1ULL << 40) / kCubeRttScale;
+// Caps |t - K| so kCubeRttScale * offs^3 stays within 64 bits
+// (410 * 32768^3 = 1.4e19 < 2^64). 32768 ms past the plateau the target is
+// astronomically larger than any real window anyway.
+constexpr std::uint64_t kMaxOffsMs = 32768;
+
+}  // namespace
+
+std::uint64_t Cubic::cube_root(std::uint64_t a) {
+  if (a == 0) return 0;
+  // Binary-search the integer cube root; 64-bit a means the root fits in
+  // 22 bits, so this is at most ~22 iterations — deterministic and cheap.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = 1ULL << 22;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (mid * mid * mid <= a) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+void Cubic::update_cnt(sim::SimTime now) {
+  if (epoch_start_ == 0) {
+    epoch_start_ = now > 0 ? now : 1;  // keep 0 free as the sentinel
+    if (cwnd_ < last_max_cwnd_) {
+      // Coming back after a reduction: aim the cubic's plateau at W_max.
+      k_ms_ = cube_root(kCubeFactor * (last_max_cwnd_ - cwnd_));
+      origin_cwnd_ = last_max_cwnd_;
+    } else {
+      // Above the old plateau already: start a fresh convex exploration.
+      k_ms_ = 0;
+      origin_cwnd_ = cwnd_;
+    }
+  }
+  const std::uint64_t t_ms =
+      static_cast<std::uint64_t>((now - epoch_start_) / sim::msec(1));
+  std::uint64_t offs =
+      t_ms < k_ms_ ? k_ms_ - t_ms : t_ms - k_ms_;  // |t - K| in ms
+  offs = std::min(offs, kMaxOffsMs);
+  const std::uint64_t delta = (kCubeRttScale * offs * offs * offs) >> 40;
+  std::uint64_t target;
+  if (t_ms < k_ms_) {
+    target = delta < origin_cwnd_ ? origin_cwnd_ - delta : 1;
+  } else {
+    target = origin_cwnd_ + delta;
+  }
+  if (target > cwnd_) {
+    cnt_ = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(cwnd_ / (target - cwnd_), 1));
+  } else {
+    cnt_ = 100 * std::max<std::uint32_t>(cwnd_, 1);  // hold the window
+  }
+}
+
+void Cubic::grow(std::uint32_t acked_segments, sim::SimTime now) {
+  for (std::uint32_t i = 0; i < acked_segments; ++i) {
+    if (in_slow_start()) {
+      if (cwnd_ < clamp_) ++cwnd_;
+      continue;
+    }
+    update_cnt(now);
+    if (++cwnd_cnt_ >= cnt_) {
+      cwnd_cnt_ = 0;
+      if (cwnd_ < clamp_) ++cwnd_;
+    }
+  }
+}
+
+std::uint32_t Cubic::ssthresh_after_loss(std::uint32_t /*flight_segments*/) {
+  // Linux bictcp_recalc_ssthresh: reduce from the *window*, with fast
+  // convergence — if this loss came below the previous plateau the flow is
+  // ceding bandwidth, so remember a midpoint rather than the full W_max.
+  const std::uint32_t w = std::max<std::uint32_t>(cwnd_, 2);
+  if (w < last_max_cwnd_) {
+    last_max_cwnd_ =
+        static_cast<std::uint32_t>(w * (kBetaScale + kCubicBeta) / (2 * kBetaScale));
+  } else {
+    last_max_cwnd_ = w;
+  }
+  return std::max<std::uint32_t>(
+      static_cast<std::uint32_t>(w * kCubicBeta / kBetaScale), 2);
+}
+
+// ---------------------------------------------------------------------------
+// DCTCP
+// ---------------------------------------------------------------------------
+
+bool Dctcp::on_ecn_window(std::uint32_t acked_segments,
+                          std::uint32_t marked_segments, sim::SimTime /*now*/) {
+  if (acked_segments == 0) return false;
+  // alpha <- (1 - g) * alpha + g * F with g = 1/16, F in 1/1024 units.
+  const std::uint64_t frac =
+      (static_cast<std::uint64_t>(marked_segments) << 10) / acked_segments;
+  alpha_ = alpha_ - (alpha_ >> 4) + static_cast<std::uint32_t>(frac >> 4);
+  alpha_ = std::min<std::uint32_t>(alpha_, 1024);
+  if (marked_segments == 0 || in_recovery_) return false;
+  // cwnd <- cwnd * (1 - alpha/2): proportional to congestion extent, the
+  // whole point of DCTCP — a lightly marked window barely backs off.
+  const std::uint32_t cut =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(cwnd_) * (alpha_ >> 1)) >> 10);
+  cwnd_ = std::max<std::uint32_t>(cwnd_ - cut, 2);
+  ssthresh_ = cwnd_;
+  cwnd_cnt_ = 0;
+  return true;
 }
 
 }  // namespace xgbe::tcp

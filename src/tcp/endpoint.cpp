@@ -69,6 +69,7 @@ Endpoint::Endpoint(sim::Simulator& simulator, const EndpointConfig& config,
     : sim_(simulator),
       config_(config),
       hooks_(std::move(hooks)),
+      cc_(make_congestion_control(config.cc, config.initial_cwnd)),
       txbuf_(config.sndbuf),
       rxbuf_(config.rcvbuf),
       wadv_(config.sws_round_window,
@@ -409,6 +410,7 @@ void Endpoint::complete_handshake(const net::Packet& pkt) {
           : 65535u;
   wadv_ = WindowAdvertiser(config_.sws_round_window, clamp);
   snd_una_ = snd_nxt_ = iss_ + 1;
+  ecn_epoch_end_ = snd_nxt_;  // first ECN feedback window starts here
   write_cursor_ = snd_nxt_;
   rcv_consumed_seq_ = pkt.tcp.seq + 1;  // both callers just seeded reasm_
   rwnd_ = pkt.tcp.window;
@@ -530,7 +532,7 @@ void Endpoint::try_send() {
     TxSegment& seg = unsent_.front();
     const std::uint32_t fp = flight_packets();
     const std::uint32_t budget =
-        cc_.usable_cwnd() > fp ? cc_.usable_cwnd() - fp : 0;
+        cc_->usable_cwnd() > fp ? cc_->usable_cwnd() - fp : 0;
     if (budget == 0) break;
     if (seg.packets > budget) {
       // A TSO super-segment larger than the congestion window: send what
@@ -581,6 +583,17 @@ void Endpoint::send_segment(TxSegment& seg, bool retransmission) {
   pkt.tcp.window = compute_window();
   pkt.tcp.push = seg.push;
   pkt.tcp.is_retransmit = retransmission;
+  if (config_.ecn) {
+    if (seg.len > 0) pkt.ect = true;  // data travels ECN-capable
+    if (cwr_pending_) {
+      pkt.tcp.flags.cwr = true;
+      cwr_pending_ = false;
+    }
+    if (echo_ece()) {
+      pkt.tcp.flags.ece = true;
+      ++stats_.ecn_ece_sent;
+    }
+  }
   if (seg.packets > 1) pkt.tcp.tso_mss = snd_mss_payload_;
   if (trace_every_ != 0 && (++trace_counter_ % trace_every_) == 0) {
     pkt.trace.enabled = true;
@@ -619,7 +632,7 @@ void Endpoint::send_segment(TxSegment& seg, bool retransmission) {
   }
   hooks_.emit(pkt);
   if (!rto_armed_) arm_rto();
-  if (cwnd_trace) cwnd_trace(sim_.now(), cc_.cwnd());
+  if (cwnd_trace) cwnd_trace(sim_.now(), cc_->cwnd());
 }
 
 void Endpoint::retransmit_head() {
@@ -679,7 +692,7 @@ void Endpoint::on_rto() {
     ev.where = "tcp";
     trace_->record(ev);
   }
-  cc_.on_timeout(flight_packets());
+  cc_->on_timeout(flight_packets());
   rtt_.backoff();
   dupacks_ = 0;
   retransmit_head();
@@ -738,18 +751,38 @@ void Endpoint::handle_ack(const net::Packet& pkt) {
     snd_una_ = ack;
     txbuf_.release(freed_truesize);
 
-    if (cc_.in_recovery()) {
+    if (cc_->in_recovery()) {
       if (net::seq_ge(ack, recover_)) {
-        cc_.on_recovery_exit();
+        cc_->on_recovery_exit();
         dupacks_ = 0;
       } else {
         // NewReno partial ACK: retransmit the next hole immediately.
-        cc_.on_partial_ack();
+        cc_->on_partial_ack();
         retransmit_head();
       }
     } else {
-      cc_.on_ack(acked_segments);
+      cc_->on_ack(acked_segments, sim_.now());
       dupacks_ = 0;
+    }
+
+    if (config_.ecn) {
+      // Accumulate this window's mark fraction; an ECE-flagged ACK marks
+      // the segments it newly acknowledges. When the ACK clock crosses the
+      // epoch boundary, hand the tallies to the strategy (classic: at most
+      // one multiplicative decrease per window; DCTCP: alpha update plus a
+      // proportional cut) and open the next window at snd_nxt.
+      ecn_acked_segs_ += acked_segments;
+      if (pkt.tcp.flags.ece) ecn_marked_segs_ += acked_segments;
+      if (net::seq_ge(ack, ecn_epoch_end_)) {
+        if (cc_->on_ecn_window(ecn_acked_segs_, ecn_marked_segs_,
+                               sim_.now())) {
+          cwr_pending_ = true;
+          ++stats_.ecn_cwnd_reductions;
+        }
+        ecn_acked_segs_ = 0;
+        ecn_marked_segs_ = 0;
+        ecn_epoch_end_ = snd_nxt_;
+      }
     }
 
     cancel_rto();
@@ -783,8 +816,8 @@ void Endpoint::handle_ack(const net::Packet& pkt) {
       pkt.tcp.window == old_rwnd) {
     ++stats_.dupacks_received;
     ++dupacks_;
-    if (cc_.in_recovery()) {
-      cc_.on_dupack_in_recovery();
+    if (cc_->in_recovery()) {
+      cc_->on_dupack_in_recovery();
       try_send();
     } else if (dupacks_ == 3) {
       ++stats_.fast_retransmits;
@@ -801,7 +834,7 @@ void Endpoint::handle_ack(const net::Packet& pkt) {
         trace_->record(ev);
       }
       recover_ = snd_nxt_;
-      cc_.on_fast_retransmit(flight_packets());
+      cc_->on_fast_retransmit(flight_packets());
       retransmit_head();
       cancel_rto();
       arm_rto();
@@ -868,6 +901,22 @@ void Endpoint::handle_data(const net::Packet& pkt) {
     return;
   }
   if (pkt.corrupted) ++stats_.corrupted_delivered;
+  if (config_.ecn) {
+    if (pkt.ce) ++stats_.ecn_ce_received;
+    if (config_.cc == CcAlgorithm::kDctcp) {
+      // DCTCP receiver state machine: on a CE-state flip, immediately ACK
+      // everything before this segment under the OLD state so the sender's
+      // per-window mark tally stays exact, then latch the new state.
+      if (pkt.ce != dctcp_ce_state_) {
+        if (delack_count_ > 0) send_ack(false);
+        dctcp_ce_state_ = pkt.ce;
+      }
+    } else {
+      // Classic RFC 3168: latch ECE on CE and hold it until CWR arrives.
+      if (pkt.tcp.flags.cwr) ece_pending_ = false;
+      if (pkt.ce) ece_pending_ = true;
+    }
+  }
   if (trace_) {
     trace_->record_packet(obs::EventType::kSegRx, sim_.now(), pkt, "tcp");
   }
@@ -904,6 +953,12 @@ void Endpoint::schedule_delayed_ack() {
   });
 }
 
+bool Endpoint::echo_ece() const {
+  if (!config_.ecn) return false;
+  if (config_.cc == CcAlgorithm::kDctcp) return dctcp_ce_state_;
+  return ece_pending_;
+}
+
 void Endpoint::send_ack(bool window_update) {
 #ifdef XGBE_TRACE_ACKS
   std::fprintf(stderr, "[%lld] node%u send_ack wu=%d ack=%u win=%u count=%u\n",
@@ -919,6 +974,10 @@ void Endpoint::send_ack(bool window_update) {
   pkt.tcp.flags.ack = true;
   pkt.tcp.ack = reasm_.rcv_nxt();
   pkt.tcp.window = compute_window();
+  if (echo_ece()) {
+    pkt.tcp.flags.ece = true;
+    ++stats_.ecn_ece_sent;
+  }
   ++stats_.acks_sent;
   if (window_update) {
     ++stats_.window_update_acks;
@@ -1164,6 +1223,18 @@ void Endpoint::register_metrics(obs::Registry& reg,
             [this] { return static_cast<double>(flight_bytes()); });
   reg.gauge(prefix + "/srtt_us",
             [this] { return sim::to_seconds(srtt()) * 1e6; });
+  // Algorithm-specific surface, registered only off the default path so
+  // classic NewReno snapshots (and the goldens hashed from them) stay
+  // byte-identical.
+  if (config_.cc != CcAlgorithm::kNewReno) {
+    reg.gauge(prefix + "/cc_state",
+              [this] { return static_cast<double>(cc_state()); });
+  }
+  if (config_.ecn) {
+    field("ecn_ce_received", &EndpointStats::ecn_ce_received);
+    field("ecn_ece_sent", &EndpointStats::ecn_ece_sent);
+    field("ecn_cwnd_reductions", &EndpointStats::ecn_cwnd_reductions);
+  }
 }
 
 void Endpoint::register_lifecycle_metrics(obs::Registry& reg,

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 
 #include "net/packet.hpp"
 #include "os/kernel.hpp"
@@ -56,6 +57,11 @@ struct EndpointStats {
   std::uint64_t handshake_failures = 0;   // SYN/SYN-ACK retries exhausted
   std::uint64_t fin_retransmits = 0;
   std::uint64_t time_wait_absorbed = 0;   // replayed FINs eaten in TIME_WAIT
+  // ECN counters. Registered only when the endpoint runs with config.ecn
+  // (same golden-preserving contract as the lifecycle counters above).
+  std::uint64_t ecn_ce_received = 0;      // CE-marked frames accepted
+  std::uint64_t ecn_ece_sent = 0;         // segments sent carrying ECE
+  std::uint64_t ecn_cwnd_reductions = 0;  // sender reductions (CWR events)
 };
 
 enum class TcpState : std::uint8_t {
@@ -178,7 +184,7 @@ class Endpoint {
                                   const std::string& prefix) const;
 
   /// Hard congestion-window ceiling in segments (Linux snd_cwnd_clamp).
-  void set_cwnd_clamp(std::uint32_t segments) { cc_.set_clamp(segments); }
+  void set_cwnd_clamp(std::uint32_t segments) { cc_->set_clamp(segments); }
 
   /// Pause or resume the application reader mid-connection — models an app
   /// that stops calling read() (the receive window closes) and later comes
@@ -215,8 +221,13 @@ class Endpoint {
   const EndpointStats& stats() const { return stats_; }
   const EndpointConfig& config() const { return config_; }
   std::uint32_t mss_payload() const { return snd_mss_payload_; }
-  std::uint32_t cwnd_segments() const { return cc_.cwnd(); }
-  std::uint32_t ssthresh() const { return cc_.ssthresh(); }
+  std::uint32_t cwnd_segments() const { return cc_->cwnd(); }
+  std::uint32_t ssthresh() const { return cc_->ssthresh(); }
+  /// Algorithm-specific congestion state (CUBIC K in ms, DCTCP alpha in
+  /// 1/1024 fixed point, 0 for Reno-family); feeds the FlowSampler column.
+  std::int64_t cc_state() const { return cc_->state_gauge(); }
+  /// Active congestion-control strategy (for diagnostics and tests).
+  const CongestionControl& congestion() const { return *cc_; }
   std::uint32_t flight_bytes() const {
     return net::seq_span(snd_una_, snd_nxt_);
   }
@@ -288,6 +299,10 @@ class Endpoint {
   // RX path.
   void handle_data(const net::Packet& pkt);
   void maybe_read();
+  /// ECE value for an outgoing ACK-bearing segment: classic mode latches
+  /// ECE until the sender's CWR arrives; DCTCP mode mirrors the last CE
+  /// state so the sender can reconstruct the exact mark fraction.
+  bool echo_ece() const;
   void send_ack(bool window_update);
   void schedule_delayed_ack();
   std::uint32_t compute_window();
@@ -324,8 +339,15 @@ class Endpoint {
   net::Seq snd_una_ = 0;
   net::Seq snd_nxt_ = 0;
   std::uint32_t rwnd_ = 0;
-  CongestionControl cc_;
+  std::unique_ptr<CongestionControl> cc_;
   RttEstimator rtt_;
+  // ECN sender state: one feedback window ends when the ACK clock reaches
+  // ecn_epoch_end_; the per-window acked/marked tallies feed the strategy
+  // (classic once-per-window reduction, or DCTCP's alpha update).
+  net::Seq ecn_epoch_end_ = 0;
+  std::uint32_t ecn_acked_segs_ = 0;
+  std::uint32_t ecn_marked_segs_ = 0;
+  bool cwr_pending_ = false;  // set CWR on the next outgoing data segment
   std::deque<TxSegment> unsent_;
   std::deque<TxSegment> retx_q_;
   os::TxSocketBuffer txbuf_;
@@ -383,6 +405,9 @@ class Endpoint {
   sim::EventId delack_timer_{};
   bool delack_armed_ = false;
   sim::SimTime last_ts_val_ = 0;
+  // ECN receiver state.
+  bool ece_pending_ = false;     // classic: latched CE, cleared by CWR
+  bool dctcp_ce_state_ = false;  // DCTCP: CE state of the last data frame
 };
 
 }  // namespace xgbe::tcp

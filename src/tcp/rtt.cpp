@@ -4,6 +4,21 @@
 
 namespace xgbe::tcp {
 
+namespace {
+
+// Floor division (round toward negative infinity), matching the kernel's
+// arithmetic-shift gains. Plain signed `/` truncates toward zero, so a
+// small negative error (|err| < 8) contributed nothing and srtt could
+// never converge downward after a path RTT decrease. Spelled as division
+// because right-shifting a negative value is implementation-defined before
+// C++20.
+sim::SimTime floor_div(sim::SimTime a, sim::SimTime b) {
+  const sim::SimTime q = a / b;
+  return (a % b != 0 && (a < 0) != (b < 0)) ? q - 1 : q;
+}
+
+}  // namespace
+
 void RttEstimator::sample(sim::SimTime rtt) {
   if (rtt < 0) return;
   if (n_ == 0) {
@@ -12,8 +27,8 @@ void RttEstimator::sample(sim::SimTime rtt) {
     min_rtt_ = rtt;
   } else {
     const sim::SimTime err = rtt - srtt_;
-    srtt_ += err / 8;                                      // alpha = 1/8
-    rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;     // beta = 1/4
+    srtt_ += floor_div(err, 8);  // alpha = 1/8 (srtt += err >> 3)
+    rttvar_ += floor_div((err < 0 ? -err : err) - rttvar_, 4);  // beta = 1/4
     min_rtt_ = std::min(min_rtt_, rtt);
   }
   ++n_;

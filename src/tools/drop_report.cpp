@@ -95,6 +95,7 @@ void DropReport::add_switch(const link::EthernetSwitch& sw) {
   add_drop(sw.name() + "/fabric-fault", f.total_drops());
   add_drop(sw.name() + "/no-route", sw.dropped_no_route());
   add_drop(sw.name() + "/port-buffer-full", sw.dropped_queue_full());
+  add_drop(sw.name() + "/red-early-drop", sw.dropped_red());
 }
 
 void DropReport::add_testbed(const core::Testbed& bed) {

@@ -1,0 +1,372 @@
+// Congestion-control zoo conformance (ISSUE 9): state transitions for the
+// NewReno / CUBIC / DCTCP strategies, the RTT-estimator floor-division
+// regression, the usable_cwnd()/clamp bugfix pins, per-algorithm rerun
+// determinism on the fabric, and the DCTCP-vs-Reno incast comparison the
+// zoo exists to demonstrate.
+#include <gtest/gtest.h>
+
+#include "core/fabric.hpp"
+#include "core/fleet.hpp"
+#include "link/switch.hpp"
+#include "tcp/cwnd.hpp"
+#include "tcp/rtt.hpp"
+#include "tools/drop_report.hpp"
+
+namespace xgbe::tcp {
+namespace {
+
+// --- Selection plumbing -----------------------------------------------------
+
+TEST(CcZoo, NameRoundTrip) {
+  CcAlgorithm alg = CcAlgorithm::kCubic;
+  EXPECT_TRUE(cc_from_name("newreno", &alg));
+  EXPECT_EQ(alg, CcAlgorithm::kNewReno);
+  EXPECT_TRUE(cc_from_name("reno", &alg));  // Linux-style alias
+  EXPECT_EQ(alg, CcAlgorithm::kNewReno);
+  EXPECT_TRUE(cc_from_name("cubic", &alg));
+  EXPECT_EQ(alg, CcAlgorithm::kCubic);
+  EXPECT_TRUE(cc_from_name("dctcp", &alg));
+  EXPECT_EQ(alg, CcAlgorithm::kDctcp);
+  EXPECT_FALSE(cc_from_name("vegas", &alg));
+  EXPECT_FALSE(cc_from_name(nullptr, &alg));
+  EXPECT_STREQ(cc_name(CcAlgorithm::kNewReno), "newreno");
+  EXPECT_STREQ(cc_name(CcAlgorithm::kCubic), "cubic");
+  EXPECT_STREQ(cc_name(CcAlgorithm::kDctcp), "dctcp");
+}
+
+TEST(CcZoo, FactoryBuildsRequestedAlgorithm) {
+  EXPECT_STREQ(make_congestion_control(CcAlgorithm::kNewReno, 2)->name(),
+               "newreno");
+  EXPECT_STREQ(make_congestion_control(CcAlgorithm::kCubic, 2)->name(),
+               "cubic");
+  EXPECT_STREQ(make_congestion_control(CcAlgorithm::kDctcp, 2)->name(),
+               "dctcp");
+}
+
+// The default selection must stay NewReno with ECN off — that is the
+// contract that keeps bench/golden/fig6.json and bench/golden/sim_core.json
+// byte-identical (CI's `cmp` and bench_diff gates enforce the file half;
+// this pins the config half so a default drift fails here first).
+TEST(CcZoo, DefaultsPreserveGoldenContract) {
+  const EndpointConfig config;
+  EXPECT_EQ(config.cc, CcAlgorithm::kNewReno);
+  EXPECT_FALSE(config.ecn);
+  const core::TuningProfile tuning;
+  EXPECT_EQ(tuning.cc, CcAlgorithm::kNewReno);
+  EXPECT_FALSE(tuning.ecn);
+  const core::FabricOptions fabric;
+  EXPECT_EQ(fabric.cc, CcAlgorithm::kNewReno);
+  EXPECT_FALSE(fabric.ecn);
+  EXPECT_FALSE(fabric.tor_aqm.active());
+  const link::SwitchSpec sw;
+  EXPECT_FALSE(sw.aqm.active());
+}
+
+// A factory-built default must track the directly instantiated base class
+// through every transition (the strategy refactor may not perturb the
+// algorithm the goldens were recorded under).
+TEST(CcZoo, DefaultMatchesExplicitNewReno) {
+  CongestionControl base(2);
+  auto made = make_congestion_control(CcAlgorithm::kNewReno, 2);
+  const auto expect_same = [&]() {
+    EXPECT_EQ(base.cwnd(), made->cwnd());
+    EXPECT_EQ(base.ssthresh(), made->ssthresh());
+    EXPECT_EQ(base.usable_cwnd(), made->usable_cwnd());
+    EXPECT_EQ(base.in_recovery(), made->in_recovery());
+  };
+  for (int i = 0; i < 6; ++i) {  // slow start
+    base.on_ack(2);
+    made->on_ack(2);
+    expect_same();
+  }
+  base.on_fast_retransmit(base.cwnd());
+  made->on_fast_retransmit(made->cwnd());
+  expect_same();
+  base.on_dupack_in_recovery();
+  made->on_dupack_in_recovery();
+  base.on_partial_ack();
+  made->on_partial_ack();
+  expect_same();
+  base.on_recovery_exit();
+  made->on_recovery_exit();
+  expect_same();
+  for (int i = 0; i < 40; ++i) {  // congestion avoidance
+    base.on_ack(1);
+    made->on_ack(1);
+    expect_same();
+  }
+  base.on_timeout(base.cwnd());
+  made->on_timeout(made->cwnd());
+  expect_same();
+}
+
+// --- NewReno (base) ECN reaction -------------------------------------------
+
+TEST(CcZoo, ClassicEcnHalvesOncePerWindow) {
+  CongestionControl cc(2);
+  cc.on_ack(14);  // slow start to 16
+  ASSERT_EQ(cc.cwnd(), 16u);
+  EXPECT_FALSE(cc.on_ecn_window(16, 0, 0));  // clean window: no response
+  EXPECT_EQ(cc.cwnd(), 16u);
+  EXPECT_TRUE(cc.on_ecn_window(16, 3, 0));  // any mark: halve like a loss
+  EXPECT_EQ(cc.cwnd(), 8u);
+  EXPECT_EQ(cc.ssthresh(), 8u);
+  EXPECT_EQ(cc.state_gauge(), 0);  // Reno-family exports no extra state
+}
+
+TEST(CcZoo, EcnIgnoredDuringRecovery) {
+  CongestionControl cc(2);
+  cc.on_ack(14);
+  cc.on_fast_retransmit(cc.cwnd());
+  const std::uint32_t during = cc.cwnd();
+  EXPECT_FALSE(cc.on_ecn_window(4, 4, 0));  // recovery already reduced
+  EXPECT_EQ(cc.cwnd(), during);
+}
+
+// --- Bugfix pins: usable_cwnd() clamp and accumulator-at-clamp --------------
+
+TEST(CcZoo, RecoveryInflationNeverExceedsClamp) {
+  CongestionControl cc(2);
+  cc.set_clamp(10);
+  cc.on_ack(8);  // slow start to the clamp
+  ASSERT_EQ(cc.cwnd(), 10u);
+  cc.on_fast_retransmit(10);
+  for (int i = 0; i < 12; ++i) cc.on_dupack_in_recovery();
+  // Pre-fix: cwnd + inflation = 5 + 15 = 20 sailed past snd_cwnd_clamp.
+  EXPECT_LE(cc.usable_cwnd(), 10u);
+}
+
+TEST(CcZoo, ClampProcessesWholeAckAndKeepsAccumulatorCycling) {
+  CongestionControl cc(8);
+  cc.on_fast_retransmit(8);  // ssthresh 4
+  cc.on_recovery_exit();     // cwnd 4, congestion avoidance from here
+  ASSERT_EQ(cc.cwnd(), 4u);
+  cc.set_clamp(4);
+  // Six ACKed segments at the clamp: the pre-fix early-return dropped all
+  // of them and froze cwnd_cnt_; fixed, the accumulator keeps cycling
+  // (4 -> reset, 2 left over) with only the increment suppressed.
+  cc.on_ack(6);
+  EXPECT_EQ(cc.cwnd(), 4u);
+  // Raising the clamp: two more ACKs complete the in-flight cycle.
+  cc.set_clamp(8);
+  cc.on_ack(2);
+  EXPECT_EQ(cc.cwnd(), 5u);
+}
+
+// --- RTT estimator floor-division regression -------------------------------
+
+TEST(RttFloor, SrttConvergesDownwardAfterStepDecrease) {
+  RttEstimator r;
+  for (int i = 0; i < 30; ++i) r.sample(sim::msec(100));
+  ASSERT_EQ(r.srtt(), sim::msec(100));  // err is 0 once converged
+  // err decays by 7/8 per sample; 400 samples close the 50 ms step and the
+  // final picoseconds that truncation-toward-zero could never cross.
+  for (int i = 0; i < 400; ++i) r.sample(sim::msec(50));
+  // Truncation-toward-zero left a permanent upward bias; floor division
+  // must walk srtt all the way down to the new path RTT.
+  EXPECT_EQ(r.srtt(), sim::msec(50));
+}
+
+TEST(RttFloor, SmallNegativeErrorsStillDecreaseSrtt) {
+  RttEstimator r;
+  for (int i = 0; i < 30; ++i) r.sample(sim::msec(10));
+  ASSERT_EQ(r.srtt(), sim::msec(10));
+  // A 5 ps decrease: err/8 truncates to 0, so the pre-fix estimator was
+  // stuck 5 ps high forever. Floor division contributes -1 per sample.
+  const sim::SimTime lower = sim::msec(10) - 5;
+  for (int i = 0; i < 10; ++i) r.sample(lower);
+  EXPECT_EQ(r.srtt(), lower);
+}
+
+// --- CUBIC ------------------------------------------------------------------
+
+TEST(CcZoo, CubicSlowStartMatchesReno) {
+  Cubic cc(2);
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(2, sim::msec(1));
+  cc.on_ack(4, sim::msec(2));
+  EXPECT_EQ(cc.cwnd(), 8u);  // one segment per ACKed segment
+}
+
+TEST(CcZoo, CubicLossUsesBetaAndArmsEpoch) {
+  Cubic cc(2);
+  cc.on_ack(8, sim::msec(1));  // slow start to 10
+  ASSERT_EQ(cc.cwnd(), 10u);
+  EXPECT_TRUE(cc.on_fast_retransmit(10));
+  // beta = 717/1024: ssthresh from the window, not half the flight.
+  EXPECT_EQ(cc.ssthresh(), 10u * 717u / 1024u);
+  EXPECT_EQ(cc.cwnd(), cc.ssthresh());
+  cc.on_recovery_exit();
+  // First CA ACK opens the cubic epoch aimed back at W_max = 10; K > 0.
+  cc.on_ack(1, sim::msec(10));
+  EXPECT_GT(cc.state_gauge(), 0);
+}
+
+TEST(CcZoo, CubicGrowsBackPastPlateau) {
+  Cubic cc(2);
+  cc.on_ack(8, sim::msec(1));
+  cc.on_fast_retransmit(10);
+  cc.on_recovery_exit();
+  ASSERT_LT(cc.cwnd(), 10u);
+  // Time-driven growth: with ACKs arriving across several simulated
+  // seconds the cubic must cross its old plateau (RTT-independence is the
+  // algorithm's point). Window never decreases on an ACK.
+  std::uint32_t prev = cc.cwnd();
+  for (int ms = 2; ms <= 8000; ms += 2) {
+    cc.on_ack(1, sim::msec(ms));
+    EXPECT_GE(cc.cwnd(), prev);
+    prev = cc.cwnd();
+  }
+  EXPECT_GT(cc.cwnd(), 10u);
+}
+
+TEST(CcZoo, CubicClassicEcnReductionUsesBeta) {
+  Cubic cc(2);
+  cc.on_ack(8, sim::msec(1));  // slow start to 10
+  ASSERT_EQ(cc.cwnd(), 10u);
+  EXPECT_TRUE(cc.on_ecn_window(10, 1, sim::msec(2)));
+  EXPECT_EQ(cc.cwnd(), 10u * 717u / 1024u);
+}
+
+TEST(CcZoo, CubicTimeoutCollapsesToOne) {
+  Cubic cc(2);
+  cc.on_ack(8, sim::msec(1));
+  cc.on_timeout(10);
+  EXPECT_EQ(cc.cwnd(), 1u);
+  EXPECT_FALSE(cc.in_recovery());
+}
+
+TEST(CcZoo, CubicIsDeterministic) {
+  const auto run = []() {
+    Cubic cc(2);
+    cc.on_ack(8, sim::msec(1));
+    cc.on_fast_retransmit(10);
+    cc.on_recovery_exit();
+    std::uint64_t trace = 0;
+    for (int ms = 2; ms <= 4000; ms += 3) {
+      cc.on_ack(1, sim::msec(ms));
+      trace = trace * 1099511628211ULL + cc.cwnd();
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- DCTCP ------------------------------------------------------------------
+
+TEST(CcZoo, DctcpAlphaDecaysOnCleanWindows) {
+  Dctcp cc(2);
+  EXPECT_EQ(cc.state_gauge(), 1024);  // pessimistic start, Linux-style
+  EXPECT_FALSE(cc.on_ecn_window(16, 0, 0));
+  EXPECT_EQ(cc.state_gauge(), 1024 - (1024 >> 4));  // alpha *= 15/16
+}
+
+TEST(CcZoo, DctcpFullyMarkedWindowHalves) {
+  Dctcp cc(2);
+  cc.on_ack(20);  // slow start to 22
+  ASSERT_EQ(cc.cwnd(), 22u);
+  // Every segment marked keeps alpha at 1024, so the cut is cwnd/2.
+  EXPECT_TRUE(cc.on_ecn_window(22, 22, 0));
+  EXPECT_EQ(cc.state_gauge(), 1024);
+  EXPECT_EQ(cc.cwnd(), 11u);
+  EXPECT_EQ(cc.ssthresh(), 11u);
+}
+
+TEST(CcZoo, DctcpLightMarkingCutsProportionally) {
+  Dctcp cc(2);
+  cc.on_ack(30);  // slow start to 32
+  // Converge alpha down with clean windows first.
+  for (int i = 0; i < 24; ++i) cc.on_ecn_window(32, 0, 0);
+  ASSERT_LT(cc.state_gauge(), 300);
+  const std::uint32_t before = cc.cwnd();
+  EXPECT_TRUE(cc.on_ecn_window(32, 1, 0));
+  // A lightly marked window barely backs off — far less than Reno's halving.
+  EXPECT_GT(cc.cwnd(), before * 3 / 4);
+  EXPECT_LT(cc.cwnd(), before);
+}
+
+TEST(CcZoo, DctcpLossHandlingInheritsNewReno) {
+  Dctcp cc(2);
+  cc.on_ack(14);  // slow start to 16
+  EXPECT_TRUE(cc.on_fast_retransmit(16));
+  EXPECT_EQ(cc.ssthresh(), 8u);  // flight/2, the Reno response
+  cc.on_timeout(8);
+  EXPECT_EQ(cc.cwnd(), 1u);
+}
+
+// --- Fabric-level: rerun determinism and the incast comparison --------------
+
+core::FabricOptions zoo_fabric(CcAlgorithm alg, bool aqm) {
+  core::FabricOptions opt;
+  opt.racks = 2;
+  opt.hosts_per_rack = 3;
+  opt.spines = 1;
+  opt.trunks_per_spine = 2;
+  opt.tor_port_buffer_bytes = 48 * 1024;
+  opt.host_propagation = sim::usec(10);
+  opt.trunk_propagation = sim::usec(20);
+  opt.cc = alg;
+  if (alg == CcAlgorithm::kDctcp) opt.ecn = true;
+  if (aqm) {
+    opt.tor_aqm.mode = link::AqmMode::kEcnThreshold;
+    opt.tor_aqm.mark_threshold_bytes = 16 * 1024;
+  }
+  return opt;
+}
+
+std::uint64_t incast_fingerprint(CcAlgorithm alg, bool aqm) {
+  core::Fabric fabric(zoo_fabric(alg, aqm));
+  core::fleet::Options opt;
+  opt.scenario = core::fleet::Scenario::kIncast;
+  opt.incast_bytes = 64 * 1024;
+  opt.incast_rounds = 3;
+  const auto res = core::fleet::run(fabric, opt);
+  EXPECT_TRUE(res.completed) << cc_name(alg);
+  return fabric.fingerprint();
+}
+
+TEST(CcZoo, EveryAlgorithmRerunsBitIdentical) {
+  const std::uint64_t reno = incast_fingerprint(CcAlgorithm::kNewReno, false);
+  const std::uint64_t cubic = incast_fingerprint(CcAlgorithm::kCubic, false);
+  const std::uint64_t dctcp = incast_fingerprint(CcAlgorithm::kDctcp, true);
+  EXPECT_EQ(reno, incast_fingerprint(CcAlgorithm::kNewReno, false));
+  EXPECT_EQ(cubic, incast_fingerprint(CcAlgorithm::kCubic, false));
+  EXPECT_EQ(dctcp, incast_fingerprint(CcAlgorithm::kDctcp, true));
+  // The algorithms genuinely diverge on an overdriven fabric.
+  EXPECT_NE(reno, cubic);
+  EXPECT_NE(reno, dctcp);
+}
+
+TEST(CcZoo, DctcpCutsIncastTailDropsVsReno) {
+  core::fleet::Options opt;
+  opt.scenario = core::fleet::Scenario::kIncast;
+  opt.incast_bytes = 64 * 1024;
+  opt.incast_rounds = 6;
+
+  core::Fabric reno(zoo_fabric(CcAlgorithm::kNewReno, false));
+  const auto reno_res = core::fleet::run(reno, opt);
+  tools::DropReport reno_ledger;
+  reno_ledger.add_testbed(reno.testbed());
+  const std::uint64_t reno_drops = reno.tor(0).port_dropped_queue_full(0);
+
+  core::Fabric dctcp(zoo_fabric(CcAlgorithm::kDctcp, true));
+  const auto dctcp_res = core::fleet::run(dctcp, opt);
+  tools::DropReport dctcp_ledger;
+  dctcp_ledger.add_testbed(dctcp.testbed());
+  const std::uint64_t dctcp_drops = dctcp.tor(0).port_dropped_queue_full(0);
+
+  // Both runs complete with the byte ledger exactly conserved...
+  EXPECT_TRUE(reno_res.completed);
+  EXPECT_TRUE(dctcp_res.completed);
+  EXPECT_TRUE(reno_ledger.conserved());
+  EXPECT_TRUE(dctcp_ledger.conserved());
+  EXPECT_EQ(reno_res.bytes_consumed, dctcp_res.bytes_consumed);
+  // ...the overdriven burst overflows the Reno aggregator port...
+  EXPECT_GT(reno_drops, 0u);
+  // ...and DCTCP's ECN-proportional backoff keeps it under the buffer.
+  EXPECT_LT(dctcp_drops, reno_drops);
+  EXPECT_GT(dctcp.tor(0).ce_marked(), 0u);
+}
+
+}  // namespace
+}  // namespace xgbe::tcp

@@ -256,7 +256,7 @@ TEST(FlowSampler, RerunsProduceIdenticalSeries) {
   // The renderings carry the same row count and start with the header.
   EXPECT_EQ(one.csv.substr(0, one.csv.find('\n')),
             "at_ps,flow,cwnd_segments,ssthresh_segments,flight_bytes,"
-            "srtt_us,rwnd_bytes");
+            "srtt_us,rwnd_bytes,cc_state");
   EXPECT_EQ(obs::series_json(first), obs::series_json(second));
 }
 
