@@ -49,9 +49,10 @@ class ResultLog {
 
   bool enabled() const { return !path_.empty(); }
 
-  /// Strips `--json <path>` / `--json=<path>` and `--cc <alg>` /
-  /// `--cc=<alg>` from argv before benchmark::Initialize sees (and rejects)
-  /// them. Returns the new argc.
+  /// Strips `--json <path>` / `--json=<path>`, `--cc <alg>` / `--cc=<alg>`,
+  /// and `--scrape-period <usec>` / `--scrape-period=<usec>` from argv
+  /// before benchmark::Initialize sees (and rejects) them. Returns the new
+  /// argc.
   int consume_json_flag(int argc, char** argv) {
     if (argc > 0) {
       const char* slash = std::strrchr(argv[0], '/');
@@ -67,12 +68,22 @@ class ResultLog {
         cc_request_ = argv[++i];
       } else if (std::strncmp(argv[i], "--cc=", 5) == 0) {
         cc_request_ = argv[i] + 5;
+      } else if (std::strcmp(argv[i], "--scrape-period") == 0 &&
+                 i + 1 < argc) {
+        set_scrape_period_usec(argv[++i]);
+      } else if (std::strncmp(argv[i], "--scrape-period=", 16) == 0) {
+        set_scrape_period_usec(argv[i] + 16);
       } else {
         argv[out++] = argv[i];
       }
     }
     return out;
   }
+
+  /// Scrape cadence requested with `--scrape-period <usec>` (0 = off, the
+  /// default). Benches that support time-resolved telemetry arm a
+  /// MetricScraper at this period; arming never changes simulation results.
+  sim::SimTime scrape_period() const { return scrape_period_; }
 
   /// The raw `--cc` value (empty when the flag was absent); resolved by
   /// init_cc_from_request() after the XGBE_CC fallback is consulted.
@@ -121,6 +132,19 @@ class ResultLog {
     timeseries_.emplace_back(label, obs::series_json(sampler));
   }
 
+  /// Records a metric-scraper capture plus its detector episodes under
+  /// `label` (schema v3). `scrape_json` is MetricScraper::scrape_json();
+  /// `episodes_json` is obs::detect::episodes_json() (pass "[]" when no
+  /// detectors ran).
+  void add_scrape(const std::string& label, const std::string& scrape_json,
+                  const std::string& episodes_json) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    scrapes_.emplace_back(label, "{\"label\":\"" + obs::json_escape(label) +
+                                     "\",\"scrape\":" + scrape_json +
+                                     ",\"episodes\":" + episodes_json + "}");
+  }
+
   /// Renders and writes the log; false on I/O failure. No-op when disabled.
   bool write() {
     if (!enabled()) return true;
@@ -128,7 +152,8 @@ class ResultLog {
     std::sort(snapshots_.begin(), snapshots_.end());
     std::sort(breakdowns_.begin(), breakdowns_.end());
     std::sort(timeseries_.begin(), timeseries_.end());
-    std::string out = "{\"schema\":\"xgbe-bench/2\",\"binary\":\"" +
+    std::sort(scrapes_.begin(), scrapes_.end());
+    std::string out = "{\"schema\":\"xgbe-bench/3\",\"binary\":\"" +
                       obs::json_escape(binary_) + "\",";
     if (!meta_.empty()) {
       out += "\"meta\":{";
@@ -180,6 +205,13 @@ class ResultLog {
       out += "{\"label\":\"" + obs::json_escape(label) +
              "\",\"series\":" + json + "}";
     }
+    out += "],\"scrapes\":[";
+    first = true;
+    for (const auto& [label, json] : scrapes_) {
+      if (!first) out += ',';
+      first = false;
+      out += json;
+    }
     out += "]}\n";
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) return false;
@@ -193,16 +225,23 @@ class ResultLog {
     std::vector<std::pair<std::string, double>> counters;
   };
 
+  void set_scrape_period_usec(const char* usec) {
+    const long parsed = std::strtol(usec, nullptr, 10);
+    scrape_period_ = parsed > 0 ? sim::usec(parsed) : 0;
+  }
+
   // parallel_sweep workers call add_snapshot concurrently.
   std::mutex mu_;
   std::string path_;
   std::string binary_;
   std::string cc_request_;
+  sim::SimTime scrape_period_ = 0;
   std::map<std::string, std::string> meta_;
   std::vector<Point> points_;
   std::vector<std::pair<std::string, std::string>> snapshots_;
   std::vector<std::pair<std::string, std::string>> breakdowns_;
   std::vector<std::pair<std::string, std::string>> timeseries_;
+  std::vector<std::pair<std::string, std::string>> scrapes_;
 };
 
 /// Builds a stable point name, e.g. point_name("Fig3", {{"mtu", 1500},

@@ -11,10 +11,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
 #include "bench/common.hpp"
 #include "core/fabric.hpp"
 #include "core/fleet.hpp"
+#include "obs/detect.hpp"
+#include "obs/scrape.hpp"
 #include "tools/drop_report.hpp"
 
 namespace {
@@ -40,6 +43,13 @@ core::FabricOptions bench_fabric(std::size_t shards) {
 
 void Fleet_Incast(benchmark::State& state) {
   const auto shards = static_cast<std::size_t>(state.range(0));
+  // Time-resolved telemetry (`--scrape-period <usec>`): a build-time
+  // registry over the fabric's infrastructure, scraped at the requested
+  // cadence while the scenario runs. Arming changes nothing downstream —
+  // the simulation counters and fingerprint are bit-identical to an
+  // unarmed run (CI diffs the two envelopes to prove it).
+  const xgbe::sim::SimTime scrape_period =
+      xgbe::bench::ResultLog::instance().scrape_period();
 
   std::uint64_t offered = 0;
   std::uint64_t delivered = 0;
@@ -50,17 +60,38 @@ void Fleet_Incast(benchmark::State& state) {
   bool conserved = false;
   bool completed = false;
   double wall_s = 0.0;
+  std::unique_ptr<xgbe::obs::Registry> scrape_reg;
+  std::unique_ptr<xgbe::obs::MetricScraper> scraper;
+  std::vector<xgbe::obs::detect::Episode> episodes;
   for (auto _ : state) {
     core::Fabric fabric(bench_fabric(shards));
     fleet::Options opt;
     opt.scenario = fleet::Scenario::kIncast;
     opt.incast_bytes = 64 * 1024;
     opt.incast_rounds = 6;
+    if (scrape_period > 0) {
+      scraper.reset();
+      scrape_reg = std::make_unique<xgbe::obs::Registry>();
+      fabric.register_metrics(*scrape_reg);
+      xgbe::obs::ScrapeOptions so;
+      so.period = scrape_period;
+      // The incast story lives in the switch subtree (port occupancy and
+      // tail drops at the aggregator's ToR egress); restricting the scrape
+      // keeps the --json envelope golden-sized. Host and link probes are
+      // still sampled by the obs tests.
+      so.prefixes = {"switch/"};
+      scraper =
+          std::make_unique<xgbe::obs::MetricScraper>(*scrape_reg, so);
+      opt.scraper = scraper.get();
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const fleet::Result res = fleet::run(fabric, opt);
     wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            t0)
                  .count();
+    if (scraper != nullptr) {
+      episodes = xgbe::obs::detect::run_detectors(scraper->store());
+    }
     xgbe::tools::DropReport ledger;
     ledger.add_testbed(fabric.testbed());
     offered = ledger.offered;
@@ -89,14 +120,31 @@ void Fleet_Incast(benchmark::State& state) {
   state.counters["fingerprint_hi"] = static_cast<double>(fp >> 32);
   state.counters["fingerprint_lo"] = static_cast<double>(fp & 0xffffffffu);
 
+  const std::string name = xgbe::bench::point_name(
+      "Fleet_Incast", {{"shards", static_cast<std::int64_t>(shards)}});
+
+  // Scrape counters — deterministic (integer series over a deterministic
+  // run), so they are gated too when the golden was captured armed.
+  if (scraper != nullptr) {
+    const std::uint64_t scrape_fp = scraper->store().fingerprint();
+    state.counters["scrape_series"] =
+        static_cast<double>(scraper->store().series_count());
+    state.counters["scrape_points"] =
+        static_cast<double>(scraper->store().total_points());
+    state.counters["scrape_episodes"] = static_cast<double>(episodes.size());
+    state.counters["scrape_fp_hi"] = static_cast<double>(scrape_fp >> 32);
+    state.counters["scrape_fp_lo"] =
+        static_cast<double>(scrape_fp & 0xffffffffu);
+    xgbe::bench::ResultLog::instance().add_scrape(
+        name, scraper->scrape_json(),
+        xgbe::obs::detect::episodes_json(episodes));
+  }
+
   // Machine-dependent counters — recorded, never gated (the golden omits
   // them; bench_diff allows counters that exist only in `current`).
   state.counters["wall_ms"] = wall_s * 1e3;
 
-  xgbe::bench::log_point(
-      state,
-      xgbe::bench::point_name(
-          "Fleet_Incast", {{"shards", static_cast<std::int64_t>(shards)}}));
+  xgbe::bench::log_point(state, name);
 }
 
 }  // namespace

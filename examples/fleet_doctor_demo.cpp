@@ -11,11 +11,19 @@
 
 namespace {
 
-void doctor(const char* title, const xgbe::core::FabricOptions& fabric) {
+void doctor(const char* title, const xgbe::core::FabricOptions& fabric,
+            xgbe::sim::SimTime scrape_period = 0) {
   xgbe::tools::FleetDoctorOptions opt;
   opt.fabric = fabric;
+  // Timeline mode: every scenario runs under a MetricScraper at this
+  // cadence, obs::detect turns the series into episodes, and findings gain
+  // onset/clear timestamps plus transient-vs-persistent classification.
+  opt.scrape_period = scrape_period;
   const auto report = xgbe::tools::run_fleet_doctor(opt);
   std::printf("=== %s ===\n%s\n\n", title, report.transcript().c_str());
+  if (scrape_period > 0) {
+    std::printf("verdict JSON:\n%s\n\n", report.verdict.to_json().c_str());
+  }
 }
 
 }  // namespace
@@ -35,5 +43,15 @@ int main() {
                                       /*start=*/sim::msec(1),
                                       /*end=*/sim::msec(60));
   doctor("DMA-throttled straggler r1h1", throttled);
+
+  // Timeline mode: the same localization, now with *when* — the flapping
+  // trunk's carrier-flap finding carries onset/clear timestamps and a
+  // transient classification (it cleared and recurred; a dead cable would
+  // read persistent).
+  core::FabricOptions flapping = clean;
+  flapping.faults.flapping_trunk(/*rack=*/1, /*spine=*/0, /*trunk=*/0);
+  flapping.faults.flapping_trunk(/*rack=*/1, /*spine=*/0, /*trunk=*/1);
+  doctor("flapping trunks, timeline mode (1 ms scrape)", flapping,
+         sim::msec(1));
   return 0;
 }

@@ -12,6 +12,15 @@ The simulator is deterministic, so the default tolerances are tight
 measurement was noisy. Loosen the tolerances when diffing across intentional
 model changes to see the magnitude of every shift.
 
+Time-resolved telemetry (schema xgbe-bench/3) is diffed structurally, not
+point-by-point: scrape entries are matched by label, and a matched entry
+must agree on series count, total point count, and a canonical-JSON
+fingerprint of the series data and the detector episodes. Entries that
+exist only in `current` are allowed (an unarmed golden stays valid when the
+current run is armed); entries the baseline has but `current` lost are
+regressions. The tolerance flags do not apply — the series are integer
+samples of a deterministic run, so any drift is a model change.
+
 Stdlib-only so CI can run it on a bare python3.
 
 Usage:
@@ -23,6 +32,7 @@ Exit codes: 0 = no regression, 1 = regression / missing data,
 """
 
 import argparse
+import hashlib
 import json
 import sys
 
@@ -40,6 +50,63 @@ def _points_by_name(doc):
         if isinstance(point, dict) and isinstance(point.get("name"), str):
             points[point["name"]] = point.get("counters", {})
     return points
+
+
+def _scrapes_by_label(doc):
+    entries = {}
+    for entry in doc.get("scrapes", []):
+        if isinstance(entry, dict) and isinstance(entry.get("label"), str):
+            entries[entry["label"]] = entry
+    return entries
+
+
+def _fingerprint(obj):
+    """Canonical-JSON digest: stable across key order and whitespace."""
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _scrape_shape(entry):
+    """(series count, total point count) of one scrapes[] entry."""
+    scrape = entry.get("scrape")
+    series = scrape.get("series", []) if isinstance(scrape, dict) else []
+    points = sum(
+        len(s.get("points", [])) for s in series if isinstance(s, dict))
+    return len(series), points
+
+
+def diff_scrapes(baseline, current, out=sys.stdout):
+    """Structural scrape diff; returns the number of regressions."""
+    base = _scrapes_by_label(baseline)
+    cur = _scrapes_by_label(current)
+    regressions = 0
+
+    for label in sorted(base):
+        if label not in cur:
+            print(f"MISSING scrape {label!r} (present in baseline)", file=out)
+            regressions += 1
+            continue
+        base_series, base_points = _scrape_shape(base[label])
+        cur_series, cur_points = _scrape_shape(cur[label])
+        if base_series != cur_series:
+            print(f"DIFF scrape {label}: series {base_series} -> {cur_series}",
+                  file=out)
+            regressions += 1
+        if base_points != cur_points:
+            print(f"DIFF scrape {label}: points {base_points} -> {cur_points}",
+                  file=out)
+            regressions += 1
+        for part in ("scrape", "episodes"):
+            base_fp = _fingerprint(base[label].get(part))
+            cur_fp = _fingerprint(cur[label].get(part))
+            if base_fp != cur_fp:
+                print(f"DIFF scrape {label}: {part} fingerprint "
+                      f"{base_fp} -> {cur_fp}", file=out)
+                regressions += 1
+
+    for label in sorted(set(cur) - set(base)):
+        print(f"NEW scrape {label}", file=out)
+    return regressions
 
 
 def _differs(base, cur, rel_tol, abs_tol):
@@ -84,6 +151,8 @@ def diff(baseline, current, rel_tol, abs_tol, out=sys.stdout):
 
     for name in sorted(set(cur_points) - set(base_points)):
         print(f"NEW point {name}", file=out)
+
+    regressions += diff_scrapes(baseline, current, out=out)
     return regressions
 
 
@@ -132,6 +201,62 @@ def self_test():
     assert diff(baseline, additive, 1e-6, 1e-9, out=io.StringIO()) == 0, \
         "additive growth must be allowed"
 
+    # --- structural scrape diff (schema xgbe-bench/3) ---------------------
+    scraped = copy.deepcopy(baseline)
+    scraped["schema"] = "xgbe-bench/3"
+    scraped["scrapes"] = [{
+        "label": "a",
+        "scrape": {
+            "period_ps": 1000000, "scrapes": 3,
+            "series": [{
+                "path": "switch/tor0/dropped_queue_full", "unit": "count",
+                "evicted": 0,
+                "points": [[1000000, 0], [2000000, 4], [3000000, 9]],
+            }],
+        },
+        "episodes": [{
+            "series": "switch/tor0/dropped_queue_full",
+            "cause": "incast-collapse", "onset_ps": 2000000,
+            "clear_ps": 0, "cleared": False, "severity": 9,
+        }],
+    }]
+
+    same_scrape = copy.deepcopy(scraped)
+    assert diff(scraped, same_scrape, 1e-6, 1e-9, out=io.StringIO()) == 0, \
+        "identical scrapes must not diff"
+
+    armed_only_current = copy.deepcopy(baseline)
+    assert diff(armed_only_current, scraped, 1e-6, 1e-9,
+                out=io.StringIO()) == 0, \
+        "a scrape that exists only in current must be allowed"
+    assert diff(scraped, armed_only_current, 1e-6, 1e-9,
+                out=io.StringIO()) == 1, \
+        "a scrape the baseline has but current lost must be caught"
+
+    mutated_point = copy.deepcopy(scraped)
+    mutated_point["scrapes"][0]["scrape"]["series"][0]["points"][2][1] = 10
+    assert diff(scraped, mutated_point, 1e-6, 1e-9, out=io.StringIO()) == 1, \
+        "a mutated sample must be caught by the fingerprint"
+
+    dropped_point = copy.deepcopy(scraped)
+    del dropped_point["scrapes"][0]["scrape"]["series"][0]["points"][2]
+    assert diff(scraped, dropped_point, 1e-6, 1e-9, out=io.StringIO()) == 2, \
+        "a dropped sample must be caught by point count and fingerprint"
+
+    mutated_episode = copy.deepcopy(scraped)
+    mutated_episode["scrapes"][0]["episodes"][0]["onset_ps"] = 3000000
+    assert diff(scraped, mutated_episode, 1e-6, 1e-9,
+                out=io.StringIO()) == 1, \
+        "a shifted episode onset must be caught"
+
+    extra_series = copy.deepcopy(scraped)
+    extra_series["scrapes"][0]["scrape"]["series"].append({
+        "path": "switch/tor1/dropped_queue_full", "unit": "count",
+        "evicted": 0, "points": [[1000000, 0]],
+    })
+    assert diff(scraped, extra_series, 1e-6, 1e-9, out=io.StringIO()) == 3, \
+        "an extra series must be caught (series, points, fingerprint)"
+
     print("bench_diff.py self-test: OK")
     return 0
 
@@ -160,8 +285,10 @@ def main(argv):
         return 2
     regressions = diff(baseline, current, args.rel_tol, args.abs_tol)
     npoints = len(_points_by_name(baseline))
+    nscrapes = len(_scrapes_by_label(baseline))
     if regressions == 0:
-        print(f"OK: {npoints} baseline points matched within tolerance")
+        print(f"OK: {npoints} baseline points matched within tolerance, "
+              f"{nscrapes} scrapes matched structurally")
         return 0
     print(f"FAIL: {regressions} regression(s) against {npoints} baseline points",
           file=sys.stderr)

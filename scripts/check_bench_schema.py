@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Validate a bench --json result log against the xgbe-bench contract.
 
-Accepts both schema versions: "xgbe-bench/1" (points + snapshots) and
+Accepts all schema versions: "xgbe-bench/1" (points + snapshots),
 "xgbe-bench/2", which adds span-profiler stage breakdowns and flow-sampler
-time series. For v2 the validator also enforces the telescoping-ledger
-invariant: every breakdown's stage total_ps values must sum *exactly* to
-its end_to_end total_ps.
+time series, and "xgbe-bench/3", which adds metric-scraper captures
+(per-series integer points plus detector episodes) under "scrapes". For v2+
+the validator also enforces the telescoping-ledger invariant: every
+breakdown's stage total_ps values must sum *exactly* to its end_to_end
+total_ps. For v3 it checks every scrape series' points are time-monotone
+integer pairs and every episode carries a coherent (onset, clear) window.
 
 Stdlib-only (no jsonschema dependency): this script hand-implements the
 checks that bench/results.schema.json documents, so CI can run it on a
@@ -19,7 +22,8 @@ import sys
 
 NUMERIC_SENTINELS = {"nan", "inf", "-inf"}
 METRIC_KINDS = {"counter", "gauge", "distribution"}
-SCHEMAS = {"xgbe-bench/1", "xgbe-bench/2"}
+SCHEMAS = {"xgbe-bench/1", "xgbe-bench/2", "xgbe-bench/3"}
+SCRAPE_UNITS = {"count", "milli"}
 STAGES = ["app-write", "sockbuf", "tx-ring", "tx-dma", "wire", "switch-queue",
           "rx-ring", "intr-coalesce", "rx-stack", "app-read"]
 SERIES_COLUMNS = ["at_ps", "flow", "cwnd_segments", "ssthresh_segments",
@@ -135,6 +139,79 @@ def _check_series(errors, where, entry):
             _check_number(errors, f"{where}.series.rows[{j}][{k}]", value)
 
 
+def _check_scrape(errors, where, entry):
+    if not isinstance(entry, dict):
+        _err(errors, where, "must be an object")
+        return
+    if not isinstance(entry.get("label"), str) or not entry.get("label"):
+        _err(errors, where, "missing non-empty 'label'")
+    scrape = entry.get("scrape")
+    if not isinstance(scrape, dict):
+        _err(errors, where, "missing 'scrape' object")
+        return
+    period = scrape.get("period_ps")
+    if not isinstance(period, int) or isinstance(period, bool) or period < 1:
+        _err(errors, f"{where}.scrape.period_ps", "must be a positive integer")
+    _check_nonneg_int(errors, f"{where}.scrape.scrapes", scrape.get("scrapes"))
+    series = scrape.get("series")
+    if not isinstance(series, list):
+        _err(errors, f"{where}.scrape.series", "must be an array")
+        return
+    paths = [s.get("path") for s in series if isinstance(s, dict)]
+    if paths != sorted(paths):
+        _err(errors, f"{where}.scrape.series",
+             "paths must be sorted (determinism contract)")
+    for j, s in enumerate(series):
+        swhere = f"{where}.scrape.series[{j}]"
+        if not isinstance(s, dict):
+            _err(errors, swhere, "must be an object")
+            continue
+        if not isinstance(s.get("path"), str) or not s.get("path"):
+            _err(errors, swhere, "missing non-empty 'path'")
+        if s.get("unit") not in SCRAPE_UNITS:
+            _err(errors, f"{swhere}.unit",
+                 f"expected one of {sorted(SCRAPE_UNITS)}, got {s.get('unit')!r}")
+        _check_nonneg_int(errors, f"{swhere}.evicted", s.get("evicted"))
+        points = s.get("points")
+        if not isinstance(points, list):
+            _err(errors, swhere, "missing 'points' array")
+            continue
+        prev_at = None
+        for k, p in enumerate(points):
+            if (not isinstance(p, list) or len(p) != 2
+                    or any(isinstance(v, bool) or not isinstance(v, int)
+                           for v in p)):
+                _err(errors, f"{swhere}.points[{k}]",
+                     "must be an [at_ps, value] integer pair")
+                continue
+            if prev_at is not None and p[0] < prev_at:
+                _err(errors, f"{swhere}.points[{k}]",
+                     "at_ps must be non-decreasing")
+            prev_at = p[0]
+    episodes = entry.get("episodes")
+    if not isinstance(episodes, list):
+        _err(errors, where, "missing 'episodes' array")
+        return
+    for j, e in enumerate(episodes):
+        ewhere = f"{where}.episodes[{j}]"
+        if not isinstance(e, dict):
+            _err(errors, ewhere, "must be an object")
+            continue
+        for key in ("series", "cause"):
+            if not isinstance(e.get(key), str) or not e.get(key):
+                _err(errors, ewhere, f"missing non-empty {key!r}")
+        _check_nonneg_int(errors, f"{ewhere}.onset_ps", e.get("onset_ps"))
+        _check_nonneg_int(errors, f"{ewhere}.clear_ps", e.get("clear_ps"))
+        if not isinstance(e.get("cleared"), bool):
+            _err(errors, f"{ewhere}.cleared", "must be a boolean")
+        if not isinstance(e.get("severity"), int) or isinstance(e.get("severity"), bool):
+            _err(errors, f"{ewhere}.severity", "must be an integer")
+        if (e.get("cleared") is True and isinstance(e.get("onset_ps"), int)
+                and isinstance(e.get("clear_ps"), int)
+                and e["clear_ps"] < e["onset_ps"]):
+            _err(errors, ewhere, "cleared episode must have clear_ps >= onset_ps")
+
+
 def validate(doc):
     errors = []
     if not isinstance(doc, dict):
@@ -206,12 +283,15 @@ def validate(doc):
         for j, metric in enumerate(metrics):
             _check_metric(errors, f"{where}.snapshot.metrics[{j}]", metric)
 
-    if schema == "xgbe-bench/2":
-        for key, checker in (("breakdowns", _check_breakdown),
-                             ("timeseries", _check_series)):
+    if schema in ("xgbe-bench/2", "xgbe-bench/3"):
+        checkers = [("breakdowns", _check_breakdown),
+                    ("timeseries", _check_series)]
+        if schema == "xgbe-bench/3":
+            checkers.append(("scrapes", _check_scrape))
+        for key, checker in checkers:
             entries = doc.get(key)
             if not isinstance(entries, list):
-                _err(errors, key, "must be an array (required in v2)")
+                _err(errors, key, "must be an array (required in this schema)")
                 continue
             labels = [e.get("label") for e in entries if isinstance(e, dict)]
             if labels != sorted(labels):
@@ -244,8 +324,10 @@ def main(argv):
             nsnaps = len(doc.get("snapshots", []))
             nbreak = len(doc.get("breakdowns", []))
             nseries = len(doc.get("timeseries", []))
+            nscrapes = len(doc.get("scrapes", []))
             print(f"{filename}: OK ({npoints} points, {nsnaps} snapshots, "
-                  f"{nbreak} breakdowns, {nseries} timeseries)")
+                  f"{nbreak} breakdowns, {nseries} timeseries, "
+                  f"{nscrapes} scrapes)")
     return 1 if failed else 0
 
 

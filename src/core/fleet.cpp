@@ -202,15 +202,25 @@ Result run_rpc_churn(Fabric& fabric, const Options& opt) {
 }  // namespace
 
 Result run(Fabric& fabric, const Options& opt) {
+  if (opt.scraper != nullptr) {
+    fabric.testbed().set_metric_scraper(opt.scraper);
+  }
+  Result res;
   switch (opt.scenario) {
     case Scenario::kIncast:
-      return run_incast(fabric, opt);
+      res = run_incast(fabric, opt);
+      break;
     case Scenario::kAllToAll:
-      return run_all_to_all(fabric, opt);
+      res = run_all_to_all(fabric, opt);
+      break;
     case Scenario::kRpcChurn:
-      return run_rpc_churn(fabric, opt);
+      res = run_rpc_churn(fabric, opt);
+      break;
   }
-  return {};
+  if (opt.scraper != nullptr) {
+    fabric.testbed().set_metric_scraper(nullptr);
+  }
+  return res;
 }
 
 }  // namespace xgbe::core::fleet

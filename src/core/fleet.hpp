@@ -20,6 +20,10 @@
 #include "core/churn.hpp"
 #include "core/fabric.hpp"
 
+namespace xgbe::obs {
+class MetricScraper;
+}
+
 namespace xgbe::core::fleet {
 
 enum class Scenario : std::uint8_t { kIncast, kAllToAll, kRpcChurn };
@@ -55,6 +59,13 @@ struct Options {
   /// Hard stop for degraded runs that never reach the byte expectation
   /// (incomplete flows are then aborted so the ledger still balances).
   sim::SimTime deadline = sim::sec(2);
+
+  /// Optional time-resolved telemetry: armed on the fabric's testbed for
+  /// the scenario's duration (disarmed again before run() returns). The
+  /// scraper samples its own Registry — build one over the fabric before
+  /// calling run(). Arming never perturbs the run: results, counters, and
+  /// executed-event counts are bit-identical to an unarmed run.
+  obs::MetricScraper* scraper = nullptr;
 };
 
 struct Result {

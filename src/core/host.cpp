@@ -101,6 +101,12 @@ tcp::Listener& Host::listen(const tcp::ListenerConfig& config,
   hooks.send_rst = [this, adapter_index](const net::Packet& pkt) {
     send_rst_for(pkt, adapter_index);
   };
+  // Retire (never destroy) a replaced listener: a Registry armed before a
+  // re-listen holds probe closures over the old listener's counters, and a
+  // scraper can fire them at any later boundary. Listeners schedule no
+  // events and hold no pool handles, so parking them is free; retired
+  // listeners keep their counters but are not re-registered.
+  if (listener_) retired_listeners_.push_back(std::move(listener_));
   listener_ = std::make_unique<tcp::Listener>(sim_, config, std::move(hooks));
   if (trace_) listener_->set_trace(trace_);
   lifecycle_metrics_ = true;

@@ -161,6 +161,9 @@ class Host {
   std::vector<EndpointSlot> endpoints_;
   tcp::ConnTable conn_table_;
   std::unique_ptr<tcp::Listener> listener_;
+  // Listeners replaced by a re-listen, parked so Registry probe closures
+  // registered against them stay valid (see Host::listen()).
+  std::vector<std::unique_ptr<tcp::Listener>> retired_listeners_;
   std::uint64_t conn_opens_ = 0;
   std::uint64_t conn_closes_ = 0;
   std::uint64_t rsts_sent_ = 0;

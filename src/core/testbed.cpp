@@ -1,6 +1,7 @@
 #include "core/testbed.hpp"
 
 #include "obs/registry.hpp"
+#include "obs/scrape.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
@@ -232,6 +233,18 @@ void Testbed::set_span_profiler(obs::SpanProfiler* spans) {
   for (auto& host : hosts_) host->set_span_profiler(spans);
   for (auto& wire : links_) wire->set_span_profiler(spans);
   for (auto& sw : switches_) sw->set_span_profiler(spans);
+}
+
+void Testbed::set_metric_scraper(obs::MetricScraper* scraper) {
+  // Both modes: the scraper observes boundaries through the TimeHook
+  // interface, which the classic simulator fires between events and the
+  // sharded engine fires at barriers — single-threaded in either case.
+  scraper_ = scraper;
+  if (engine_) {
+    engine_->set_time_hook(scraper);
+  } else {
+    sim_.set_time_hook(scraper);
+  }
 }
 
 void Testbed::set_flow_sampler(obs::FlowSampler* sampler) {

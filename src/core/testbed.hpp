@@ -17,6 +17,7 @@
 
 namespace xgbe::obs {
 class FlowSampler;
+class MetricScraper;
 class SpanProfiler;
 }
 
@@ -201,6 +202,17 @@ class Testbed {
   void set_flow_sampler(obs::FlowSampler* sampler);
   obs::FlowSampler* flow_sampler() const { return sampler_; }
 
+  /// Arms a metric scraper (null disarms) as the testbed's time hook: in
+  /// classic mode it fires between events at each scrape boundary; in
+  /// sharded mode it fires at lookahead barriers, single-threaded, once
+  /// committed time reaches each boundary. Either way it schedules nothing
+  /// and only reads probes, so armed runs are bit-identical to unarmed —
+  /// executed-event counts included — for any shard/thread count. The
+  /// scraper (and the Registry it samples) must outlive the armed run or be
+  /// disarmed first.
+  void set_metric_scraper(obs::MetricScraper* scraper);
+  obs::MetricScraper* metric_scraper() const { return scraper_; }
+
   /// Registers the whole testbed: hosts by name, links under
   /// "link/<name>", switches under "switch/<name>" (duplicate names get a
   /// "#<i>" suffix so paths stay unique). Call after the topology and
@@ -239,6 +251,7 @@ class Testbed {
   std::vector<obs::TraceSink*> shard_traces_;
   obs::SpanProfiler* spans_ = nullptr;
   obs::FlowSampler* sampler_ = nullptr;
+  obs::MetricScraper* scraper_ = nullptr;
 };
 
 }  // namespace xgbe::core

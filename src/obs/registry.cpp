@@ -124,31 +124,52 @@ void Registry::distribution(std::string path,
   probes_[std::move(path)] = std::move(p);
 }
 
+Sample Registry::sample_probe(const std::string& path, const Probe& probe) {
+  Sample s;
+  s.path = path;
+  s.kind = probe.kind;
+  switch (probe.kind) {
+    case Kind::kCounter:
+      s.count = probe.counter();
+      break;
+    case Kind::kGauge:
+      s.value = probe.gauge();
+      break;
+    case Kind::kDistribution: {
+      const sim::OnlineStats stats = probe.distribution();
+      s.count = stats.count();
+      s.value = stats.mean();
+      s.min = stats.min();
+      s.max = stats.max();
+      s.stddev = stats.stddev();
+      break;
+    }
+  }
+  return s;
+}
+
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   snap.samples.reserve(probes_.size());
   for (const auto& [path, probe] : probes_) {
-    Sample s;
-    s.path = path;
-    s.kind = probe.kind;
-    switch (probe.kind) {
-      case Kind::kCounter:
-        s.count = probe.counter();
-        break;
-      case Kind::kGauge:
-        s.value = probe.gauge();
-        break;
-      case Kind::kDistribution: {
-        const sim::OnlineStats stats = probe.distribution();
-        s.count = stats.count();
-        s.value = stats.mean();
-        s.min = stats.min();
-        s.max = stats.max();
-        s.stddev = stats.stddev();
+    snap.samples.push_back(sample_probe(path, probe));
+  }
+  return snap;
+}
+
+Snapshot Registry::snapshot_prefixes(
+    const std::vector<std::string>& prefixes) const {
+  if (prefixes.empty()) return snapshot();
+  Snapshot snap;
+  for (const auto& [path, probe] : probes_) {
+    bool match = false;
+    for (const std::string& prefix : prefixes) {
+      if (path.compare(0, prefix.size(), prefix) == 0) {
+        match = true;
         break;
       }
     }
-    snap.samples.push_back(std::move(s));
+    if (match) snap.samples.push_back(sample_probe(path, probe));
   }
   return snap;
 }

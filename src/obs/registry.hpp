@@ -59,7 +59,15 @@ class Registry {
   std::size_t size() const { return probes_.size(); }
   Snapshot snapshot() const;
 
+  /// Samples only probes whose path starts with one of `prefixes` (every
+  /// probe when the list is empty). Non-matching probes are never invoked —
+  /// a scraper restricted to live subsystems cannot trip over stale
+  /// closures elsewhere. Sorted by path like snapshot().
+  Snapshot snapshot_prefixes(const std::vector<std::string>& prefixes) const;
+
  private:
+  struct Probe;
+  static Sample sample_probe(const std::string& path, const Probe& probe);
   struct Probe {
     Kind kind = Kind::kCounter;
     std::function<std::uint64_t()> counter;

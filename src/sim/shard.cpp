@@ -94,6 +94,14 @@ void ShardedEngine::run_until(SimTime horizon) {
       stopped_ = true;
       return;
     }
+    // Barrier hook: every event at or before `edge` has executed and the
+    // window's exchange is committed, so boundaries up to the edge are
+    // observable — single-threaded, zero events, zero perturbation. The
+    // boundary (not the edge) travels as the observation time, keeping the
+    // recorded timestamps independent of the lookahead.
+    if (hook_ != nullptr) {
+      while (hook_->due() <= edge) hook_->advance(hook_->due());
+    }
   }
   // Event supply ended (or starts past the horizon): advance every shard
   // clock to the horizon so bounded waits make progress, exactly like
@@ -101,6 +109,9 @@ void ShardedEngine::run_until(SimTime horizon) {
   if (horizon != kForever) {
     for (auto& shard : shards_) shard->run_until(horizon);
     now_ = horizon;
+    if (hook_ != nullptr) {
+      while (hook_->due() <= horizon) hook_->advance(hook_->due());
+    }
   } else {
     for (const auto& shard : shards_) now_ = std::max(now_, shard->now());
   }

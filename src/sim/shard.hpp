@@ -155,6 +155,18 @@ class ShardedEngine {
   /// Invoked once when the watchdog trips, after the diagnosis is set.
   std::function<void(const std::string&)> on_trip;
 
+  // --- Barrier time hook ----------------------------------------------------
+  /// Arms a boundary hook (null disarms), evaluated at window barriers like
+  /// the engine watchdog: the hook fires after a window's exchange commit,
+  /// single-threaded, once committed time reaches its due boundary — so it
+  /// may read any shard's state, schedules nothing, and armed runs stay
+  /// bit-identical to unarmed (executed-event counts included). The barrier
+  /// sequence depends only on committed time and the lookahead, both
+  /// partition-invariant, so hook observations are identical for any
+  /// shard/thread count.
+  void set_time_hook(TimeHook* hook) { hook_ = hook; }
+  TimeHook* time_hook() const { return hook_; }
+
  private:
   struct ProgressCounter {
     std::string name;
@@ -216,6 +228,8 @@ class ShardedEngine {
   std::atomic<std::size_t> pool_next_shard_{0};
   std::size_t pool_done_ = 0;
   bool pool_quit_ = false;
+
+  TimeHook* hook_ = nullptr;
 
   // Watchdog state.
   bool watchdog_armed_ = false;

@@ -7,6 +7,17 @@ namespace xgbe::sim {
 void Simulator::run_until(SimTime horizon) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
+    // A boundary hook fires once every event at or before its due time has
+    // executed — i.e. when the next pending event lies strictly past the
+    // boundary. Firing happens *between* events and touches no simulation
+    // state, so armed runs stay bit-identical (executed-event count
+    // included). The clock is deliberately left alone: the boundary time
+    // travels in the advance() argument.
+    if (hook_ != nullptr) {
+      while (hook_->due() < queue_.next_time() && hook_->due() <= horizon) {
+        hook_->advance(hook_->due());
+      }
+    }
     if (queue_.next_time() > horizon) {
       now_ = horizon;
       return;
@@ -21,9 +32,14 @@ void Simulator::run_until(SimTime horizon) {
   // The pending set drained (or stop() fired) before the horizon: advance
   // the clock to the horizon anyway so bounded waits always make progress.
   // run() passes SimTime max as its horizon; leave the clock alone there.
-  if (!stopped_ && horizon != std::numeric_limits<SimTime>::max() &&
-      now_ < horizon) {
-    now_ = horizon;
+  if (!stopped_ && horizon != std::numeric_limits<SimTime>::max()) {
+    if (now_ < horizon) now_ = horizon;
+    // State is frozen up to the horizon, so every boundary in (last event,
+    // horizon] is observable now. run() (horizon = max) takes no tail —
+    // there is no bound to observe up to.
+    if (hook_ != nullptr) {
+      while (hook_->due() <= horizon) hook_->advance(hook_->due());
+    }
   }
 }
 

@@ -10,6 +10,27 @@
 
 namespace xgbe::sim {
 
+/// Boundary-driven observation hook (e.g. obs::MetricScraper): fires at
+/// fixed sim-time boundaries WITHOUT scheduling events, so arming one
+/// perturbs nothing — executed-event counts and all simulation state stay
+/// bit-identical to an unarmed run.
+///
+/// Contract: due() names the next boundary the hook wants to observe;
+/// advance(at) is called with `at == due()` once every event at or before
+/// that boundary has executed (the classic simulator fires between events;
+/// the sharded engine fires at lookahead barriers, where the whole fabric
+/// is quiescent). advance() must strictly increase due() and must not
+/// schedule, cancel, or otherwise mutate simulation state — read-only
+/// probes only.
+class TimeHook {
+ public:
+  virtual ~TimeHook() = default;
+  /// Next boundary this hook wants to observe.
+  virtual SimTime due() const = 0;
+  /// Observes boundary `at` (== due()). Must strictly increase due().
+  virtual void advance(SimTime at) = 0;
+};
+
 /// Single-threaded deterministic discrete-event simulator.
 ///
 /// Components schedule callbacks; run() executes them in (time, schedule
@@ -62,11 +83,19 @@ class Simulator {
                           : queue_.next_time();
   }
 
+  /// Arms a boundary hook (null disarms). The hook fires between events —
+  /// it is NOT an event, so executed_events() and the whole schedule stay
+  /// bit-identical to an unarmed run. In sharded mode install the hook on
+  /// the engine (ShardedEngine::set_time_hook), not on a shard.
+  void set_time_hook(TimeHook* hook) { hook_ = hook; }
+  TimeHook* time_hook() const { return hook_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  TimeHook* hook_ = nullptr;
 };
 
 }  // namespace xgbe::sim

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "obs/registry.hpp"
+#include "obs/scrape.hpp"
 
 namespace xgbe::tools {
 
@@ -206,6 +208,50 @@ Verdict diagnose(const MetricMap& metrics, const DropReport& ledger,
   return v;
 }
 
+void apply_timeline(Verdict& v,
+                    const std::vector<obs::detect::Episode>& episodes) {
+  struct Window {
+    sim::SimTime onset = 0;
+    sim::SimTime clear = 0;
+    bool cleared = true;
+    std::uint64_t episodes = 0;
+  };
+  // (component, cause) — the same key the findings carry.
+  std::map<std::pair<std::string, std::string>, Window> windows;
+  for (const obs::detect::Episode& e : episodes) {
+    const std::vector<std::string> segs = split_path(e.series);
+    std::string component;
+    if (segs.size() >= 2 && segs[0] == "link") {
+      component = segs[1];
+    } else if (segs.size() >= 4 && segs[0] == "switch" && segs[2] == "port") {
+      component = segs[1] + ":" + segs[3];
+    } else if (segs.size() == 3 && segs[1] == "host_fault") {
+      component = segs[0];
+    } else {
+      continue;  // queue depth / srtt / rate series carry no finding key
+    }
+    Window& w = windows[{component, e.cause}];
+    if (w.episodes == 0 || e.onset < w.onset) w.onset = e.onset;
+    if (e.cleared) {
+      w.clear = std::max(w.clear, e.clear);
+    } else {
+      w.cleared = false;
+    }
+    ++w.episodes;
+  }
+  for (Finding& f : v.findings) {
+    const auto it = windows.find({f.component, f.cause});
+    if (it == windows.end()) continue;
+    const Window& w = it->second;
+    f.timed = true;
+    f.onset = w.onset;
+    f.clear = w.cleared ? w.clear : 0;
+    f.cleared = w.cleared;
+    f.episodes = w.episodes;
+    f.transient = w.episodes > 1;
+  }
+}
+
 std::string Verdict::render() const {
   if (clean()) return "fleet doctor: clean bill — no findings";
   std::string out = "fleet doctor: " + std::to_string(findings.size()) +
@@ -215,6 +261,16 @@ std::string Verdict::render() const {
     out += "\n  #" + std::to_string(i + 1) + " " + f.component + " [" +
            f.kind + "] " + f.cause + " magnitude=" + fmt(f.magnitude) +
            " share=" + fmt(f.share) + " :: " + f.evidence;
+    if (f.timed) {
+      out += " :: onset=" + std::to_string(f.onset) + "ps";
+      if (f.cleared) {
+        out += " clear=" + std::to_string(f.clear) + "ps";
+      } else {
+        out += " never-cleared";
+      }
+      out += f.transient ? " transient" : " persistent";
+      out += " episodes=" + std::to_string(f.episodes);
+    }
   }
   if (!frames_conserved) out += "\n  frame ledger: LEAK";
   if (!connections_conserved) out += "\n  connection ledger: LEAK";
@@ -222,7 +278,7 @@ std::string Verdict::render() const {
 }
 
 std::string Verdict::to_json() const {
-  std::string out = "{\"schema\":\"xgbe-fleet-doctor/1\"";
+  std::string out = "{\"schema\":\"xgbe-fleet-doctor/2\"";
   out += ",\"clean\":" + std::string(clean() ? "true" : "false");
   out += ",\"frames_conserved\":" +
          std::string(frames_conserved ? "true" : "false");
@@ -237,7 +293,14 @@ std::string Verdict::to_json() const {
     out += ",\"cause\":\"" + obs::json_escape(f.cause) + "\"";
     out += ",\"magnitude\":" + fmt(f.magnitude);
     out += ",\"share\":" + fmt(f.share);
-    out += ",\"evidence\":\"" + obs::json_escape(f.evidence) + "\"}";
+    out += ",\"evidence\":\"" + obs::json_escape(f.evidence) + "\"";
+    out += ",\"timed\":" + std::string(f.timed ? "true" : "false");
+    out += ",\"onset_ps\":" + std::to_string(f.onset);
+    out += ",\"clear_ps\":" + std::to_string(f.clear);
+    out += ",\"cleared\":" + std::string(f.cleared ? "true" : "false");
+    out += ",\"episodes\":" + std::to_string(f.episodes);
+    out += ",\"transient\":" + std::string(f.transient ? "true" : "false");
+    out += "}";
   }
   out += "]}";
   return out;
@@ -277,11 +340,33 @@ FleetDoctorReport run_fleet_doctor(const FleetDoctorOptions& options) {
 
   FleetDoctorReport rep;
   MetricMap merged;
+  const bool timed = options.scrape_period > 0;
   for (const auto& scen : scenarios) {
     // A fresh fabric per scenario: fault schedules restart and counters
     // never bleed between runs, so the matrix cells are independent.
     core::Fabric fabric(options.fabric);
-    core::fleet::Result res = core::fleet::run(fabric, scen);
+    // Timeline mode: register at build time, so the scrape registry holds
+    // only infrastructure probes (links, switches, host kernels/faults) —
+    // nothing a scenario creates or retires mid-run — and arm a scraper
+    // through the scenario. The scraper fires between events / at barriers,
+    // so the run itself is bit-identical to an untimed one.
+    obs::Registry scrape_reg;
+    std::unique_ptr<obs::MetricScraper> scraper;
+    core::fleet::Options scen_run = scen;
+    if (timed) {
+      fabric.register_metrics(scrape_reg);
+      obs::ScrapeOptions so;
+      so.period = options.scrape_period;
+      so.max_points = options.scrape_max_points;
+      scraper = std::make_unique<obs::MetricScraper>(scrape_reg, so);
+      scen_run.scraper = scraper.get();
+    }
+    core::fleet::Result res = core::fleet::run(fabric, scen_run);
+    if (timed) {
+      std::vector<obs::detect::Episode> eps =
+          obs::detect::run_detectors(scraper->store(), options.detect);
+      rep.episodes.insert(rep.episodes.end(), eps.begin(), eps.end());
+    }
     obs::Registry reg;
     fabric.register_metrics(reg);
     accumulate(merged, reg.snapshot());
@@ -293,6 +378,7 @@ FleetDoctorReport run_fleet_doctor(const FleetDoctorOptions& options) {
     rep.scenarios.push_back(std::move(res));
   }
   rep.verdict = diagnose(merged, rep.ledger, options.thresholds);
+  if (timed) apply_timeline(rep.verdict, rep.episodes);
   return rep;
 }
 

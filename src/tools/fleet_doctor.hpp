@@ -21,6 +21,11 @@
 //
 // A clean fabric produces an empty findings list — the doctor's silence is
 // part of the contract (tests assert it).
+//
+// Timeline mode (scrape_period > 0) additionally answers *when*: every
+// scenario runs under a MetricScraper, obs::detect turns the series into
+// episodes, and each finding gains (onset, clear) timestamps plus a
+// transient-vs-persistent classification — all without perturbing the run.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +35,7 @@
 
 #include "core/fabric.hpp"
 #include "core/fleet.hpp"
+#include "obs/detect.hpp"
 #include "obs/registry.hpp"
 #include "tools/drop_report.hpp"
 
@@ -61,6 +67,16 @@ struct Finding {
   double magnitude = 0.0; // ranking key: drop count or severity proxy
   double share = 0.0;     // magnitude / sum of all magnitudes
   std::string evidence;   // human-readable supporting numbers
+
+  // --- Timeline (set when the doctor ran with a scrape period) -------------
+  bool timed = false;       // the fields below are meaningful
+  sim::SimTime onset = 0;   // earliest episode onset across the matrix
+  sim::SimTime clear = 0;   // latest confirmed clear (0 when never cleared)
+  bool cleared = false;     // every matched episode cleared before run end
+  std::uint64_t episodes = 0;  // distinct detector episodes matched
+  /// Episodic pathology: it cleared and recurred (more than one distinct
+  /// episode) — a flapping carrier rather than a dead cable.
+  bool transient = false;
 };
 
 struct Verdict {
@@ -73,8 +89,11 @@ struct Verdict {
   bool clean() const { return findings.empty(); }
   /// One line per finding, rank first.
   std::string render() const;
-  /// Machine-readable verdict, schema "xgbe-fleet-doctor/1". Deterministic:
-  /// doubles via obs::format_double, fixed key order.
+  /// Machine-readable verdict, schema "xgbe-fleet-doctor/2" (the /1 schema
+  /// lacked the per-finding timed/onset_ps/clear_ps/cleared/episodes/
+  /// transient fields). Deterministic: doubles via obs::format_double,
+  /// fixed key order — byte-identical across reruns, shard counts, and
+  /// thread counts.
   std::string to_json() const;
 };
 
@@ -82,18 +101,39 @@ struct Verdict {
 Verdict diagnose(const MetricMap& metrics, const DropReport& ledger,
                  const DoctorThresholds& thresholds = {});
 
+/// Folds detector episodes into the verdict's findings, matched on
+/// (component, cause): a finding's onset is the earliest matched episode's
+/// onset, its clear the latest confirmed clear, `transient` marks episodic
+/// (recurred after clearing) pathologies. Unmatched episodes are ignored —
+/// the evidence bar for a finding stays diagnose()'s.
+void apply_timeline(Verdict& v,
+                    const std::vector<obs::detect::Episode>& episodes);
+
 struct FleetDoctorOptions {
   core::FabricOptions fabric;
   /// Scenario matrix; empty runs the canonical three (incast, all-to-all,
   /// RPC churn).
   std::vector<core::fleet::Options> scenarios;
   DoctorThresholds thresholds;
+  /// Timeline mode: when > 0, every scenario runs with a MetricScraper at
+  /// this cadence over the fabric's infrastructure probes (registered at
+  /// build time — links, switches, hosts; no per-flow endpoints), the
+  /// detectors turn the series into episodes, and findings carry
+  /// onset/clear/transient. 0 keeps the classic untimed doctor.
+  sim::SimTime scrape_period = 0;
+  /// Per-series ring bound for the timeline scraper.
+  std::size_t scrape_max_points = 4096;
+  obs::detect::DetectOptions detect;
 };
 
 struct FleetDoctorReport {
   Verdict verdict;
   std::vector<core::fleet::Result> scenarios;
   DropReport ledger;
+  /// Timeline mode only: every detector episode across the matrix, sorted
+  /// by (series, onset) within each scenario and concatenated in scenario
+  /// order.
+  std::vector<obs::detect::Episode> episodes;
   /// The full session: scenario outcomes, ledger, ranked findings.
   std::string transcript() const;
 };

@@ -152,7 +152,7 @@ TEST(Registry, LifecycleCountersFlowThroughBenchJson) {
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string file = buf.str();
-  EXPECT_NE(file.find("\"schema\":\"xgbe-bench/2\""), std::string::npos);
+  EXPECT_NE(file.find("\"schema\":\"xgbe-bench/3\""), std::string::npos);
   EXPECT_NE(file.find("\"label\":\"churn-lan\""), std::string::npos);
   EXPECT_NE(file.find("\"path\":\"server/listener/accepted\","
                       "\"kind\":\"counter\",\"value\":30}"),
